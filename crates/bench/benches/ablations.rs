@@ -1,0 +1,47 @@
+//! Criterion benches for the DESIGN.md §6 ablations: greedy vs
+//! backtracking resolution and reverse-index vs linear provider scans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spack_bench::{bench_config, bench_repos};
+use spack_concretize::{BacktrackingConcretizer, Concretizer, ProviderIndex};
+use spack_spec::Spec;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let repos = bench_repos();
+    let config = bench_config();
+    let request = Spec::parse("mpileaks").unwrap();
+
+    c.bench_function("greedy_mpileaks", |b| {
+        let concretizer = Concretizer::new(&repos, &config);
+        b.iter(|| black_box(concretizer.concretize(black_box(&request)).unwrap()))
+    });
+    c.bench_function("backtracking_mpileaks_passthrough", |b| {
+        let concretizer = BacktrackingConcretizer::new(&repos, &config);
+        b.iter(|| black_box(concretizer.concretize(black_box(&request)).unwrap()))
+    });
+
+    let index = ProviderIndex::build(&repos);
+    let mpi2 = Spec::parse("mpi@2:").unwrap();
+    c.bench_function("provider_query_indexed", |b| {
+        b.iter(|| black_box(index.candidates_for(black_box(&mpi2))))
+    });
+    c.bench_function("provider_query_linear_scan", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for pkg in repos.visible_packages() {
+                for p in &pkg.provides {
+                    if p.vspec.name.as_deref() == Some("mpi")
+                        && p.vspec.versions.overlaps(&mpi2.versions)
+                    {
+                        found += 1;
+                    }
+                }
+            }
+            black_box(found)
+        })
+    });
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

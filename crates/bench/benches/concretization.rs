@@ -1,0 +1,41 @@
+//! Criterion benches for concretization (the Fig. 8 quantity).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spack_bench::{bench_config, bench_repos};
+use spack_concretize::Concretizer;
+use spack_spec::Spec;
+use std::hint::black_box;
+
+fn bench_concretize(c: &mut Criterion) {
+    let repos = bench_repos();
+    let config = bench_config();
+    let concretizer = Concretizer::new(&repos, &config);
+
+    let mut group = c.benchmark_group("concretize");
+    for (label, text) in [
+        ("libelf_1node", "libelf"),
+        ("mpileaks_10node", "mpileaks"),
+        ("openspeedshop_19node", "openspeedshop"),
+        ("paraview_30node", "paraview"),
+        ("ares_47node", "ares"),
+        ("constrained_fig2c", "mpileaks@2.3 ^callpath@1.0+debug ^libelf@0.8.11"),
+    ] {
+        let request = Spec::parse(text).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(concretizer.concretize(black_box(&request)).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Provider-index construction (amortized once per concretizer).
+    c.bench_function("provider_index_build", |b| {
+        b.iter_batched(
+            || (),
+            |_| black_box(spack_concretize::ProviderIndex::build(&repos)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_concretize);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for spec hashing (§3.4.2) and the from-scratch
+//! SHA-256/MD5 underneath it.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spack_bench::{bench_config, bench_repos};
+use spack_concretize::Concretizer;
+use spack_spec::sha::{md5_hex, sha256_hex};
+use spack_spec::{serial, DagHashes, Spec};
+use std::hint::black_box;
+
+fn bench_hashing(c: &mut Criterion) {
+    let repos = bench_repos();
+    let config = bench_config();
+    let ares = Concretizer::new(&repos, &config)
+        .concretize(&Spec::parse("ares").unwrap())
+        .unwrap();
+    let mpileaks = Concretizer::new(&repos, &config)
+        .concretize(&Spec::parse("mpileaks").unwrap())
+        .unwrap();
+
+    c.bench_function("dag_hash_mpileaks_10", |b| {
+        b.iter(|| black_box(DagHashes::compute(black_box(&mpileaks))))
+    });
+    c.bench_function("dag_hash_ares_47", |b| {
+        b.iter(|| black_box(DagHashes::compute(black_box(&ares))))
+    });
+
+    c.bench_function("specfile_roundtrip_ares", |b| {
+        b.iter(|| {
+            let text = serial::to_specfile(black_box(&ares));
+            black_box(serial::from_specfile(&text).unwrap())
+        })
+    });
+
+    let mut group = c.benchmark_group("digest_throughput");
+    for size in [1usize << 10, 1 << 16, 1 << 20] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("sha256_{size}B"), |b| {
+            b.iter(|| black_box(sha256_hex(black_box(&data))))
+        });
+        group.bench_function(format!("md5_{size}B"), |b| {
+            b.iter(|| black_box(md5_hex(black_box(&data))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benches for the Fig. 3 grammar: lexing, parsing, formatting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spack_spec::Spec;
+use std::hint::black_box;
+
+fn bench_parsing(c: &mut Criterion) {
+    let simple = "mpileaks";
+    let medium = "mpileaks@1.2:1.4%gcc@4.7.5+debug=bgq";
+    let complex = "mpileaks @1.2:1.4 %gcc@4.7.5 -debug =bgq \
+                   ^callpath @1.1 %gcc@4.7.2 +debug \
+                   ^openmpi @1.4.7 ^libelf @0.8.11:0.8.13 ^boost@1.59.0";
+
+    let mut group = c.benchmark_group("spec_parse");
+    for (label, text) in [("simple", simple), ("medium", medium), ("complex", complex)] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(Spec::parse(black_box(text)).unwrap()))
+        });
+    }
+    group.finish();
+
+    let spec = Spec::parse(complex).unwrap();
+    c.bench_function("spec_format_complex", |b| {
+        b.iter(|| black_box(spec.to_string()))
+    });
+
+    let concrete = Spec::parse("mpileaks@2.3%gcc@4.9.3+debug=linux-x86_64").unwrap();
+    let constraint = Spec::parse("mpileaks@2:%gcc+debug").unwrap();
+    c.bench_function("spec_node_satisfies", |b| {
+        b.iter(|| black_box(concrete.node_satisfies(black_box(&constraint))))
+    });
+
+    c.bench_function("spec_constrain", |b| {
+        b.iter(|| {
+            let mut s = Spec::parse("mpileaks@1.2:").unwrap();
+            s.constrain(black_box(&constraint)).ok();
+            black_box(s)
+        })
+    });
+}
+
+criterion_group!(benches, bench_parsing);
+criterion_main!(benches);

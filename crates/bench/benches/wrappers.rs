@@ -1,0 +1,48 @@
+//! Criterion benches for the compiler-wrapper rewrite path (§3.5.2/§3.5.3:
+//! "argument parsing and indirection cause ... a small but noticeable
+//! performance overhead").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spack_buildenv::{Language, Wrapper};
+use spack_spec::{ConcreteCompiler, Version};
+use std::hint::black_box;
+
+fn wrapper_with_deps(n: usize) -> Wrapper {
+    let deps: Vec<String> = (0..n)
+        .map(|i| format!("/spack/opt/linux-x86_64/gcc-4.9.3/dep{i}-1.0-0123abcd"))
+        .collect();
+    Wrapper::new(
+        ConcreteCompiler {
+            name: "gcc".to_string(),
+            version: Version::new("4.9.3").unwrap(),
+        },
+        &deps,
+    )
+}
+
+fn bench_wrappers(c: &mut Criterion) {
+    let compile_args: Vec<String> = ["-O2", "-g", "-fPIC", "-c", "src.c", "-o", "src.o"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let link_args: Vec<String> = (0..64)
+        .map(|i| format!("obj{i}.o"))
+        .chain(["-o".to_string(), "libfoo.so".to_string(), "-lelf".to_string()])
+        .collect();
+
+    let mut group = c.benchmark_group("wrapper_rewrite");
+    for deps in [0usize, 4, 16, 46] {
+        // 46 = the ARES dependency count from the paper's abstract.
+        let w = wrapper_with_deps(deps);
+        group.bench_function(format!("compile_{deps}_deps"), |b| {
+            b.iter(|| black_box(w.rewrite(Language::C, black_box(&compile_args))))
+        });
+        group.bench_function(format!("link_{deps}_deps"), |b| {
+            b.iter(|| black_box(w.rewrite(Language::C, black_box(&link_args))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wrappers);
+criterion_main!(benches);

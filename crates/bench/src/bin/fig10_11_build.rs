@@ -1,0 +1,106 @@
+//! Figs. 10 & 11 regeneration: build time with and without compiler
+//! wrappers, on NFS vs. node-local temp filesystems, for the paper's
+//! seven packages (libelf, libpng, mpileaks, libdwarf, python, dyninst,
+//! LAPACK).
+//!
+//! Three scenarios per package, as in Fig. 10's legend:
+//!   * Wrappers, NFS
+//!   * Wrappers, Temp FS
+//!   * No Wrappers, Temp FS
+//!
+//! Fig. 11 derives two overheads:
+//!   * NFS overhead      = (wrappers,NFS − wrappers,temp) / wrappers,temp
+//!   * wrapper overhead  = (wrappers,temp − no-wrappers,temp) / no-wrappers,temp
+//!
+//! Builds are simulated (DESIGN.md §3): the operation stream of each
+//! build-system phase is replayed against the virtual-clock filesystem
+//! and the real wrapper-rewrite code path, with per-package workloads
+//! calibrated against the paper's reported overheads.
+//!
+//! Run: `cargo run -p spack-bench --bin fig10_11_build`
+
+use spack_bench::bench_repos;
+use spack_buildenv::{run_build, BuildSettings, FsProfile, Wrapper};
+use spack_spec::{ConcreteCompiler, Version};
+
+/// (package, Fig. 10 label, paper NFS overhead %, paper wrapper overhead %).
+const PACKAGES: &[(&str, &str, f64, f64)] = &[
+    ("libelf", "libelf", 48.0, 9.5),
+    ("libpng", "libpng", 62.7, 9.4),
+    ("mpileaks", "mpileaks", 35.6, 12.3),
+    ("libdwarf", "libdwarf", 17.7, 6.6),
+    ("python", "python", 46.4, 10.2),
+    ("dyninst", "dyninst", 4.9, -0.4),
+    ("netlib-lapack", "LAPACK", 16.6, 6.0),
+];
+
+fn main() {
+    let repos = bench_repos();
+    let wrapper = Wrapper::new(
+        ConcreteCompiler {
+            name: "gcc".to_string(),
+            version: Version::new("4.9.3").unwrap(),
+        },
+        &[
+            "/spack/opt/linux-x86_64/gcc-4.9.3/dep-a".to_string(),
+            "/spack/opt/linux-x86_64/gcc-4.9.3/dep-b".to_string(),
+        ],
+    );
+
+    println!("Fig. 10: build time (simulated seconds), three scenarios");
+    println!(
+        "{:10} {:>14} {:>17} {:>21}",
+        "package", "Wrappers, NFS", "Wrappers, Temp FS", "No Wrappers, Temp FS"
+    );
+    let mut rows = Vec::new();
+    for (name, label, _, _) in PACKAGES {
+        let pkg = repos.get(name).expect("package exists");
+        let node = spack_spec::Spec::parse(&format!("{name}%gcc@4.9.3=linux-x86_64")).unwrap();
+        let recipe = pkg.recipe_for(&node).expect("recipe");
+        let run = |wrappers: bool, fs: FsProfile| {
+            run_build(
+                recipe,
+                &pkg.workload,
+                &wrapper,
+                BuildSettings {
+                    use_wrappers: wrappers,
+                    stage_fs: fs,
+                },
+            )
+            .total()
+        };
+        let wrap_nfs = run(true, FsProfile::Nfs);
+        let wrap_tmp = run(true, FsProfile::TmpFs);
+        let nowrap_tmp = run(false, FsProfile::TmpFs);
+        println!("{label:10} {wrap_nfs:>14.1} {wrap_tmp:>17.1} {nowrap_tmp:>21.1}");
+        rows.push((*label, wrap_nfs, wrap_tmp, nowrap_tmp));
+    }
+
+    println!("\nFig. 11: overhead (% of wrapper-less / temp-FS runtime)");
+    println!(
+        "{:10} {:>12} {:>12}   {:>12} {:>12}",
+        "package", "NFS %", "paper", "wrappers %", "paper"
+    );
+    let mut nfs_sum = 0.0;
+    let mut wrap_sum = 0.0;
+    for ((label, wrap_nfs, wrap_tmp, nowrap_tmp), (_, _, paper_nfs, paper_wrap)) in
+        rows.iter().zip(PACKAGES.iter())
+    {
+        let nfs_pct = (wrap_nfs - wrap_tmp) / wrap_tmp * 100.0;
+        let wrap_pct = (wrap_tmp - nowrap_tmp) / nowrap_tmp * 100.0;
+        nfs_sum += nfs_pct;
+        wrap_sum += wrap_pct;
+        println!(
+            "{label:10} {nfs_pct:>12.1} {paper_nfs:>12.1}   {wrap_pct:>12.1} {paper_wrap:>12.1}"
+        );
+    }
+    let n = PACKAGES.len() as f64;
+    println!(
+        "\nmean NFS overhead: {:.1}% (paper: ~33% on average, up to 62.7%)",
+        nfs_sum / n
+    );
+    println!(
+        "mean wrapper overhead: {:.1}% (paper: \"only around 10%\")",
+        wrap_sum / n
+    );
+}

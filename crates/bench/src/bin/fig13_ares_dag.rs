@@ -1,0 +1,66 @@
+//! Fig. 13 regeneration: the ARES dependency DAG, colored by package type
+//! (physics / utility / math / external).
+//!
+//! Prints the node census per category (the paper: ARES + 11 physics +
+//! 4 math/meshing + 8 utility + 23 external = 47) and emits GraphViz dot
+//! on request (`--dot`).
+//!
+//! Run: `cargo run -p spack-bench --bin fig13_ares_dag [--dot]`
+
+use spack_bench::{bench_config, bench_repos};
+use spack_concretize::Concretizer;
+use spack_spec::Spec;
+
+fn main() {
+    let dot_mode = std::env::args().any(|a| a == "--dot");
+    let repos = bench_repos();
+    let config = bench_config();
+    let dag = Concretizer::new(&repos, &config)
+        .concretize(&Spec::parse("ares").unwrap())
+        .expect("ares concretizes");
+
+    let category = |name: &str| -> &'static str {
+        if name == "ares" {
+            return "root";
+        }
+        match repos.get(name).and_then(|p| p.category.as_deref()) {
+            Some("physics") => "physics",
+            Some("math") => "math",
+            Some("utility") => "utility",
+            _ => "external",
+        }
+    };
+
+    if dot_mode {
+        print!("{}", dag.to_dot(|n| category(&n.name)));
+        return;
+    }
+
+    println!("Fig. 13: dependencies of ARES ({} packages, {} edges)\n", dag.len(), dag.edge_count());
+    for cat in ["root", "physics", "math", "utility", "external"] {
+        let members: Vec<&str> = dag
+            .package_names()
+            .into_iter()
+            .filter(|n| category(n) == cat)
+            .collect();
+        println!("{:9} ({:2}): {}", cat, members.len(), members.join(", "));
+    }
+    println!("\npaper: ARES depends on 11 LLNL physics packages, 4 LLNL math/meshing");
+    println!("libraries, 8 LLNL utility libraries, and 23 external packages (incl. MPI/BLAS).");
+
+    // Per-node fan-in/fan-out extremes, to show DAG complexity.
+    let mut fan_in = vec![0usize; dag.len()];
+    for n in dag.nodes() {
+        for &d in &n.deps {
+            fan_in[d] += 1;
+        }
+    }
+    let (most_needed, count) = fan_in
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, &c)| (dag.node(i).name.clone(), c))
+        .unwrap();
+    println!("\nmost-depended-on package: {most_needed} ({count} dependents)");
+    println!("root out-degree: {}", dag.root_node().deps.len());
+}

@@ -1,0 +1,77 @@
+//! Table 1 regeneration: site naming conventions and why they fail.
+//!
+//! Formats a sweep of real configurations under each site's scheme and
+//! measures collisions — distinct configurations mapping to one path. The
+//! paper's point: "none of these naming conventions covers the entire
+//! configuration space"; Spack's hashed scheme is injective.
+//!
+//! Run: `cargo run -p spack-bench --bin table1_naming`
+
+use std::collections::BTreeMap;
+
+use spack_bench::{bench_config, bench_repos};
+use spack_concretize::Concretizer;
+use spack_spec::{DagHashes, Spec};
+use spack_store::NamingScheme;
+
+fn main() {
+    let repos = bench_repos();
+    let config = bench_config();
+    let concretizer = Concretizer::new(&repos, &config);
+
+    // A realistic configuration sweep: mpileaks across MPIs, compilers,
+    // variants, and a dependency-version change invisible to most schemes.
+    let requests = [
+        "mpileaks ^mpich",
+        "mpileaks ^openmpi",
+        "mpileaks ^mvapich2",
+        "mpileaks%gcc@4.7.4 ^mpich",
+        "mpileaks%intel@15.0.1 ^mpich",
+        "mpileaks+debug ^mpich",
+        "mpileaks ^mpich ^libelf@0.8.12",   // differs ONLY in libelf
+        "mpileaks ^mpich ^libelf@0.8.11",   // differs ONLY in libelf
+        "mpileaks ^mpich ^callpath@1.0",
+        "mpileaks@1.1 ^mpich",
+    ];
+    let dags: Vec<_> = requests
+        .iter()
+        .map(|r| {
+            concretizer
+                .concretize(&Spec::parse(r).unwrap())
+                .unwrap_or_else(|e| panic!("{r}: {e}"))
+        })
+        .collect();
+
+    println!("Table 1: software organization of various HPC sites");
+    println!("({} distinct mpileaks configurations formatted per scheme)\n", dags.len());
+    println!(
+        "{:24} {:>8} {:>11}  example",
+        "scheme", "paths", "collisions"
+    );
+    for scheme in NamingScheme::all() {
+        let mut by_path: BTreeMap<String, usize> = BTreeMap::new();
+        let mut example = String::new();
+        for dag in &dags {
+            let hashes = DagHashes::compute(dag);
+            let path = scheme.prefix_for("/opt", dag, dag.root(), &hashes);
+            if example.is_empty() {
+                example = path.clone();
+            }
+            *by_path.entry(path).or_insert(0) += 1;
+        }
+        let collisions: usize = by_path.values().filter(|&&n| n > 1).map(|n| n - 1).sum();
+        println!(
+            "{:24} {:>8} {:>11}  {}",
+            scheme.site(),
+            by_path.len(),
+            collisions,
+            example
+        );
+    }
+    println!(
+        "\nOnly the Spack scheme keeps all {} configurations distinct; the baseline\n\
+         conventions collapse configurations that differ in parameters their paths\n\
+         cannot express (e.g. the two builds differing only in libelf version).",
+        dags.len()
+    );
+}

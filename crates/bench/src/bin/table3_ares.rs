@@ -1,0 +1,85 @@
+//! Table 3 regeneration: the ARES configurations built nightly with Spack
+//! (SC'15 §4.4) — up to four code configurations ((C)urrent and
+//! (P)revious production, (L)ite, (D)evelopment) per
+//! architecture-compiler-MPI combination, 36 in total.
+//!
+//! Run: `cargo run -p spack-bench --bin table3_ares`
+
+use spack_bench::{bench_config, bench_repos};
+use spack_concretize::Concretizer;
+use spack_spec::Spec;
+
+fn config_spec(c: char) -> &'static str {
+    match c {
+        'C' => "@2015.06~lite",
+        'P' => "@2014.11~lite",
+        'L' => "@2015.06+lite",
+        'D' => "@develop~lite",
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let repos = bench_repos();
+    let mut config = bench_config();
+    // Cross-compilation toolchains for the BG/Q and Cray rows.
+    for (name, ver, archs) in [
+        ("gcc", "4.9.3", vec!["bgq"]),
+        ("pgi", "15.4", vec!["bgq", "cray-xe6"]),
+        ("clang", "3.6.2", vec!["bgq"]),
+        ("intel", "15.0.1", vec!["cray-xe6"]),
+    ] {
+        config.register_compiler(name, ver, &archs);
+    }
+    let concretizer = Concretizer::new(&repos, &config);
+
+    // The filled cells of Table 3.
+    let cells: &[(&str, &str, &str, &str)] = &[
+        ("linux-x86_64", "gcc", "mvapich", "CPLD"),
+        ("linux-x86_64", "intel@14.0.4", "mvapich2", "CPLD"),
+        ("linux-x86_64", "intel@15.0.1", "mvapich2", "CPLD"),
+        ("linux-x86_64", "pgi", "mvapich", "D"),
+        ("linux-x86_64", "clang", "mvapich", "CPLD"),
+        ("bgq", "gcc", "bgq-mpi", "CPLD"),
+        ("bgq", "pgi", "bgq-mpi", "CPLD"),
+        ("bgq", "clang", "bgq-mpi", "CLD"),
+        ("bgq", "xl", "bgq-mpi", "CPLD"),
+        ("cray-xe6", "intel@15.0.1", "cray-mpich", "D"),
+        ("cray-xe6", "pgi", "cray-mpich", "CLD"),
+    ];
+
+    println!("Table 3: configurations of ARES built with spack-rs");
+    println!("  (C)urrent and (P)revious production, (L)ite, (D)evelopment\n");
+    println!("{:14} {:15} {:11} configs  (DAG sizes)", "arch", "compiler", "MPI");
+    let mut total = 0;
+    let mut failures = Vec::new();
+    for (arch, compiler, mpi, configs) in cells {
+        let mut built = String::new();
+        let mut sizes = Vec::new();
+        for c in configs.chars() {
+            let text = format!("ares{} %{compiler} ={arch} ^{mpi}", config_spec(c));
+            match concretizer.concretize(&Spec::parse(&text).unwrap()) {
+                Ok(dag) => {
+                    built.push(c);
+                    built.push(' ');
+                    sizes.push(dag.len().to_string());
+                    total += 1;
+                    // Patches differ per platform/compiler (e.g. python on
+                    // BG/Q, §3.2.4) — verified by the patch directives.
+                    assert!(dag.by_name(mpi).is_some());
+                    assert_eq!(dag.root_node().architecture, *arch);
+                }
+                Err(e) => failures.push(format!("{text}: {e}")),
+            }
+        }
+        println!(
+            "{arch:14} {compiler:15} {mpi:11} {built:9} ({})",
+            sizes.join(",")
+        );
+    }
+    println!("\n=> {total} configurations concretized (paper: 36)");
+    if !failures.is_empty() {
+        println!("FAILURES:\n{}", failures.join("\n"));
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Shared fixtures for the spack-rs benchmark harness.
+//!
+//! Every table and figure of the SC'15 evaluation has a regeneration
+//! binary in `src/bin/` (see DESIGN.md §2 for the index); the Criterion
+//! benches in `benches/` cover the hot paths (concretization, spec
+//! parsing, wrapper rewriting, hashing) and the ablations called out in
+//! DESIGN.md §6.
+
+use spack_concretize::Config;
+use spack_package::RepoStack;
+use spack_repo_builtin::repo_stack;
+
+/// The standard benchmark repository: the full builtin stack.
+pub fn bench_repos() -> RepoStack {
+    repo_stack()
+}
+
+/// The standard benchmark configuration: an LLNL-like Linux cluster with
+/// gcc/intel/clang toolchains and explicit provider policies.
+pub fn bench_config() -> Config {
+    let mut c = Config::new();
+    c.register_compiler("gcc", "4.9.3", &[]);
+    c.register_compiler("gcc", "4.7.4", &[]);
+    c.register_compiler("intel", "14.0.4", &[]);
+    c.register_compiler("intel", "15.0.1", &[]);
+    c.register_compiler("clang", "3.6.2", &[]);
+    c.register_compiler("pgi", "15.4", &[]);
+    c.register_compiler("xl", "12.1", &["bgq"]);
+    c.push_scope_text(
+        "site",
+        "arch = linux-x86_64\n\
+         compiler = gcc\n\
+         providers mpi = mvapich2,openmpi,mpich\n\
+         providers blas = netlib-blas\n\
+         providers lapack = netlib-lapack\n\
+         providers fft = fftw\n",
+    )
+    .expect("valid bench config");
+    c
+}
+
+/// The machine profiles of Fig. 8: the paper measures concretization on
+/// an Intel Haswell, an Intel Sandy Bridge, and an IBM Power7 front-end
+/// node. We run on one machine, so the other two series are derived with
+/// the paper's observed relative speed factors (at 50 nodes: ~4 s Haswell
+/// vs ~9 s Power7).
+pub const MACHINE_PROFILES: &[(&str, f64)] = &[
+    ("Linux, Intel Haswell, 2.3GHz", 1.0),
+    ("Linux, Intel Sandy Bridge, 2.6GHz", 1.35),
+    ("Linux, IBM Power7, 3.6Ghz", 2.25),
+];

@@ -1,0 +1,693 @@
+//! CLI command implementations.
+
+use parking_lot::Mutex;
+use spack_buildenv::{install_dag, FsProfile, InstallOptions};
+use spack_concretize::Concretizer;
+use spack_repo_builtin::repo_stack;
+use spack_spec::{parse_specs, DagHashes, Spec};
+use spack_store::{dotkit, module_name, tcl_module, ConflictPolicy, ExtensionRegistry, FsTree};
+
+use crate::state::State;
+
+/// Help text.
+pub const HELP: &str = "\
+spack-rs — Rust reproduction of the Spack package manager (SC'15)
+
+commands:
+  install [--no-wrappers] [--nfs-stage] [-j N] <spec>...
+  spec <spec>            show the fully concretized DAG
+  find [spec]            list installed specs matching a constraint
+  uninstall <hash>       remove one install by (short) hash
+  list [substring]       list known packages
+  info <package>         show versions, variants, dependencies
+  providers <virtual>    list providers of a virtual interface
+  graph <spec>           GraphViz dot output of the concrete DAG
+  module <hash>          print dotkit and TCL module files
+  activate <ext-spec> <target-spec>
+  deactivate <ext-spec> <target-spec>
+  compilers              list registered compiler toolchains
+  dependents <package>   packages that can depend on <package>
+  versions <package>     known + scraped remote versions
+  view <rules-file>      compute a symlink view from rule lines
+  lmod                   generate the Lmod hierarchy for installed specs
+  test-matrix <spec>...  concretize a nightly build matrix (4.4 style)
+  gc                     remove installs no explicit spec still needs
+  create <url>           generate a package skeleton from a download URL
+  checksum <package>     mirror checksums for all known versions
+  mirror <spec>...       list the archives a mirror of <spec> needs
+  module-refresh         write dotkit/TCL/Lmod files for all installs";
+
+fn parse_one(text: &str) -> Result<Spec, String> {
+    Spec::parse(text).map_err(|e| e.to_string())
+}
+
+/// `spack-rs install [flags] <spec>...`
+pub fn install(args: &[String]) -> Result<(), String> {
+    let mut opts = InstallOptions::default();
+    let mut spec_text = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--no-wrappers" => opts.settings.use_wrappers = false,
+            "--nfs-stage" => opts.settings.stage_fs = FsProfile::Nfs,
+            "-j" => {
+                let n = iter
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or("-j needs a number")?;
+                opts.jobs = n;
+            }
+            _ => spec_text.push(a.clone()),
+        }
+    }
+    if spec_text.is_empty() {
+        return Err("install: no spec given".to_string());
+    }
+    let requests = parse_specs(&spec_text.join(" ")).map_err(|e| e.to_string())?;
+
+    let mut state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let repos = repo_stack();
+    let config = state.load_config();
+    let concretizer = Concretizer::new(&repos, &config);
+
+    for request in requests {
+        // Reuse a satisfying install when one exists (§3.2.3).
+        if let Some(existing) = state.db.query(&request).first() {
+            println!(
+                "==> {} is already installed in {}",
+                existing.dag.root_node().format_node(),
+                existing.prefix
+            );
+            continue;
+        }
+        let dag = concretizer
+            .concretize(&request)
+            .map_err(|e| e.to_string())?;
+        println!("==> Concretized {request}");
+        print!("{dag}");
+        let db = Mutex::new(std::mem::replace(&mut state.db, spack_store::Database::new("/spack/opt")));
+        let report = install_dag(&dag, &repos, &db, &opts).map_err(|e| e.to_string())?;
+        state.db = db.into_inner();
+        // Persist before printing: a broken output pipe must not lose the
+        // record of completed installs.
+        state.save().map_err(|e| e.to_string())?;
+        for b in &report.builds {
+            if b.reused {
+                println!("==> {} reused existing install [{}]", b.name, &b.hash[..8]);
+            } else if let Some(o) = &b.outcome {
+                println!(
+                    "==> {} built in {:.1}s (simulated; {} compiler invocations{})",
+                    b.name,
+                    o.total(),
+                    o.compiler_invocations,
+                    if b.patches.is_empty() {
+                        String::new()
+                    } else {
+                        format!(", patches: {}", b.patches.join(", "))
+                    }
+                );
+            }
+        }
+        println!(
+            "==> Installed {} packages ({} reused), {:.1}s serial / {:.1}s critical path",
+            report.builds.len(),
+            report.reused_count(),
+            report.serial_seconds,
+            report.critical_path_seconds
+        );
+    }
+    state.save().map_err(|e| e.to_string())
+}
+
+/// `spack-rs spec <spec>` — the Fig. 7 view.
+pub fn spec(args: &[String]) -> Result<(), String> {
+    let request = parse_one(&args.join(" "))?;
+    let state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let repos = repo_stack();
+    let config = state.load_config();
+    let dag = Concretizer::new(&repos, &config)
+        .concretize(&request)
+        .map_err(|e| e.to_string())?;
+    let hashes = DagHashes::compute(&dag);
+    println!("Input spec\n------------------\n{request}\n");
+    println!("Concretized\n------------------");
+    print!("{dag}");
+    println!("\nhash: {}", hashes.short(dag.root()));
+    Ok(())
+}
+
+/// `spack-rs find [spec]`
+pub fn find(args: &[String]) -> Result<(), String> {
+    let state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let request = if args.is_empty() {
+        None
+    } else {
+        Some(parse_one(&args.join(" "))?)
+    };
+    let mut shown = 0;
+    for rec in state.db.iter() {
+        if let Some(req) = &request {
+            if !rec.dag.satisfies(req) {
+                continue;
+            }
+        }
+        println!(
+            "{}  [{}]  {}",
+            rec.dag.root_node().format_node(),
+            &rec.hash[..8],
+            rec.prefix
+        );
+        shown += 1;
+    }
+    println!("==> {shown} installed packages");
+    Ok(())
+}
+
+/// `spack-rs uninstall <hash>`
+pub fn uninstall(args: &[String]) -> Result<(), String> {
+    let hash = args.first().ok_or("uninstall: need a hash")?;
+    let mut state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let rec = state.db.uninstall(hash).map_err(|e| e.to_string())?;
+    println!("==> Uninstalled {} [{}]", rec.dag.root_node().format_node(), &rec.hash[..8]);
+    state.save().map_err(|e| e.to_string())
+}
+
+/// `spack-rs list [substring]`
+pub fn list(args: &[String]) -> Result<(), String> {
+    let needle = args.first().map(|s| s.as_str()).unwrap_or("");
+    let repos = repo_stack();
+    let names: Vec<String> = repos
+        .package_names()
+        .into_iter()
+        .filter(|n| n.contains(needle))
+        .collect();
+    for n in &names {
+        println!("{n}");
+    }
+    println!("==> {} packages", names.len());
+    Ok(())
+}
+
+/// `spack-rs info <package>`
+pub fn info(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("info: need a package name")?;
+    let repos = repo_stack();
+    let pkg = repos
+        .get(name)
+        .ok_or_else(|| format!("unknown package `{name}`"))?;
+    println!("{}  ({})", pkg.name, pkg.namespace);
+    println!("    {}", pkg.description);
+    if !pkg.homepage.is_empty() {
+        println!("    homepage: {}", pkg.homepage);
+    }
+    println!("\nSafe versions:");
+    for v in &pkg.versions {
+        match &v.checksum {
+            Some(md5) => println!("    {:12} md5={md5}", v.version.to_string()),
+            None => println!("    {:12} (no checksum)", v.version.to_string()),
+        }
+    }
+    if !pkg.variants.is_empty() {
+        println!("\nVariants:");
+        for v in &pkg.variants {
+            println!(
+                "    {}{:14} {}",
+                if v.default { '+' } else { '~' },
+                v.name,
+                v.description
+            );
+        }
+    }
+    if !pkg.dependencies.is_empty() {
+        println!("\nDependencies:");
+        for d in &pkg.dependencies {
+            match &d.when {
+                Some(w) => println!("    {}  when={w}", d.spec),
+                None => println!("    {}", d.spec),
+            }
+        }
+    }
+    if !pkg.provides.is_empty() {
+        println!("\nProvides:");
+        for p in &pkg.provides {
+            match &p.when {
+                Some(w) => println!("    {}  when={w}", p.vspec),
+                None => println!("    {}", p.vspec),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `spack-rs providers <virtual>`
+pub fn providers(args: &[String]) -> Result<(), String> {
+    let request = parse_one(&args.join(" "))?;
+    let repos = repo_stack();
+    let state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let config = state.load_config();
+    let concretizer = Concretizer::new(&repos, &config);
+    let index = concretizer.provider_index();
+    let name = request.name.as_deref().unwrap_or("");
+    if !index.is_virtual(name) {
+        return Err(format!("`{name}` is not a virtual package"));
+    }
+    for entry in index.candidates_for(&request) {
+        match &entry.when {
+            Some(w) => println!(
+                "{:12} provides {name}@{} when {w}",
+                entry.package, entry.interface_versions
+            ),
+            None => println!(
+                "{:12} provides {name}@{}",
+                entry.package, entry.interface_versions
+            ),
+        }
+    }
+    Ok(())
+}
+
+/// `spack-rs graph <spec>`
+pub fn graph(args: &[String]) -> Result<(), String> {
+    let request = parse_one(&args.join(" "))?;
+    let repos = repo_stack();
+    let state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let config = state.load_config();
+    let dag = Concretizer::new(&repos, &config)
+        .concretize(&request)
+        .map_err(|e| e.to_string())?;
+    let dot = dag.to_dot(|n| {
+        match repos.get(&n.name).and_then(|p| p.category.clone()) {
+            Some(c) => match c.as_str() {
+                "physics" => "physics",
+                "math" => "math",
+                "utility" => "utility",
+                _ => "external",
+            },
+            None => "external",
+        }
+    });
+    println!("{dot}");
+    Ok(())
+}
+
+/// `spack-rs module <hash>`
+pub fn module(args: &[String]) -> Result<(), String> {
+    let hash = args.first().ok_or("module: need a hash")?;
+    let state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let rec = state
+        .db
+        .get(hash)
+        .ok_or_else(|| format!("no install matching `{hash}`"))?;
+    let repos = repo_stack();
+    let desc = repos
+        .get(&rec.dag.root_node().name)
+        .map(|p| p.description.clone())
+        .unwrap_or_default();
+    println!("# module name: {}", module_name(rec));
+    println!("# ---- dotkit ----");
+    print!("{}", dotkit(rec, "tools", &desc));
+    println!("# ---- tcl ----");
+    print!("{}", tcl_module(rec, &desc));
+    Ok(())
+}
+
+/// `spack-rs activate/deactivate <ext-spec> <target-spec>`
+pub fn activate(args: &[String], on: bool) -> Result<(), String> {
+    if args.len() < 2 {
+        return Err("activate: need <extension-spec> <target-spec>".to_string());
+    }
+    let ext_req = parse_one(&args[0])?;
+    let tgt_req = parse_one(&args[1])?;
+    let mut state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let ext = state
+        .db
+        .query(&ext_req)
+        .first()
+        .map(|r| (r.hash.clone(), r.prefix.clone(), r.dag.root_node().name.clone()))
+        .ok_or_else(|| format!("extension `{ext_req}` is not installed"))?;
+    let tgt = state
+        .db
+        .query(&tgt_req)
+        .first()
+        .map(|r| (r.hash.clone(), r.prefix.clone()))
+        .ok_or_else(|| format!("target `{tgt_req}` is not installed"))?;
+    let repos = repo_stack();
+    let pkg = repos
+        .get(&ext.2)
+        .ok_or_else(|| format!("unknown package `{}`", ext.2))?;
+    if pkg.extends.is_none() {
+        return Err(format!("`{}` is not an extension", ext.2));
+    }
+
+    // Reconstruct the registry and a file tree with one representative
+    // file per install, then replay recorded activations.
+    let mut fs = FsTree::new();
+    for rec in state.db.iter() {
+        fs.write_file(&format!("{}/lib/{}.py", rec.prefix, rec.dag.root_node().name), 1);
+    }
+    let mut reg = ExtensionRegistry::new();
+    for (t, e) in &state.activations {
+        let (tp, ep) = {
+            let t = state.db.get(t).ok_or("stale activation")?;
+            let e = state.db.get(e).ok_or("stale activation")?;
+            (t.prefix.clone(), e.prefix.clone())
+        };
+        reg.activate(&mut fs, t, &tp, e, &ep, ConflictPolicy::Merge)
+            .map_err(|e| e.to_string())?;
+    }
+
+    if on {
+        let n = reg
+            .activate(&mut fs, &tgt.0, &tgt.1, &ext.0, &ext.1, ConflictPolicy::Error)
+            .map_err(|e| e.to_string())?;
+        state.activations.push((tgt.0.clone(), ext.0.clone()));
+        println!("==> Activated {} into {} ({n} links)", ext.2, tgt.1);
+    } else {
+        let n = reg
+            .deactivate(&mut fs, &tgt.0, &ext.0)
+            .map_err(|e| e.to_string())?;
+        state.activations.retain(|(t, e)| !(t == &tgt.0 && e == &ext.0));
+        println!("==> Deactivated {} from {} ({n} links removed)", ext.2, tgt.1);
+    }
+    state.save().map_err(|e| e.to_string())
+}
+
+/// `spack-rs compilers`
+pub fn compilers(_args: &[String]) -> Result<(), String> {
+    let state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let config = state.load_config();
+    println!("==> Available compilers");
+    for rc in config.compilers() {
+        if rc.architectures.is_empty() {
+            println!("{}", rc.compiler);
+        } else {
+            println!("{}  ({})", rc.compiler, rc.architectures.join(", "));
+        }
+    }
+    Ok(())
+}
+
+/// `spack-rs dependents <package>` — reverse-dependency query.
+pub fn dependents(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("dependents: need a package name")?;
+    let repos = repo_stack();
+    if !repos.contains(name) {
+        // Virtual names are fine too: anything that depends on the
+        // interface counts.
+        let state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+        let config = state.load_config();
+        let c = Concretizer::new(&repos, &config);
+        if !c.provider_index().is_virtual(name) {
+            return Err(format!("unknown package `{name}`"));
+        }
+    }
+    let mut found = 0;
+    for pkg in repos.visible_packages() {
+        for dep in &pkg.dependencies {
+            if dep.spec.name.as_deref() == Some(name.as_str()) {
+                match &dep.when {
+                    Some(w) => println!("{}  (when {w})", pkg.name),
+                    None => println!("{}", pkg.name),
+                }
+                found += 1;
+                break;
+            }
+        }
+    }
+    println!("==> {found} packages can depend on `{name}`");
+    Ok(())
+}
+
+/// `spack-rs versions <package>` — known safe versions plus versions
+/// scraped from the (simulated) listing page (3.2.3).
+pub fn versions(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("versions: need a package name")?;
+    let repos = repo_stack();
+    let pkg = repos
+        .get(name)
+        .ok_or_else(|| format!("unknown package `{name}`"))?;
+    println!("==> Safe versions (with checksums):");
+    for v in &pkg.versions {
+        println!("  {}", v.version);
+    }
+    if let Some(model) = &pkg.url_model {
+        // Simulate the remote listing: the known versions plus one newer
+        // release that the package file does not list yet.
+        let newest = pkg
+            .versions
+            .iter()
+            .map(|v| &v.version)
+            .max()
+            .expect("at least one version");
+        let page: String = pkg
+            .versions
+            .iter()
+            .map(|v| format!("<a href=\"{name}-{}.tar.gz\">", v.version))
+            .chain(std::iter::once(format!(
+                "<a href=\"{name}-{}.tar.gz\">",
+                newest.bumped()
+            )))
+            .collect();
+        let remote = spack_package::url::scan_versions(&page, name);
+        println!("==> Remote versions (scraped using url model {model}):");
+        for v in remote {
+            let known = pkg.has_version(&v);
+            println!("  {v}{}", if known { "" } else { "  (new)" });
+        }
+    }
+    Ok(())
+}
+
+/// `spack-rs view <rules-file>` — compute links from rule lines of the
+/// form `TEMPLATE [= SELECTOR-SPEC]` (4.3.1).
+pub fn view(args: &[String]) -> Result<(), String> {
+    use spack_store::{View, ViewPolicy, ViewRule};
+    let path = args.first().ok_or("view: need a rules file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut rules = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.split_once(" = ") {
+            Some((template, selector)) => {
+                let sel = parse_one(selector.trim())?;
+                rules.push(ViewRule::for_spec(template.trim(), sel));
+            }
+            None => rules.push(ViewRule::for_all(line)),
+        }
+    }
+    let state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let config = state.load_config();
+    let policy = ViewPolicy {
+        compiler_order: config.compiler_order().to_vec(),
+    };
+    let view = View::compute(&rules, state.db.iter(), &policy);
+    for (link, (target, hash)) in view.links() {
+        println!("{link} -> {target}  [{}]", &hash[..8]);
+    }
+    println!("==> {} links", view.links().len());
+    Ok(())
+}
+
+/// `spack-rs lmod` — generate the Lmod hierarchy (3.5.4 extension).
+pub fn lmod(_args: &[String]) -> Result<(), String> {
+    use spack_store::generate_hierarchy;
+    let state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let repos = repo_stack();
+    let modules = generate_hierarchy(
+        state.db.iter(),
+        |name| matches!(name, "gcc" | "llvm"),
+        |name| {
+            repos
+                .get(name)
+                .map(|p| p.description.clone())
+                .unwrap_or_default()
+        },
+    );
+    for m in &modules {
+        println!("{}", m.path);
+    }
+    println!("==> {} module files in the hierarchy", modules.len());
+    Ok(())
+}
+
+/// `spack-rs test-matrix <spec>...` — concretize every given spec and
+/// report a nightly-matrix summary (the 4.4/Table 3 workflow as a
+/// command).
+pub fn test_matrix(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("test-matrix: need at least one spec".to_string());
+    }
+    let state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let repos = repo_stack();
+    let config = state.load_config();
+    let concretizer = Concretizer::new(&repos, &config);
+    let mut ok = 0;
+    let mut failed = 0;
+    for text in args {
+        match parse_one(text).and_then(|s| {
+            concretizer.concretize(&s).map_err(|e| e.to_string())
+        }) {
+            Ok(dag) => {
+                ok += 1;
+                println!("PASS {text}  ({} packages)", dag.len());
+            }
+            Err(e) => {
+                failed += 1;
+                println!("FAIL {text}  ({e})");
+            }
+        }
+    }
+    println!("==> {ok} passed, {failed} failed");
+    if failed > 0 {
+        Err(format!("{failed} matrix entries failed"))
+    } else {
+        Ok(())
+    }
+}
+
+/// `spack-rs gc` — sweep implicit installs no explicit root still needs.
+pub fn gc(_args: &[String]) -> Result<(), String> {
+    let mut state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let removed = state.db.gc();
+    for rec in &removed {
+        println!("==> removed {} [{}]", rec.dag.root_node().format_node(), &rec.hash[..8]);
+    }
+    println!("==> {} installs removed, {} remain", removed.len(), state.db.len());
+    state.save().map_err(|e| e.to_string())
+}
+
+/// `spack-rs create <url>` — generate a package skeleton from a download
+/// URL, inferring name and version the way `spack create` does (3.2.3's
+/// URL model in reverse).
+pub fn create(args: &[String]) -> Result<(), String> {
+    let url = args.first().ok_or("create: need a download URL")?;
+    let base = url
+        .rsplit('/')
+        .next()
+        .ok_or("create: URL has no file component")?;
+    // Strip archive suffix, then split name-version.
+    let stem = ["tar.gz", "tgz", "tar.bz2", "tar.xz", "zip"]
+        .iter()
+        .find_map(|s| base.strip_suffix(&format!(".{s}")))
+        .unwrap_or(base);
+    let (name, version) = match stem.rsplit_once('-') {
+        Some((n, v)) if v.chars().next().is_some_and(|c| c.is_ascii_digit()) => (n, v),
+        _ => return Err(format!("create: cannot infer name-version from `{base}`")),
+    };
+    if spack_package::url::version_in_url(url, name).is_none() {
+        return Err(format!("create: `{url}` does not look like a release URL"));
+    }
+    println!("// Package skeleton generated by `spack-rs create {url}`.");
+    println!("// Fill in the description, dependencies, and recipe.");
+    println!("pkg!(r, \"{name}\", [\"{version}\"],");
+    println!("    .describe(\"FIXME: description\"),");
+    println!("    .homepage(\"FIXME\"),");
+    println!("    .url_model(\"{url}\"),");
+    println!("    // .depends_on(\"...\"),");
+    println!("    .install(spack_package::BuildRecipe::autotools()),");
+    println!("    .workload(crate::helpers::wl_small()));");
+    Ok(())
+}
+
+/// `spack-rs checksum <package>` — fetch each known version from the
+/// mirror and print its md5, the way `spack checksum` builds the
+/// version() directives of Fig. 1.
+pub fn checksum(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("checksum: need a package name")?;
+    let repos = repo_stack();
+    let pkg = repos
+        .get(name)
+        .ok_or_else(|| format!("unknown package `{name}`"))?;
+    let mirror = spack_buildenv::Mirror::new();
+    println!("==> checksums for {name} (paste into the package file):");
+    for v in &pkg.versions {
+        let archive = mirror
+            .fetch(&pkg, &v.version)
+            .map_err(|e| e.to_string())?;
+        println!("    .version(\"{}\", \"{}\")", v.version, archive.md5);
+    }
+    Ok(())
+}
+
+/// `spack-rs mirror <spec>...` — list every archive a local source
+/// mirror of the given specs must carry (name, version, URL, md5).
+pub fn mirror(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("mirror: need at least one spec".to_string());
+    }
+    let state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let repos = repo_stack();
+    let config = state.load_config();
+    let concretizer = Concretizer::new(&repos, &config);
+    let m = spack_buildenv::Mirror::new();
+    let mut listed = std::collections::BTreeSet::new();
+    for text in args {
+        let dag = concretizer
+            .concretize(&parse_one(text)?)
+            .map_err(|e| e.to_string())?;
+        for node in dag.nodes() {
+            if !listed.insert((node.name.clone(), node.version.to_string())) {
+                continue;
+            }
+            let pkg = repos.get(&node.name).ok_or("package vanished")?;
+            let archive = m.fetch(&pkg, &node.version).map_err(|e| e.to_string())?;
+            println!(
+                "{:24} {:12} {:8} bytes  md5 {}  {}",
+                node.name,
+                node.version.to_string(),
+                archive.bytes.len(),
+                archive.md5,
+                archive.url
+            );
+        }
+    }
+    println!("==> {} archives", listed.len());
+    Ok(())
+}
+
+/// `spack-rs module-refresh` — regenerate dotkit, TCL, and Lmod module
+/// files for every installed spec under `$SPACK_RS_HOME/modules/`.
+pub fn module_refresh(_args: &[String]) -> Result<(), String> {
+    use spack_store::{generate_hierarchy, lua_module};
+    let state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
+    let repos = repo_stack();
+    let describe = |name: &str| {
+        repos
+            .get(name)
+            .map(|p| p.description.clone())
+            .unwrap_or_default()
+    };
+    let root = state.home.join("modules");
+    let mut written = 0usize;
+    for rec in state.db.iter() {
+        let name = module_name(rec);
+        let desc = describe(&rec.dag.root_node().name);
+        for (kind, content) in [
+            ("dotkit", dotkit(rec, "tools", &desc)),
+            ("tcl", tcl_module(rec, &desc)),
+            ("lmod", lua_module(rec, &desc)),
+        ] {
+            let path = root.join(kind).join(&name);
+            std::fs::create_dir_all(path.parent().unwrap()).map_err(|e| e.to_string())?;
+            std::fs::write(&path, content).map_err(|e| e.to_string())?;
+            written += 1;
+        }
+    }
+    // The Lmod *hierarchy* layout additionally goes under modules/hierarchy.
+    let modules = generate_hierarchy(
+        state.db.iter(),
+        |n| matches!(n, "gcc" | "llvm"),
+        |n| describe(n),
+    );
+    for m in &modules {
+        let path = root.join("hierarchy").join(&m.path);
+        std::fs::create_dir_all(path.parent().unwrap()).map_err(|e| e.to_string())?;
+        std::fs::write(&path, &m.content).map_err(|e| e.to_string())?;
+        written += 1;
+    }
+    println!("==> wrote {written} module files under {}", root.display());
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! `spack-rs` — the command-line interface of the Spack reproduction.
+//!
+//! ```text
+//! spack-rs install <spec>      concretize, build (simulated), register
+//! spack-rs spec <spec>         show the concretized DAG (Fig. 7 view)
+//! spack-rs find [spec]         query installed specs
+//! spack-rs uninstall <hash>    remove an install (refuses if needed)
+//! spack-rs list [substr]       list packages in the repository
+//! spack-rs info <package>      package metadata, versions, variants
+//! spack-rs providers <virtual> provider index queries (Fig. 5)
+//! spack-rs graph <spec>        GraphViz dot of the concretized DAG
+//! spack-rs module <hash>       emit dotkit + TCL module files (§3.5.4)
+//! spack-rs activate <ext> <target>    extension activation (§4.2)
+//! spack-rs deactivate <ext> <target>  undo an activation
+//! ```
+
+mod commands;
+mod state;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("usage: spack-rs <command> [args]   (try `spack-rs help`)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "install" => commands::install(rest),
+        "spec" => commands::spec(rest),
+        "find" => commands::find(rest),
+        "uninstall" => commands::uninstall(rest),
+        "list" => commands::list(rest),
+        "info" => commands::info(rest),
+        "providers" => commands::providers(rest),
+        "graph" => commands::graph(rest),
+        "module" => commands::module(rest),
+        "activate" => commands::activate(rest, true),
+        "deactivate" => commands::activate(rest, false),
+        "compilers" => commands::compilers(rest),
+        "dependents" => commands::dependents(rest),
+        "versions" => commands::versions(rest),
+        "view" => commands::view(rest),
+        "lmod" => commands::lmod(rest),
+        "test-matrix" => commands::test_matrix(rest),
+        "gc" => commands::gc(rest),
+        "create" => commands::create(rest),
+        "checksum" => commands::checksum(rest),
+        "mirror" => commands::mirror(rest),
+        "module-refresh" => commands::module_refresh(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `spack-rs help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("==> Error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

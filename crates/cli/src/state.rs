@@ -1,0 +1,141 @@
+//! Persistent CLI state: the install database and extension registry are
+//! saved under a state directory (`SPACK_RS_HOME`, default
+//! `.spack-rs-state/`) so consecutive `spack-rs` invocations see each
+//! other's installs — including the stored spec files that make installs
+//! reproducible (SC'15 §3.4.3).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use spack_concretize::Config;
+use spack_spec::serial;
+use spack_store::Database;
+
+/// On-disk layout of CLI state.
+pub struct State {
+    /// Root state directory.
+    pub home: PathBuf,
+    /// The loaded install database.
+    pub db: Database,
+    /// Extension activations: (target hash, ext hash) pairs.
+    pub activations: Vec<(String, String)>,
+}
+
+const STORE_ROOT: &str = "/spack/opt";
+
+impl State {
+    /// The state directory from `SPACK_RS_HOME` or the default.
+    pub fn default_home() -> PathBuf {
+        std::env::var_os("SPACK_RS_HOME")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(".spack-rs-state"))
+    }
+
+    /// Load state from a directory (empty state when absent).
+    pub fn load(home: &Path) -> io::Result<State> {
+        let mut db = Database::new(STORE_ROOT);
+        let specs_dir = home.join("specs");
+        if specs_dir.is_dir() {
+            let mut entries: Vec<PathBuf> = fs::read_dir(&specs_dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .collect();
+            entries.sort();
+            for path in entries {
+                let text = fs::read_to_string(&path)?;
+                match serial::from_specfile(&text) {
+                    Ok(dag) => {
+                        db.install_dag(&dag);
+                    }
+                    Err(e) => {
+                        eprintln!("warning: skipping corrupt spec file {path:?}: {e}");
+                    }
+                }
+            }
+        }
+        // Explicitness is stored separately: install_dag marked every
+        // restored root explicit, so reset to the recorded set.
+        let explicit_file = home.join("explicit");
+        if explicit_file.is_file() {
+            let recorded: std::collections::BTreeSet<String> = fs::read_to_string(&explicit_file)?
+                .lines()
+                .map(|l| l.trim().to_string())
+                .filter(|l| !l.is_empty())
+                .collect();
+            let hashes: Vec<String> = db.iter().map(|r| r.hash.clone()).collect();
+            for h in hashes {
+                let _ = db.set_explicit(&h, recorded.contains(&h));
+            }
+        }
+        let mut activations = Vec::new();
+        let act_file = home.join("activations");
+        if act_file.is_file() {
+            for line in fs::read_to_string(&act_file)?.lines() {
+                if let Some((t, e)) = line.split_once(' ') {
+                    activations.push((t.to_string(), e.to_string()));
+                }
+            }
+        }
+        Ok(State {
+            home: home.to_path_buf(),
+            db,
+            activations,
+        })
+    }
+
+    /// Persist the database and activations.
+    pub fn save(&self) -> io::Result<()> {
+        let specs_dir = self.home.join("specs");
+        fs::create_dir_all(&specs_dir)?;
+        // Rewrite the full set: record files are tiny and this keeps
+        // uninstalls simple.
+        for entry in fs::read_dir(&specs_dir)? {
+            let entry = entry?;
+            fs::remove_file(entry.path())?;
+        }
+        let mut explicit = String::new();
+        for rec in self.db.iter() {
+            // Every record gets a spec file (each restores its own
+            // sub-DAG); the explicit set is recorded alongside.
+            fs::write(specs_dir.join(format!("{}.spec", &rec.hash[..16])), &rec.specfile)?;
+            if rec.explicit {
+                explicit.push_str(&rec.hash);
+                explicit.push('\n');
+            }
+        }
+        fs::write(self.home.join("explicit"), explicit)?;
+        let mut act = String::new();
+        for (t, e) in &self.activations {
+            act.push_str(&format!("{t} {e}\n"));
+        }
+        fs::write(self.home.join("activations"), act)?;
+        Ok(())
+    }
+
+    /// Load the layered configuration: defaults, then `$home/config` if
+    /// present, then `./spack-config` if present.
+    pub fn load_config(&self) -> Config {
+        let mut config = Config::new();
+        config.register_compiler("gcc", "4.9.3", &[]);
+        config.register_compiler("gcc", "4.7.4", &[]);
+        config.register_compiler("intel", "15.0.1", &[]);
+        config.register_compiler("clang", "3.6.2", &[]);
+        config.register_compiler("xl", "12.1", &["bgq"]);
+        let mut defaults = spack_concretize::Preferences::default();
+        defaults.default_arch = Some("linux-x86_64".to_string());
+        defaults.default_compiler = Some(spack_spec::CompilerSpec::by_name("gcc"));
+        config.push_scope("defaults", defaults);
+        for (name, path) in [
+            ("site", self.home.join("config")),
+            ("user", PathBuf::from("spack-config")),
+        ] {
+            if let Ok(text) = fs::read_to_string(&path) {
+                if let Err(e) = config.push_scope_text(name, &text) {
+                    eprintln!("warning: ignoring bad config {path:?}: {e}");
+                }
+            }
+        }
+        config
+    }
+
+}

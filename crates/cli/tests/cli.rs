@@ -1,0 +1,237 @@
+//! End-to-end tests driving the real `spack-rs` binary, with state
+//! isolated in a per-test temporary home.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn home(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spack-rs-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(home: &PathBuf, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_spack-rs"))
+        .args(args)
+        .env("SPACK_RS_HOME", home)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).to_string()
+}
+
+#[test]
+fn help_and_unknown_commands() {
+    let h = home("help");
+    let o = run(&h, &["help"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("install"));
+    let o = run(&h, &["frobnicate"]);
+    assert!(!o.status.success());
+}
+
+#[test]
+fn spec_command_prints_concrete_dag() {
+    let h = home("spec");
+    let o = run(&h, &["spec", "mpileaks@2.3"]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let out = stdout(&o);
+    assert!(out.contains("mpileaks@2.3%gcc"));
+    assert!(out.contains("^callpath"));
+    assert!(out.contains("hash: "));
+}
+
+#[test]
+fn install_find_uninstall_cycle() {
+    let h = home("cycle");
+    let o = run(&h, &["install", "libdwarf"]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    assert!(stdout(&o).contains("Installed 2 packages"));
+
+    // State persists across invocations.
+    let o = run(&h, &["find"]);
+    let out = stdout(&o);
+    assert!(out.contains("libdwarf@"));
+    assert!(out.contains("libelf@"));
+    assert!(out.contains("==> 2 installed packages"));
+
+    // Constraint queries work.
+    let o = run(&h, &["find", "libelf@0.8.13"]);
+    assert!(stdout(&o).contains("==> 1 installed packages"));
+
+    // Reuse on second install.
+    let o = run(&h, &["install", "libdwarf"]);
+    assert!(stdout(&o).contains("already installed"));
+
+    // Uninstall refuses while dependents exist.
+    let o = run(&h, &["find", "libelf"]);
+    let hash = stdout(&o)
+        .lines()
+        .next()
+        .unwrap()
+        .split('[')
+        .nth(1)
+        .unwrap()
+        .split(']')
+        .next()
+        .unwrap()
+        .to_string();
+    let o = run(&h, &["uninstall", &hash]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("still needed"));
+}
+
+#[test]
+fn info_list_providers_dependents() {
+    let h = home("query");
+    let o = run(&h, &["info", "mpileaks"]);
+    let out = stdout(&o);
+    assert!(out.contains("leaked MPI objects"));
+    assert!(out.contains("Safe versions"));
+    assert!(out.contains("mpi"));
+
+    let o = run(&h, &["list", "py-"]);
+    assert!(stdout(&o).contains("py-numpy"));
+
+    let o = run(&h, &["providers", "mpi@2:"]);
+    let out = stdout(&o);
+    assert!(out.contains("mvapich2"));
+    assert!(out.contains("openmpi"));
+
+    let o = run(&h, &["dependents", "libelf"]);
+    let out = stdout(&o);
+    assert!(out.contains("dyninst"));
+    assert!(out.contains("libdwarf"));
+}
+
+#[test]
+fn graph_emits_dot() {
+    let h = home("graph");
+    let o = run(&h, &["graph", "mpileaks"]);
+    let out = stdout(&o);
+    assert!(out.starts_with("digraph spec"));
+    assert!(out.contains("\"mpileaks\" -> \"callpath\""));
+}
+
+#[test]
+fn module_and_lmod_generation() {
+    let h = home("module");
+    run(&h, &["install", "libelf"]);
+    let o = run(&h, &["find", "libelf"]);
+    let hash = stdout(&o)
+        .lines()
+        .next()
+        .unwrap()
+        .split('[')
+        .nth(1)
+        .unwrap()
+        .split(']')
+        .next()
+        .unwrap()
+        .to_string();
+    let o = run(&h, &["module", &hash]);
+    let out = stdout(&o);
+    assert!(out.contains("dk_alter PATH"));
+    assert!(out.contains("#%Module1.0"));
+
+    let o = run(&h, &["lmod"]);
+    let out = stdout(&o);
+    assert!(out.contains("gcc/4.9.3/libelf/0.8.13.lua"), "{out}");
+}
+
+#[test]
+fn versions_scrape_and_test_matrix() {
+    let h = home("versions");
+    let o = run(&h, &["versions", "libelf"]);
+    let out = stdout(&o);
+    assert!(out.contains("0.8.13"));
+    assert!(out.contains("(new)"), "scraped a version newer than the package file:\n{out}");
+
+    let o = run(&h, &["test-matrix", "mpileaks", "gerris", "hdf5+mpi"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("==> 3 passed, 0 failed"));
+    let o = run(&h, &["test-matrix", "mpileaks", "no-such-pkg"]);
+    assert!(!o.status.success());
+}
+
+#[test]
+fn view_command_from_rules_file() {
+    let h = home("view");
+    run(&h, &["install", "mpileaks"]);
+    std::fs::create_dir_all(&h).unwrap();
+    let rules = h.join("view.rules");
+    std::fs::write(&rules, "# mpileaks links\n/opt/${PACKAGE}-${VERSION}-${MPINAME} = mpileaks\n").unwrap();
+    let o = run(&h, &["view", rules.to_str().unwrap()]);
+    let out = stdout(&o);
+    assert!(out.contains("/opt/mpileaks-2.3-"), "{out}");
+    assert!(out.contains("==> 1 links"));
+}
+
+#[test]
+fn gc_after_uninstall_sweeps_orphans() {
+    let h = home("gc");
+    run(&h, &["install", "libdwarf"]);
+    // Nothing to collect while the explicit root is present.
+    let o = run(&h, &["gc"]);
+    assert!(stdout(&o).contains("==> 0 installs removed"));
+
+    // Uninstall the root; its libelf dependency becomes garbage.
+    let o = run(&h, &["find", "libdwarf"]);
+    let hash = stdout(&o)
+        .lines()
+        .next()
+        .unwrap()
+        .split('[')
+        .nth(1)
+        .unwrap()
+        .split(']')
+        .next()
+        .unwrap()
+        .to_string();
+    let o = run(&h, &["uninstall", &hash]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    // The implicit dep survives the uninstall...
+    let o = run(&h, &["find"]);
+    assert!(stdout(&o).contains("==> 1 installed packages"));
+    // ...until gc sweeps it.
+    let o = run(&h, &["gc"]);
+    assert!(stdout(&o).contains("removed libelf@"), "{}", stdout(&o));
+    let o = run(&h, &["find"]);
+    assert!(stdout(&o).contains("==> 0 installed packages"));
+}
+
+#[test]
+fn create_checksum_mirror_module_refresh() {
+    let h = home("extra");
+    // `create` infers name/version and emits a pkg! skeleton.
+    let o = run(&h, &["create", "http://www.mr511.de/software/libelf-0.8.13.tar.gz"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("pkg!(r, \"libelf\", [\"0.8.13\"],"), "{out}");
+    assert!(out.contains("url_model"));
+    let o = run(&h, &["create", "http://example.com/notaversion.tar.gz"]);
+    assert!(!o.status.success());
+
+    // `checksum` prints mirror-consistent version directives.
+    let o = run(&h, &["checksum", "libelf"]);
+    let out = stdout(&o);
+    assert!(out.contains(".version(\"0.8.13\","), "{out}");
+    assert_eq!(out.matches(".version(").count(), 3);
+
+    // `mirror` lists each (package, version) archive exactly once.
+    let o = run(&h, &["mirror", "libdwarf", "libelf"]);
+    let out = stdout(&o);
+    assert!(out.contains("==> 2 archives"), "{out}");
+    assert!(out.contains("md5 "));
+
+    // `module-refresh` writes dotkit/tcl/lmod files for installs.
+    run(&h, &["install", "libelf"]);
+    let o = run(&h, &["module-refresh"]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let dotkit = h.join("modules/dotkit/libelf/0.8.13-gcc-4.9.3");
+    assert!(dotkit.is_file(), "{dotkit:?}");
+    let lua = std::fs::read_to_string(h.join("modules/lmod/libelf/0.8.13-gcc-4.9.3")).unwrap();
+    assert!(lua.contains("prepend_path(\"PATH\""));
+}

@@ -1,0 +1,179 @@
+//! Backtracking concretization — the paper's future work (SC'15 §4.5).
+//!
+//! The greedy algorithm "does not backtrack to find an MPI version that
+//! does not conflict"; the paper's hwloc example (package P needs
+//! `hwloc@1.9` and `mpi`, but the policy-chosen MPI pins `hwloc@1.8`)
+//! therefore fails with a conflict the user must resolve by hand. The
+//! paper leaves "automatic constraint space exploration for future work";
+//! this module implements that exploration as a search over *provider
+//! assignments*: when greedy fails, alternative providers for each virtual
+//! interface are tried in policy order, reusing the greedy concretizer for
+//! each candidate assignment.
+//!
+//! This is deliberately a thin search layer over the greedy core — an
+//! ablation point (see `bench/ablations`) rather than a full CDCL solver.
+
+use std::collections::BTreeSet;
+
+use spack_package::RepoStack;
+use spack_spec::{ConcreteDag, Spec};
+
+use crate::concretizer::{Concretizer, ConcretizeStats};
+use crate::config::{Config, Preferences};
+use crate::error::ConcretizeError;
+use crate::providers::ProviderIndex;
+
+/// Statistics from a backtracking run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BacktrackStats {
+    /// Greedy attempts executed (1 = greedy succeeded immediately).
+    pub attempts: usize,
+    /// Stats of the successful greedy run.
+    pub final_run: ConcretizeStats,
+}
+
+/// A concretizer that retries greedy concretization under alternative
+/// provider assignments when the first choice conflicts.
+pub struct BacktrackingConcretizer<'a> {
+    repos: &'a RepoStack,
+    config: &'a Config,
+    max_attempts: usize,
+}
+
+impl<'a> BacktrackingConcretizer<'a> {
+    /// Create with a bound on total greedy attempts (provider assignment
+    /// combinations explored).
+    pub fn new(repos: &'a RepoStack, config: &'a Config) -> BacktrackingConcretizer<'a> {
+        BacktrackingConcretizer {
+            repos,
+            config,
+            max_attempts: 256,
+        }
+    }
+
+    /// Override the attempt bound.
+    pub fn with_max_attempts(mut self, n: usize) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Concretize, backtracking across provider choices on failure.
+    pub fn concretize(&self, request: &Spec) -> Result<ConcreteDag, ConcretizeError> {
+        self.concretize_with_stats(request).map(|(d, _)| d)
+    }
+
+    /// Concretize with statistics.
+    pub fn concretize_with_stats(
+        &self,
+        request: &Spec,
+    ) -> Result<(ConcreteDag, BacktrackStats), ConcretizeError> {
+        let mut stats = BacktrackStats::default();
+
+        // Attempt 1: plain greedy under the given config.
+        stats.attempts = 1;
+        let first = Concretizer::new(self.repos, self.config).concretize_with_stats(request);
+        let first_err = match first {
+            Ok((dag, run)) => {
+                stats.final_run = run;
+                return Ok((dag, stats));
+            }
+            Err(e) => e,
+        };
+
+        // Enumerate the virtuals that could appear in this solve and their
+        // candidate providers, in deterministic order.
+        let index = ProviderIndex::build(self.repos);
+        let virtuals = self.reachable_virtuals(request, &index);
+        let choices: Vec<(String, Vec<String>)> = virtuals
+            .into_iter()
+            .map(|v| {
+                let mut providers: Vec<String> = index
+                    .candidates_for(&Spec::named(&v))
+                    .into_iter()
+                    .map(|e| e.package.clone())
+                    .collect();
+                providers.dedup();
+                (v, providers)
+            })
+            .filter(|(_, ps)| ps.len() > 1)
+            .collect();
+
+        if choices.is_empty() {
+            return Err(first_err);
+        }
+
+        // Odometer enumeration of provider assignments. Every combination
+        // is tried (one may coincide with the failed greedy default; that
+        // single redundant attempt is cheaper than guessing which).
+        let mut counters = vec![0usize; choices.len()];
+        let mut last_err = first_err;
+        loop {
+            if stats.attempts >= self.max_attempts {
+                return Err(last_err);
+            }
+            stats.attempts += 1;
+
+            // Force this assignment through a highest-priority config scope.
+            let mut forced = Preferences::default();
+            for (slot, (vname, providers)) in counters.iter().zip(&choices) {
+                forced
+                    .provider_order
+                    .insert(vname.clone(), vec![providers[*slot].clone()]);
+            }
+            let mut config = self.config.clone();
+            config.push_scope("backtrack", forced);
+
+            match Concretizer::new(self.repos, &config).concretize_with_stats(request) {
+                Ok((dag, run)) => {
+                    stats.final_run = run;
+                    return Ok((dag, stats));
+                }
+                Err(e) => last_err = e,
+            }
+
+            // Advance the odometer; wrapping means the space is exhausted.
+            let mut i = 0;
+            loop {
+                if i == counters.len() {
+                    return Err(last_err);
+                }
+                counters[i] += 1;
+                if counters[i] < choices[i].1.len() {
+                    break;
+                }
+                counters[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Virtual interfaces reachable from the request root through any
+    /// combination of dependencies and providers (over-approximation).
+    fn reachable_virtuals(&self, request: &Spec, index: &ProviderIndex) -> Vec<String> {
+        let mut seen_pkgs: BTreeSet<String> = BTreeSet::new();
+        let mut virtuals: BTreeSet<String> = BTreeSet::new();
+        let mut work: Vec<String> = Vec::new();
+        if let Some(root) = &request.name {
+            work.push(root.clone());
+        }
+        while let Some(name) = work.pop() {
+            if index.is_virtual(&name) {
+                if virtuals.insert(name.clone()) {
+                    for entry in index.candidates_for(&Spec::named(&name)) {
+                        work.push(entry.package.clone());
+                    }
+                }
+                continue;
+            }
+            if !seen_pkgs.insert(name.clone()) {
+                continue;
+            }
+            if let Some(pkg) = self.repos.get(&name) {
+                for dep in pkg.all_dependency_names() {
+                    work.push(dep.to_string());
+                }
+            }
+        }
+        virtuals.into_iter().collect()
+    }
+}

@@ -1,0 +1,776 @@
+//! The concretization algorithm (SC'15 §3.4, Fig. 6).
+//!
+//! Concretization translates an abstract spec into a fully concrete build
+//! DAG in the staged process of Fig. 6:
+//!
+//! 1. **Intersect constraints** — the command-line spec is merged with the
+//!    constraints encoded by `depends_on` directives in package files;
+//!    any inconsistency (two versions of a package, conflicting
+//!    compilers/variants/platforms, non-overlapping ranges) is an error.
+//! 2. **Resolve virtual dependencies** — each virtual node is replaced by
+//!    a provider chosen via the reverse provider index and site/user
+//!    policies; providers may themselves have virtual dependencies, so
+//!    this repeats.
+//! 3. **Concretize parameters** — remaining open parameters (version,
+//!    compiler, variants, architecture) are filled from site and user
+//!    preferences and package defaults.
+//! 4. Conditional directives (`when=` clauses) are re-evaluated against
+//!    the now-pinned nodes; new dependencies restart the cycle.
+//!
+//! The algorithm is **greedy with a fixed point**: it "will not backtrack
+//! to try other options if its first policy choice leads to an
+//! inconsistency. Rather, it will raise an error and the user must resolve
+//! the issue by being more explicit" (§3.4). A backtracking variant — the
+//! paper's "automatic constraint space exploration" future work — lives in
+//! [`crate::backtrack`].
+//!
+//! Implementation shape: we keep a worklist of named nodes. Constraint
+//! propagation (steps 1–2) runs to quiescence before each parameter pin
+//! (step 3), so every already-known constraint reaches a node before its
+//! parameters are frozen; constraints that only become known *after* a pin
+//! (via a `when=` clause that fired on the pinned value) either agree with
+//! the pinned choice or raise the paper's greedy conflict.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use spack_package::{DepKind, PackageDef, RepoStack};
+use spack_spec::{
+    CompilerSpec, ConcreteCompiler, ConcreteDag, ConcreteNode, DagBuilder, Spec, Version,
+    VersionList,
+};
+
+use crate::config::Config;
+use crate::error::ConcretizeError;
+use crate::providers::{ProviderEntry, ProviderIndex};
+
+/// Statistics from one concretization run (used by the Fig. 8 harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConcretizeStats {
+    /// Constraint-propagation passes executed.
+    pub propagation_passes: usize,
+    /// Nodes whose parameters were pinned.
+    pub pins: usize,
+    /// Virtual interfaces resolved to providers.
+    pub virtuals_resolved: usize,
+    /// Total nodes in the resulting DAG.
+    pub dag_nodes: usize,
+}
+
+/// The greedy fixed-point concretizer.
+pub struct Concretizer<'a> {
+    repos: &'a RepoStack,
+    config: &'a Config,
+    providers: ProviderIndex,
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    spec: Spec,
+    pinned: bool,
+    deps: BTreeSet<String>,
+    dep_kinds: BTreeMap<String, DepKind>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    nodes: BTreeMap<String, NodeState>,
+    order: Vec<String>,
+    chosen_providers: BTreeMap<String, String>,
+    user_constraints: BTreeMap<String, Spec>,
+    root: String,
+    stats: ConcretizeStats,
+}
+
+impl State {
+    fn add_node(&mut self, name: &str) -> &mut NodeState {
+        if !self.nodes.contains_key(name) {
+            self.order.push(name.to_string());
+            self.nodes.insert(
+                name.to_string(),
+                NodeState {
+                    spec: Spec::named(name),
+                    pinned: false,
+                    deps: BTreeSet::new(),
+                    dep_kinds: BTreeMap::new(),
+                },
+            );
+        }
+        self.nodes.get_mut(name).unwrap()
+    }
+}
+
+impl<'a> Concretizer<'a> {
+    /// Build a concretizer over a repository stack and configuration. The
+    /// provider index is computed once here.
+    pub fn new(repos: &'a RepoStack, config: &'a Config) -> Concretizer<'a> {
+        Concretizer {
+            repos,
+            config,
+            providers: ProviderIndex::build(repos),
+        }
+    }
+
+    /// The provider index (exposed for `spack providers`-style queries).
+    pub fn provider_index(&self) -> &ProviderIndex {
+        &self.providers
+    }
+
+    /// Concretize an abstract request into a concrete DAG.
+    pub fn concretize(&self, request: &Spec) -> Result<ConcreteDag, ConcretizeError> {
+        self.concretize_with_stats(request).map(|(dag, _)| dag)
+    }
+
+    /// Concretize, also returning run statistics.
+    pub fn concretize_with_stats(
+        &self,
+        request: &Spec,
+    ) -> Result<(ConcreteDag, ConcretizeStats), ConcretizeError> {
+        let root_name = request
+            .name
+            .clone()
+            .ok_or_else(|| ConcretizeError::UnknownPackage("<anonymous>".to_string()))?;
+
+        let mut state = State::default();
+        state.user_constraints = request.dependencies.clone();
+
+        // The root may itself be a virtual name (`spack install mpi`).
+        let root_constraint = request.root_only();
+        if self.repos.contains(&root_name) {
+            state.root = root_name.clone();
+            let node = state.add_node(&root_name);
+            node.spec.constrain(&root_constraint)?;
+        } else if self.providers.is_virtual(&root_name) {
+            let (provider, constraint) =
+                self.select_provider(&root_constraint, &mut state)?;
+            state.root = provider.clone();
+            let node = state.add_node(&provider);
+            node.spec.constrain(&constraint)?;
+        } else {
+            return Err(ConcretizeError::UnknownPackage(root_name));
+        }
+        self.apply_user_constraints(&state.root.clone(), &mut state)?;
+
+        // Fixed point: propagate constraints to quiescence, then pin the
+        // first unpinned node, repeat.
+        let mut safety = 0usize;
+        loop {
+            safety += 1;
+            if safety > 10_000 {
+                return Err(ConcretizeError::NoConvergence);
+            }
+            while self.propagate_once(&mut state)? {
+                state.stats.propagation_passes += 1;
+                safety += 1;
+                if safety > 10_000 {
+                    return Err(ConcretizeError::NoConvergence);
+                }
+            }
+            state.stats.propagation_passes += 1;
+            let next_unpinned = state
+                .order
+                .iter()
+                .find(|n| !state.nodes[*n].pinned)
+                .cloned();
+            match next_unpinned {
+                Some(name) => {
+                    self.pin_node(&name, &mut state)?;
+                    state.stats.pins += 1;
+                }
+                None => break,
+            }
+        }
+
+        let dag = self.assemble(&state)?;
+
+        // Every `^name` the user wrote must actually occur in the DAG
+        // (virtual names count when a provider was chosen for them).
+        for name in state.user_constraints.keys() {
+            let present = dag.by_name(name).is_some()
+                || state.chosen_providers.contains_key(name);
+            if !present {
+                return Err(ConcretizeError::Conflict(format!(
+                    "`^{name}` was requested but `{}` does not depend on it",
+                    state.root
+                )));
+            }
+        }
+
+        // Sanity: the result must satisfy the request. Virtual-named
+        // constraints were enforced at provider selection and cannot be
+        // re-checked against package nodes, so they are filtered out.
+        if !self.providers.is_virtual(&root_name) {
+            let mut check = request.clone();
+            check
+                .dependencies
+                .retain(|k, _| !self.providers.is_virtual(k));
+            if !dag.satisfies(&check) {
+                return Err(ConcretizeError::Conflict(format!(
+                    "internal error: concretized DAG does not satisfy request `{request}`"
+                )));
+            }
+        }
+        let mut stats = state.stats;
+        stats.dag_nodes = dag.len();
+        Ok((dag, stats))
+    }
+
+    /// Merge any user `^name` constraint into a node.
+    fn apply_user_constraints(
+        &self,
+        name: &str,
+        state: &mut State,
+    ) -> Result<(), ConcretizeError> {
+        if let Some(c) = state.user_constraints.get(name).cloned() {
+            let node = state.add_node(name);
+            node.spec.constrain(&c)?;
+        }
+        Ok(())
+    }
+
+    /// One constraint-propagation pass over all nodes. Expands
+    /// unconditional dependencies always and conditional ones once their
+    /// node is pinned (when the predicate is decidable). Returns whether
+    /// anything changed.
+    fn propagate_once(&self, state: &mut State) -> Result<bool, ConcretizeError> {
+        let mut changed = false;
+        let snapshot = state.order.clone();
+        for name in snapshot {
+            let pkg = self.package_for(&name)?;
+            let node = &state.nodes[&name];
+            let node_spec = node.spec.clone();
+            let pinned = node.pinned;
+            for dep in pkg.dependencies.iter() {
+                let active = match &dep.when {
+                    None => true,
+                    Some(cond) => pinned && node_spec.node_satisfies(cond),
+                };
+                if !active {
+                    continue;
+                }
+                changed |= self.add_dependency(&name, &dep.spec, dep.kind, state)?;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Add one dependency edge (resolving virtual names), creating and/or
+    /// constraining the target node. Returns whether anything changed.
+    fn add_dependency(
+        &self,
+        from: &str,
+        dep_spec: &Spec,
+        kind: DepKind,
+        state: &mut State,
+    ) -> Result<bool, ConcretizeError> {
+        let dep_name = dep_spec
+            .name
+            .clone()
+            .expect("dependency directives always carry a name");
+
+        // Merge user constraints on the *virtual* name (e.g. `^mpi@2:`)
+        // before provider selection.
+        let mut requested = dep_spec.clone();
+        if let Some(uc) = state.user_constraints.get(&dep_name) {
+            requested.constrain(uc)?;
+        }
+
+        let (target, extra_constraint) = if self.repos.contains(&dep_name) {
+            (dep_name.clone(), requested.clone())
+        } else if self.providers.is_virtual(&dep_name) {
+            let (provider, constraint) = self.select_provider(&requested, state)?;
+            (provider, constraint)
+        } else {
+            return Err(ConcretizeError::UnknownPackage(dep_name));
+        };
+
+        let mut changed = false;
+        if !state.nodes.contains_key(&target) {
+            state.add_node(&target);
+            changed = true;
+        }
+        {
+            let node = state.nodes.get_mut(&target).unwrap();
+            changed |= node.spec.constrain(&extra_constraint)?;
+        }
+        if state.user_constraints.contains_key(&target) {
+            let uc = state.user_constraints[&target].root_only();
+            let node = state.nodes.get_mut(&target).unwrap();
+            changed |= node.spec.constrain(&uc)?;
+        }
+        let from_node = state.nodes.get_mut(from).unwrap();
+        if from_node.deps.insert(target.clone()) {
+            from_node.dep_kinds.insert(target.clone(), kind);
+            changed = true;
+        }
+        Ok(changed)
+    }
+
+    /// Select a provider for a virtual constraint (§3.3–3.4).
+    ///
+    /// Preference order:
+    /// 1. a provider already chosen for this virtual in this DAG (a DAG
+    ///    holds one MPI, consistently);
+    /// 2. a provider the user explicitly requested (`^mvapich2`) or that
+    ///    already exists as a node;
+    /// 3. the site/user `providers` order;
+    /// 4. deterministic fallback: the candidate providing the highest
+    ///    interface version, ties broken by package name.
+    ///
+    /// Returns the provider package name and the constraint to apply to
+    /// its node (the matching `when=` spec, plus the virtual's compiler /
+    /// variant / arch constraints carried over).
+    fn select_provider(
+        &self,
+        requested: &Spec,
+        state: &mut State,
+    ) -> Result<(String, Spec), ConcretizeError> {
+        let vname = requested.name.clone().unwrap();
+        // Keep only entries whose `when=` constraint is compatible with
+        // what we already know about that provider node (an existing node
+        // or a user `^provider@...` constraint). Without this, choosing
+        // the most capable entry could contradict `^mvapich2@1.9`.
+        let entry_compatible = |e: &ProviderEntry| -> bool {
+            let Some(when) = &e.when else { return true };
+            let mut named = when.clone();
+            named.name = Some(e.package.clone());
+            if let Some(node) = state.nodes.get(&e.package) {
+                if !node.spec.intersects(&named) {
+                    return false;
+                }
+            }
+            if let Some(uc) = state.user_constraints.get(&e.package) {
+                if !uc.root_only().intersects(&named) {
+                    return false;
+                }
+            }
+            true
+        };
+        let candidates: Vec<&ProviderEntry> = self
+            .providers
+            .candidates_for(requested)
+            .into_iter()
+            .filter(|e| entry_compatible(e))
+            .collect();
+        if candidates.is_empty() {
+            return Err(ConcretizeError::NoProvider {
+                virtual_name: vname,
+                constraint: requested.to_string(),
+            });
+        }
+
+        let pick = |entries: &[&ProviderEntry]| -> Option<ProviderEntry> {
+            // Highest provided interface version wins; name breaks ties.
+            entries
+                .iter()
+                .max_by(|a, b| {
+                    // Highest interface capability wins; on ties the
+                    // lexicographically smaller package name ranks higher.
+                    interface_cap(&a.interface_versions)
+                        .cmp(&interface_cap(&b.interface_versions))
+                        .then_with(|| b.package.cmp(&a.package))
+                })
+                .map(|e| (*e).clone())
+        };
+
+        // 1. Consistency with an earlier choice for the same virtual.
+        if let Some(chosen) = state.chosen_providers.get(&vname) {
+            let from_chosen: Vec<&ProviderEntry> = candidates
+                .iter()
+                .copied()
+                .filter(|e| &e.package == chosen)
+                .collect();
+            let entry = pick(&from_chosen).ok_or_else(|| ConcretizeError::Conflict(format!(
+                "provider `{chosen}` already selected for `{vname}` cannot satisfy `{requested}` (greedy: no backtracking)"
+            )))?;
+            return Ok((entry.package.clone(), provider_constraint(requested, &entry)));
+        }
+
+        // 2. A provider the user explicitly requested (`^mvapich2`).
+        let user_forced: Vec<&ProviderEntry> = candidates
+            .iter()
+            .copied()
+            .filter(|e| state.user_constraints.contains_key(&e.package))
+            .collect();
+        let entry = if !user_forced.is_empty() {
+            pick(&user_forced).unwrap()
+        } else {
+            // 3. Site/user provider order.
+            let mut by_policy: Option<ProviderEntry> = None;
+            for preferred in self.config.provider_order(&vname) {
+                let from_pref: Vec<&ProviderEntry> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|e| &e.package == preferred)
+                    .collect();
+                if let Some(e) = pick(&from_pref) {
+                    by_policy = Some(e);
+                    break;
+                }
+            }
+            match by_policy {
+                Some(e) => e,
+                None => {
+                    // 4. A provider already in the DAG (avoids pulling a
+                    //    second implementation when policy is silent)...
+                    let existing: Vec<&ProviderEntry> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|e| state.nodes.contains_key(&e.package))
+                        .collect();
+                    if !existing.is_empty() {
+                        pick(&existing).unwrap()
+                    } else {
+                        // 5. ...else the deterministic fallback.
+                        pick(&candidates).unwrap()
+                    }
+                }
+            }
+        };
+
+        state
+            .chosen_providers
+            .insert(vname.clone(), entry.package.clone());
+        state.stats.virtuals_resolved += 1;
+        Ok((entry.package.clone(), provider_constraint(requested, &entry)))
+    }
+
+    /// Pin all parameters of one node (§3.4 step 3 + Fig. 6
+    /// "Concretize Parameters").
+    fn pin_node(&self, name: &str, state: &mut State) -> Result<(), ConcretizeError> {
+        let pkg = self.package_for(name)?;
+        let root_spec = state.nodes[&state.root].spec.clone();
+        let node = state.nodes.get_mut(name).unwrap();
+        let spec = &mut node.spec;
+
+        // Architecture: own constraint > root's (already pinned or
+        // constrained) > site default.
+        if spec.architecture.is_none() {
+            let inherited = root_spec
+                .architecture
+                .clone()
+                .or_else(|| self.config.default_arch().map(str::to_string));
+            spec.architecture = Some(inherited.ok_or_else(|| {
+                ConcretizeError::Conflict(format!(
+                    "no architecture for `{name}`: none requested and no site default"
+                ))
+            })?);
+        }
+        let arch = spec.architecture.clone().unwrap();
+
+        // Compiler: own constraint > root's > compiler_order > default,
+        // restricted to toolchains providing the package's required
+        // compiler features (§4.5 extension).
+        let constraint = spec
+            .compiler
+            .clone()
+            .or_else(|| root_spec.compiler.clone());
+        let concrete = self.pick_compiler(constraint, &arch, name, &pkg.compiler_features)?;
+        spec.compiler = Some(CompilerSpec {
+            name: concrete.name.clone(),
+            versions: VersionList::exact(concrete.version.clone()),
+        });
+
+        // Version: preferences, then highest satisfying known version;
+        // a fully pinned unknown version is accepted (extrapolated
+        // download, §3.2.3).
+        let version = self.choose_version(&pkg, &spec.versions)?;
+        spec.versions = VersionList::exact(version);
+
+        // Variants: constraints must name declared variants; unset
+        // declared variants take config preference, then package default.
+        let declared = pkg.variant_names();
+        for vname in spec.variants.keys() {
+            if !declared.contains(vname.as_str()) {
+                return Err(ConcretizeError::UnknownVariant {
+                    package: name.to_string(),
+                    variant: vname.clone(),
+                });
+            }
+        }
+        for v in &pkg.variants {
+            spec.variants.entry(v.name.clone()).or_insert_with(|| {
+                self.config
+                    .variant_preference(name, &v.name)
+                    .unwrap_or(v.default)
+            });
+        }
+
+        node.pinned = true;
+
+        // Declared conflicts fire on the pinned node.
+        let spec = state.nodes[name].spec.clone();
+        if let Some(c) = pkg.conflict_for(&spec) {
+            return Err(ConcretizeError::DeclaredConflict {
+                package: name.to_string(),
+                message: c.message.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    fn pick_compiler(
+        &self,
+        constraint: Option<CompilerSpec>,
+        arch: &str,
+        package: &str,
+        features: &[Spec],
+    ) -> Result<ConcreteCompiler, ConcretizeError> {
+        let feature_ok = |c: &ConcreteCompiler| -> bool {
+            self.config.features().provides_all(c, features.iter())
+        };
+        let feature_err = || {
+            let list: Vec<String> = features.iter().map(|f| f.to_string()).collect();
+            ConcretizeError::FeatureUnsupported {
+                package: package.to_string(),
+                feature: list.join(", "),
+            }
+        };
+        if let Some(c) = constraint {
+            let resolved = self.config.resolve_compiler(&c, arch)?;
+            if !feature_ok(&resolved) {
+                // Try an older/newer version of the *same* toolchain that
+                // still satisfies the constraint and provides the feature
+                // ("Spack will find suitable compilers", 4.5).
+                let mut best: Option<ConcreteCompiler> = None;
+                for rc in self.config.compilers() {
+                    let cand = &rc.compiler;
+                    if cand.name == c.name
+                        && c.versions.contains(&cand.version)
+                        && (rc.architectures.is_empty()
+                            || rc.architectures.iter().any(|a| a == arch))
+                        && feature_ok(cand)
+                        && best.as_ref().is_none_or(|b| cand.version > b.version)
+                    {
+                        best = Some(cand.clone());
+                    }
+                }
+                return best.ok_or_else(feature_err);
+            }
+            return Ok(resolved);
+        }
+        for pref in self.config.compiler_order() {
+            if let Ok(found) = self.config.resolve_compiler(pref, arch) {
+                if feature_ok(&found) {
+                    return Ok(found);
+                }
+            }
+        }
+        if let Some(def) = self.config.default_compiler() {
+            if let Ok(found) = self.config.resolve_compiler(def, arch) {
+                if feature_ok(&found) {
+                    return Ok(found);
+                }
+            }
+        }
+        // Last resort: any registered compiler for this arch providing
+        // the features, newest first.
+        let mut best: Option<ConcreteCompiler> = None;
+        for rc in self.config.compilers() {
+            let cand = &rc.compiler;
+            if (rc.architectures.is_empty() || rc.architectures.iter().any(|a| a == arch))
+                && feature_ok(cand)
+                && best.as_ref().is_none_or(|b| cand.version > b.version)
+            {
+                best = Some(cand.clone());
+            }
+        }
+        if let Some(found) = best {
+            return Ok(found);
+        }
+        if features.is_empty() {
+            Err(ConcretizeError::Conflict(format!(
+                "no compiler available for `{package}` on `{arch}`: none requested, \
+                 none in compiler_order, no default"
+            )))
+        } else {
+            Err(feature_err())
+        }
+    }
+
+    fn choose_version(
+        &self,
+        pkg: &PackageDef,
+        constraint: &VersionList,
+    ) -> Result<Version, ConcretizeError> {
+        let satisfying: Vec<&Version> = pkg
+            .versions
+            .iter()
+            .map(|v| &v.version)
+            .filter(|v| constraint.contains(v))
+            .collect();
+        // Site/user version preference first.
+        if let Some(pref) = self.config.version_preference(&pkg.name) {
+            if let Some(v) = pref.highest_satisfying(satisfying.iter().copied()) {
+                return Ok(v.clone());
+            }
+        }
+        // Package-author preferred versions next.
+        let preferred: Vec<&Version> = pkg
+            .versions
+            .iter()
+            .filter(|v| v.preferred)
+            .map(|v| &v.version)
+            .filter(|v| constraint.contains(v))
+            .collect();
+        if let Some(v) = preferred.iter().max_by(|a, b| a.version_cmp(b)) {
+            return Ok((*v).clone());
+        }
+        // Newest satisfying known version (stable preferred over develop).
+        if let Some(v) = VersionList::any().highest_satisfying(satisfying.into_iter()) {
+            return Ok(v.clone());
+        }
+        // Unknown but fully pinned: extrapolate (§3.2.3 "Versions").
+        if let Some(v) = constraint.concrete() {
+            return Ok(v.clone());
+        }
+        Err(ConcretizeError::NoSatisfyingVersion {
+            package: pkg.name.clone(),
+            constraint: constraint.to_string(),
+        })
+    }
+
+    fn package_for(&self, name: &str) -> Result<std::sync::Arc<PackageDef>, ConcretizeError> {
+        self.repos
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ConcretizeError::UnknownPackage(name.to_string()))
+    }
+
+    /// Assemble the final validated [`ConcreteDag`] (Fig. 7).
+    fn assemble(&self, state: &State) -> Result<ConcreteDag, ConcretizeError> {
+        let mut builder = DagBuilder::new();
+        for name in &state.order {
+            let node = &state.nodes[name];
+            let spec = &node.spec;
+            let pkg = self.package_for(name)?;
+            if !spec.node_is_concrete() {
+                return Err(ConcretizeError::Conflict(format!(
+                    "node `{name}` still abstract after concretization: {spec}"
+                )));
+            }
+            let compiler = spec.compiler.as_ref().unwrap();
+            builder
+                .add_node(ConcreteNode {
+                    name: name.clone(),
+                    version: spec.versions.concrete().unwrap().clone(),
+                    compiler: ConcreteCompiler {
+                        name: compiler.name.clone(),
+                        version: compiler.versions.concrete().unwrap().clone(),
+                    },
+                    variants: spec.variants.clone(),
+                    architecture: spec.architecture.clone().unwrap(),
+                    namespace: pkg.namespace.clone(),
+                    deps: Vec::new(),
+                })
+                .map_err(ConcretizeError::from)?;
+        }
+        for name in &state.order {
+            let from = builder.id_of(name).unwrap();
+            for dep in &state.nodes[name].deps {
+                let to = builder.id_of(dep).expect("dep node exists");
+                builder.add_edge(from, to);
+            }
+        }
+        let root = builder.id_of(&state.root).unwrap();
+        let dag = builder.build(root).map_err(ConcretizeError::from)?;
+        self.check_abi_consistency(&dag)?;
+        Ok(dag)
+    }
+
+    /// C++ ABI consistency (§4.5: "ensure ABI consistency when many such
+    /// features are in use"): every node requiring a C++-standard feature
+    /// must be built with one and the same compiler, because C++ has no
+    /// stable cross-toolchain ABI (the gperftools problem of §4.1).
+    fn check_abi_consistency(&self, dag: &ConcreteDag) -> Result<(), ConcretizeError> {
+        let mut cxx_compiler: Option<(&str, &spack_spec::ConcreteCompiler)> = None;
+        for node in dag.nodes() {
+            let pkg = self.package_for(&node.name)?;
+            let needs_cxx = pkg
+                .compiler_features
+                .iter()
+                .any(|f| f.name.as_deref().is_some_and(|n| n.starts_with("cxx")));
+            if !needs_cxx {
+                continue;
+            }
+            match &cxx_compiler {
+                None => cxx_compiler = Some((&node.name, &node.compiler)),
+                Some((first, c)) => {
+                    if **c != node.compiler {
+                        return Err(ConcretizeError::AbiMismatch(format!(
+                            "`{first}` uses {c} but `{}` uses {} — C++ nodes must share a compiler",
+                            node.name, node.compiler
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The constraint a chosen provider entry puts on the provider node: its
+/// `when=` condition plus the non-version constraints the user attached to
+/// the virtual (e.g. `^mpi%gcc+debug=bgq` carries compiler/variant/arch to
+/// the provider; the *version* constrains the interface, not the package).
+fn provider_constraint(requested: &Spec, entry: &ProviderEntry) -> Spec {
+    let mut c = entry
+        .when
+        .clone()
+        .unwrap_or_else(Spec::anonymous);
+    c.name = Some(entry.package.clone());
+    c.compiler = c.compiler.or_else(|| requested.compiler.clone());
+    if c.architecture.is_none() {
+        c.architecture = requested.architecture.clone();
+    }
+    for (k, v) in &requested.variants {
+        c.variants.entry(k.clone()).or_insert(*v);
+    }
+    c
+}
+
+/// Upper capability of an interface version list: the highest upper bound
+/// among its ranges; `None` (unbounded) sorts above everything.
+fn interface_cap(list: &VersionList) -> InterfaceCap {
+    if list.is_any() {
+        return InterfaceCap::Unbounded;
+    }
+    let mut best: Option<Version> = None;
+    for r in list.ranges() {
+        match r.hi() {
+            None => return InterfaceCap::Unbounded,
+            Some(h) => {
+                if best.as_ref().is_none_or(|b| h > b) {
+                    best = Some(h.clone());
+                }
+            }
+        }
+    }
+    match best {
+        Some(v) => InterfaceCap::Bounded(v),
+        None => InterfaceCap::Unbounded,
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum InterfaceCap {
+    Bounded(Version),
+    Unbounded,
+}
+
+impl PartialOrd for InterfaceCap {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for InterfaceCap {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use InterfaceCap::*;
+        match (self, other) {
+            (Unbounded, Unbounded) => std::cmp::Ordering::Equal,
+            (Unbounded, Bounded(_)) => std::cmp::Ordering::Greater,
+            (Bounded(_), Unbounded) => std::cmp::Ordering::Less,
+            (Bounded(a), Bounded(b)) => a.version_cmp(b),
+        }
+    }
+}

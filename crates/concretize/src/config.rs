@@ -1,0 +1,423 @@
+//! Site and user configuration scopes (SC'15 §3.4.4, §4.3.1).
+//!
+//! Concretization "consults site and user policies to select the best
+//! possible provider" and to fill unconstrained parameters. Policies live
+//! in layered scopes — built-in defaults, then site, then user — with
+//! later scopes overriding earlier ones. The text format follows the
+//! paper's own example: `compiler_order = icc,gcc@4.9.3`.
+
+use std::collections::BTreeMap;
+
+use spack_spec::{CompilerSpec, ConcreteCompiler, SpecError, Version, VersionList};
+
+/// Preferences from one configuration scope. Every field is optional so
+/// scopes merge cleanly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Preferences {
+    /// `compiler_order = icc,gcc@4.9.3`: preferred compilers, best first
+    /// (§4.3.1). "Any compiler not in the compiler_order setting is less
+    /// preferred than those explicitly provided."
+    pub compiler_order: Vec<CompilerSpec>,
+    /// Preferred providers per virtual interface, best first:
+    /// `providers mpi = mvapich2,openmpi`.
+    pub provider_order: BTreeMap<String, Vec<String>>,
+    /// Preferred version constraints per package: `prefer python = 2.7`.
+    pub version_prefs: BTreeMap<String, VersionList>,
+    /// Default variant settings per package: `variants hdf5 = +mpi~debug`.
+    pub variant_prefs: BTreeMap<String, BTreeMap<String, bool>>,
+    /// Default target architecture.
+    pub default_arch: Option<String>,
+    /// Default compiler when nothing constrains one.
+    pub default_compiler: Option<CompilerSpec>,
+}
+
+/// A registered compiler toolchain (§3.2.3: auto-detected from PATH or
+/// registered through configuration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisteredCompiler {
+    /// The concrete toolchain (name + exact version).
+    pub compiler: ConcreteCompiler,
+    /// Architectures this toolchain can target. Empty = any.
+    pub architectures: Vec<String>,
+}
+
+/// Layered configuration: defaults, then site, then user scope, each
+/// overriding the previous; plus the registry of available compilers.
+#[derive(Debug, Clone)]
+pub struct Config {
+    scopes: Vec<(String, Preferences)>,
+    compilers: Vec<RegisteredCompiler>,
+    features: crate::features::FeatureRegistry,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            scopes: Vec::new(),
+            compilers: Vec::new(),
+            features: crate::features::FeatureRegistry::with_defaults(),
+        }
+    }
+}
+
+impl Config {
+    /// An empty configuration (no scopes, no compilers).
+    pub fn new() -> Config {
+        Config::default()
+    }
+
+    /// A typical test/demo configuration: one gcc toolchain and sensible
+    /// defaults for a Linux cluster.
+    pub fn with_defaults() -> Config {
+        let mut c = Config::new();
+        c.register_compiler("gcc", "4.9.2", &[]);
+        let mut p = Preferences::default();
+        p.default_arch = Some("linux-x86_64".to_string());
+        p.default_compiler = Some(CompilerSpec::by_name("gcc"));
+        c.push_scope("defaults", p);
+        c
+    }
+
+    /// Append a scope that overrides all earlier scopes.
+    pub fn push_scope(&mut self, name: &str, prefs: Preferences) {
+        self.scopes.push((name.to_string(), prefs));
+    }
+
+    /// Parse and append a scope from the text format (see module docs).
+    pub fn push_scope_text(&mut self, name: &str, text: &str) -> Result<(), SpecError> {
+        let prefs = parse_preferences(text)?;
+        self.push_scope(name, prefs);
+        Ok(())
+    }
+
+    /// Register a pre-resolved concrete compiler (e.g. from PATH
+    /// auto-detection, §3.2.3) for the given architectures.
+    pub fn register_concrete_compiler(&mut self, compiler: ConcreteCompiler, archs: &[&str]) {
+        self.compilers.push(RegisteredCompiler {
+            compiler,
+            architectures: archs.iter().map(|s| s.to_string()).collect(),
+        });
+    }
+
+    /// Register an available compiler toolchain.
+    pub fn register_compiler(&mut self, name: &str, version: &str, archs: &[&str]) {
+        self.compilers.push(RegisteredCompiler {
+            compiler: ConcreteCompiler {
+                name: name.to_string(),
+                version: Version::new(version).expect("valid compiler version"),
+            },
+            architectures: archs.iter().map(|s| s.to_string()).collect(),
+        });
+    }
+
+    /// All registered compilers.
+    pub fn compilers(&self) -> &[RegisteredCompiler] {
+        &self.compilers
+    }
+
+    /// The compiler-feature registry (§4.5 extension).
+    pub fn features(&self) -> &crate::features::FeatureRegistry {
+        &self.features
+    }
+
+    /// Replace the compiler-feature registry.
+    pub fn set_features(&mut self, features: crate::features::FeatureRegistry) {
+        self.features = features;
+    }
+
+    /// Scope names in override order (later wins).
+    pub fn scope_names(&self) -> Vec<&str> {
+        self.scopes.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Effective compiler order: the *last* scope that sets one wins
+    /// entirely (orders do not merge element-wise; §4.3.1 describes one
+    /// ordered list per site/user).
+    pub fn compiler_order(&self) -> &[CompilerSpec] {
+        self.scopes
+            .iter()
+            .rev()
+            .find(|(_, p)| !p.compiler_order.is_empty())
+            .map(|(_, p)| p.compiler_order.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Effective provider order for a virtual interface.
+    pub fn provider_order(&self, virtual_name: &str) -> &[String] {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|(_, p)| p.provider_order.get(virtual_name))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Effective preferred versions for a package.
+    pub fn version_preference(&self, package: &str) -> Option<&VersionList> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|(_, p)| p.version_prefs.get(package))
+    }
+
+    /// Effective preferred value for one variant of one package. Checks
+    /// scopes from most- to least-specific.
+    pub fn variant_preference(&self, package: &str, variant: &str) -> Option<bool> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|(_, p)| p.variant_prefs.get(package).and_then(|m| m.get(variant)))
+            .copied()
+    }
+
+    /// Effective default architecture.
+    pub fn default_arch(&self) -> Option<&str> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|(_, p)| p.default_arch.as_deref())
+    }
+
+    /// Effective default compiler constraint.
+    pub fn default_compiler(&self) -> Option<&CompilerSpec> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|(_, p)| p.default_compiler.as_ref())
+    }
+
+    /// Resolve a compiler constraint against the registered toolchains for
+    /// an architecture: the newest registered compiler satisfying the
+    /// constraint. Falls back to trusting a fully concrete request for an
+    /// unregistered toolchain (the user may know better).
+    pub fn resolve_compiler(
+        &self,
+        constraint: &CompilerSpec,
+        arch: &str,
+    ) -> Result<ConcreteCompiler, SpecError> {
+        let mut best: Option<&RegisteredCompiler> = None;
+        for rc in &self.compilers {
+            if rc.compiler.name != constraint.name {
+                continue;
+            }
+            if !rc.architectures.is_empty()
+                && !rc.architectures.iter().any(|a| a == arch)
+            {
+                continue;
+            }
+            if !constraint.versions.contains(&rc.compiler.version) {
+                continue;
+            }
+            if best.is_none_or(|b| rc.compiler.version > b.compiler.version) {
+                best = Some(rc);
+            }
+        }
+        if let Some(rc) = best {
+            return Ok(rc.compiler.clone());
+        }
+        if let Some(v) = constraint.versions.concrete() {
+            return Ok(ConcreteCompiler {
+                name: constraint.name.clone(),
+                version: v.clone(),
+            });
+        }
+        Err(SpecError::conflict(format!(
+            "no registered compiler satisfies `%{constraint}` for arch `{arch}`"
+        )))
+    }
+
+    /// Rank a concrete compiler by the effective compiler order: position
+    /// of the first matching entry, or `usize::MAX` when unlisted (listed
+    /// compilers are always preferred over unlisted ones).
+    pub fn compiler_rank(&self, compiler: &ConcreteCompiler) -> usize {
+        for (i, pref) in self.compiler_order().iter().enumerate() {
+            if pref.name == compiler.name && pref.versions.contains(&compiler.version) {
+                return i;
+            }
+        }
+        usize::MAX
+    }
+}
+
+/// Parse the preference text format:
+///
+/// ```text
+/// # comment
+/// compiler_order = icc,gcc@4.9.3
+/// providers mpi = mvapich2,openmpi
+/// prefer python = 2.7
+/// variants hdf5 = +mpi~debug
+/// arch = linux-x86_64
+/// compiler = gcc
+/// ```
+pub fn parse_preferences(text: &str) -> Result<Preferences, SpecError> {
+    let mut prefs = Preferences::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, value) = line.split_once('=').ok_or_else(|| {
+            SpecError::parse(format!("config line {} has no `=`: `{line}`", lineno + 1))
+        })?;
+        let head = head.trim();
+        let value = value.trim();
+        let mut head_parts = head.split_whitespace();
+        let key = head_parts.next().unwrap_or("");
+        let subject = head_parts.next();
+        match (key, subject) {
+            ("compiler_order", None) => {
+                for item in value.split(',') {
+                    let spec = spack_spec::Spec::parse(&format!("%{}", item.trim()))?;
+                    prefs.compiler_order.push(
+                        spec.compiler
+                            .ok_or_else(|| SpecError::parse("empty compiler_order entry"))?,
+                    );
+                }
+            }
+            ("providers", Some(vname)) => {
+                let list = value
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                prefs.provider_order.insert(vname.to_string(), list);
+            }
+            ("prefer", Some(pkg)) => {
+                prefs
+                    .version_prefs
+                    .insert(pkg.to_string(), VersionList::parse(value)?);
+            }
+            ("variants", Some(pkg)) => {
+                let spec = spack_spec::Spec::parse(&format!("{pkg} {value}"))?;
+                prefs.variant_prefs.insert(pkg.to_string(), spec.variants);
+            }
+            ("arch", None) => prefs.default_arch = Some(value.to_string()),
+            ("compiler", None) => {
+                let spec = spack_spec::Spec::parse(&format!("%{value}"))?;
+                prefs.default_compiler = spec.compiler;
+            }
+            _ => {
+                return Err(SpecError::parse(format!(
+                    "unknown config key `{head}` on line {}",
+                    lineno + 1
+                )));
+            }
+        }
+    }
+    Ok(prefs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_config() {
+        let prefs = parse_preferences(
+            "# site config\n\
+             compiler_order = icc,gcc@4.9.3\n\
+             providers mpi = mvapich2,openmpi\n\
+             prefer python = 2.7\n\
+             variants hdf5 = +mpi~debug\n\
+             arch = linux-x86_64\n\
+             compiler = gcc\n",
+        )
+        .unwrap();
+        assert_eq!(prefs.compiler_order.len(), 2);
+        assert_eq!(prefs.compiler_order[0].name, "icc");
+        assert_eq!(prefs.compiler_order[1].to_string(), "gcc@4.9.3");
+        assert_eq!(prefs.provider_order["mpi"], vec!["mvapich2", "openmpi"]);
+        assert_eq!(prefs.version_prefs["python"].to_string(), "2.7");
+        assert_eq!(prefs.variant_prefs["hdf5"]["mpi"], true);
+        assert_eq!(prefs.variant_prefs["hdf5"]["debug"], false);
+        assert_eq!(prefs.default_arch.as_deref(), Some("linux-x86_64"));
+        assert_eq!(prefs.default_compiler.as_ref().unwrap().name, "gcc");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_preferences("nonsense line").is_err());
+        assert!(parse_preferences("mystery = 3").is_err());
+    }
+
+    #[test]
+    fn user_scope_overrides_site() {
+        let mut c = Config::new();
+        c.push_scope_text("site", "compiler_order = gcc\narch = linux-x86_64\n")
+            .unwrap();
+        c.push_scope_text("user", "compiler_order = icc,gcc@4.9.3\n")
+            .unwrap();
+        // User's compiler order wins wholesale.
+        assert_eq!(c.compiler_order().len(), 2);
+        assert_eq!(c.compiler_order()[0].name, "icc");
+        // Site arch still effective (user scope silent on it).
+        assert_eq!(c.default_arch(), Some("linux-x86_64"));
+    }
+
+    #[test]
+    fn compiler_resolution_picks_newest_matching() {
+        let mut c = Config::new();
+        c.register_compiler("gcc", "4.7.3", &[]);
+        c.register_compiler("gcc", "4.9.2", &[]);
+        c.register_compiler("xl", "12.1", &["bgq"]);
+        let gcc = CompilerSpec::by_name("gcc");
+        let resolved = c.resolve_compiler(&gcc, "linux-x86_64").unwrap();
+        assert_eq!(resolved.to_string(), "gcc@4.9.2");
+        // Version constraint narrows the choice.
+        let gcc47 = CompilerSpec {
+            name: "gcc".to_string(),
+            versions: VersionList::parse("4.7").unwrap(),
+        };
+        assert_eq!(
+            c.resolve_compiler(&gcc47, "linux-x86_64").unwrap().to_string(),
+            "gcc@4.7.3"
+        );
+        // xl is bgq-only.
+        let xl = CompilerSpec::by_name("xl");
+        assert!(c.resolve_compiler(&xl, "linux-x86_64").is_err());
+        assert_eq!(c.resolve_compiler(&xl, "bgq").unwrap().to_string(), "xl@12.1");
+    }
+
+    #[test]
+    fn concrete_unregistered_compiler_is_trusted() {
+        let c = Config::new();
+        let pgi = CompilerSpec::exact("pgi", "15.1").unwrap();
+        assert_eq!(c.resolve_compiler(&pgi, "x").unwrap().to_string(), "pgi@15.1");
+        // But a vague unregistered request fails.
+        assert!(c.resolve_compiler(&CompilerSpec::by_name("pgi"), "x").is_err());
+    }
+
+    #[test]
+    fn compiler_rank_orders_preferences() {
+        let mut c = Config::new();
+        c.push_scope_text("site", "compiler_order = icc,gcc@4.9.3\n").unwrap();
+        let icc = ConcreteCompiler {
+            name: "icc".to_string(),
+            version: Version::new("14.1").unwrap(),
+        };
+        let gcc493 = ConcreteCompiler {
+            name: "gcc".to_string(),
+            version: Version::new("4.9.3").unwrap(),
+        };
+        let gcc47 = ConcreteCompiler {
+            name: "gcc".to_string(),
+            version: Version::new("4.7.0").unwrap(),
+        };
+        assert_eq!(c.compiler_rank(&icc), 0);
+        assert_eq!(c.compiler_rank(&gcc493), 1);
+        assert_eq!(c.compiler_rank(&gcc47), usize::MAX);
+    }
+
+    #[test]
+    fn variant_and_version_preferences() {
+        let mut c = Config::new();
+        c.push_scope_text("site", "variants hdf5 = +mpi\nprefer libelf = 0.8.12\n")
+            .unwrap();
+        c.push_scope_text("user", "variants hdf5 = ~mpi\n").unwrap();
+        assert_eq!(c.variant_preference("hdf5", "mpi"), Some(false));
+        assert_eq!(c.variant_preference("hdf5", "ghost"), None);
+        assert_eq!(c.version_preference("libelf").unwrap().to_string(), "0.8.12");
+        assert_eq!(c.version_preference("python"), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Concretization errors.
+
+use std::fmt;
+
+use spack_spec::SpecError;
+
+/// Everything that can go wrong while turning an abstract spec into a
+/// concrete DAG. The greedy algorithm "will not backtrack to try other
+/// options if its first policy choice leads to an inconsistency. Rather,
+/// it will raise an error and the user must resolve the issue" (SC'15
+/// §3.4) — these are those errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConcretizeError {
+    /// No repository defines this package and nothing provides it.
+    UnknownPackage(String),
+    /// No provider can satisfy a constraint on a virtual interface.
+    NoProvider {
+        /// The virtual interface name (e.g. `mpi`).
+        virtual_name: String,
+        /// The constraint that could not be satisfied.
+        constraint: String,
+    },
+    /// A constraint names a variant the package does not declare.
+    UnknownVariant {
+        /// The package.
+        package: String,
+        /// The undeclared variant.
+        variant: String,
+    },
+    /// No known version satisfies the constraints (and the constraint is
+    /// not a single extrapolatable version).
+    NoSatisfyingVersion {
+        /// The package.
+        package: String,
+        /// The unsatisfiable constraint.
+        constraint: String,
+    },
+    /// Mutually inconsistent constraints, or a greedy choice later
+    /// contradicted (the paper's hwloc example, §4.5).
+    Conflict(String),
+    /// A `conflicts()` directive fired.
+    DeclaredConflict {
+        /// The package.
+        package: String,
+        /// The package author's message.
+        message: String,
+    },
+    /// No available compiler provides a feature the package requires
+    /// (§4.5: C++ standard, OpenMP version, GPU capability).
+    FeatureUnsupported {
+        /// The package with the requirement.
+        package: String,
+        /// The unsatisfied feature requirement.
+        feature: String,
+    },
+    /// Nodes that must share a C++ ABI were assigned different compilers.
+    AbiMismatch(String),
+    /// The fixed point did not converge (safety bound; indicates a
+    /// pathological package graph).
+    NoConvergence,
+}
+
+impl From<SpecError> for ConcretizeError {
+    fn from(e: SpecError) -> Self {
+        ConcretizeError::Conflict(e.to_string())
+    }
+}
+
+impl fmt::Display for ConcretizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConcretizeError::UnknownPackage(p) => write!(f, "unknown package `{p}`"),
+            ConcretizeError::NoProvider {
+                virtual_name,
+                constraint,
+            } => write!(
+                f,
+                "no provider for virtual `{virtual_name}` satisfies `{constraint}`"
+            ),
+            ConcretizeError::UnknownVariant { package, variant } => {
+                write!(f, "package `{package}` has no variant `{variant}`")
+            }
+            ConcretizeError::NoSatisfyingVersion {
+                package,
+                constraint,
+            } => write!(
+                f,
+                "no known version of `{package}` satisfies `@{constraint}`"
+            ),
+            ConcretizeError::Conflict(m) => write!(f, "{m}"),
+            ConcretizeError::DeclaredConflict { package, message } => {
+                write!(f, "conflict in `{package}`: {message}")
+            }
+            ConcretizeError::FeatureUnsupported { package, feature } => write!(
+                f,
+                "no available compiler provides `{feature}` required by `{package}`"
+            ),
+            ConcretizeError::AbiMismatch(m) => write!(f, "ABI mismatch: {m}"),
+            ConcretizeError::NoConvergence => {
+                write!(f, "concretization did not converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConcretizeError {}

@@ -1,0 +1,169 @@
+//! Compiler-feature dependencies (SC'15 §4.5, the paper's future work):
+//! "we will add capabilities to Spack that allow packages to depend on
+//! particular compiler features ... like C++11 language features, OpenMP
+//! versions, and GPU compute capabilities. Ideally, Spack will find
+//! suitable compilers and ensure ABI consistency."
+//!
+//! Features are modeled like versioned virtual interfaces, but provided
+//! by *compilers* rather than packages: `gcc@4.8.1:` provides `cxx11`,
+//! `gcc@4.9:` provides `openmp@4.0`. Packages declare requirements with
+//! `requires_feature("cxx11")` or `requires_feature("openmp@4:")`; the
+//! concretizer then restricts compiler selection to toolchains providing
+//! every required feature, and an ABI check refuses DAGs that mix C++
+//! standard libraries.
+
+use spack_spec::{ConcreteCompiler, Spec, VersionList};
+
+/// One "compiler X at versions Y provides feature F at versions G" fact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureEntry {
+    /// Compiler toolchain name.
+    pub compiler: String,
+    /// Compiler versions for which this holds.
+    pub compiler_versions: VersionList,
+    /// Feature name (`cxx11`, `cxx14`, `openmp`, `cuda`...).
+    pub feature: String,
+    /// Feature versions provided (`openmp@:4.0`); `any` for boolean
+    /// features like `cxx11`.
+    pub feature_versions: VersionList,
+}
+
+/// The registry of compiler capabilities.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureRegistry {
+    entries: Vec<FeatureEntry>,
+}
+
+impl FeatureRegistry {
+    /// An empty registry (no compiler provides any feature).
+    pub fn new() -> FeatureRegistry {
+        FeatureRegistry::default()
+    }
+
+    /// A registry loaded with well-known toolchain capabilities circa
+    /// 2015 (the machine generation the paper targets).
+    pub fn with_defaults() -> FeatureRegistry {
+        let mut r = FeatureRegistry::new();
+        let add = |r: &mut FeatureRegistry, c: &str, cv: &str, f: &str, fv: &str| {
+            r.register(c, cv, f, fv).expect("valid default feature entry");
+        };
+        // C++ standards.
+        add(&mut r, "gcc", "4.8.1:", "cxx11", ":");
+        add(&mut r, "gcc", "5:", "cxx14", ":");
+        add(&mut r, "intel", "15:", "cxx11", ":");
+        add(&mut r, "intel", "17:", "cxx14", ":");
+        add(&mut r, "clang", "3.3:", "cxx11", ":");
+        add(&mut r, "clang", "3.4:", "cxx14", ":");
+        add(&mut r, "xl", "13.1:", "cxx11", ":");
+        add(&mut r, "pgi", "15.1:", "cxx11", ":");
+        // OpenMP versions.
+        add(&mut r, "gcc", "4.4:4.8", "openmp", ":3.1");
+        add(&mut r, "gcc", "4.9:", "openmp", ":4.0");
+        add(&mut r, "intel", "13:14", "openmp", ":3.1");
+        add(&mut r, "intel", "15:", "openmp", ":4.0");
+        add(&mut r, "clang", "3.7:", "openmp", ":3.1");
+        add(&mut r, "xl", "12:", "openmp", ":3.1");
+        add(&mut r, "pgi", "14:", "openmp", ":3.1");
+        // GPU offload.
+        add(&mut r, "pgi", "14:", "cuda", ":6.5");
+        r
+    }
+
+    /// Register one capability fact.
+    pub fn register(
+        &mut self,
+        compiler: &str,
+        compiler_versions: &str,
+        feature: &str,
+        feature_versions: &str,
+    ) -> Result<(), spack_spec::SpecError> {
+        self.entries.push(FeatureEntry {
+            compiler: compiler.to_string(),
+            compiler_versions: VersionList::parse(compiler_versions)?,
+            feature: feature.to_string(),
+            feature_versions: VersionList::parse(feature_versions)?,
+        });
+        Ok(())
+    }
+
+    /// Does a concrete compiler provide a required feature? The
+    /// requirement is an anonymous spec whose name is the feature and
+    /// whose versions constrain the feature level (`openmp@4:`).
+    pub fn provides(&self, compiler: &ConcreteCompiler, requirement: &Spec) -> bool {
+        let Some(feature) = requirement.name.as_deref() else {
+            return false;
+        };
+        self.entries.iter().any(|e| {
+            e.compiler == compiler.name
+                && e.compiler_versions.contains(&compiler.version)
+                && e.feature == feature
+                && e.feature_versions.overlaps(&requirement.versions)
+        })
+    }
+
+    /// Does the compiler provide *all* requirements?
+    pub fn provides_all<'a>(
+        &self,
+        compiler: &ConcreteCompiler,
+        requirements: impl IntoIterator<Item = &'a Spec>,
+    ) -> bool {
+        requirements.into_iter().all(|r| self.provides(compiler, r))
+    }
+
+    /// All facts (for introspection / `spack compilers --features`).
+    pub fn entries(&self) -> &[FeatureEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_spec::Version;
+
+    fn cc(name: &str, version: &str) -> ConcreteCompiler {
+        ConcreteCompiler {
+            name: name.to_string(),
+            version: Version::new(version).unwrap(),
+        }
+    }
+
+    fn req(text: &str) -> Spec {
+        Spec::parse(text).unwrap()
+    }
+
+    #[test]
+    fn cxx11_thresholds() {
+        let r = FeatureRegistry::with_defaults();
+        assert!(!r.provides(&cc("gcc", "4.7.4"), &req("cxx11")));
+        assert!(r.provides(&cc("gcc", "4.8.1"), &req("cxx11")));
+        assert!(r.provides(&cc("gcc", "4.9.3"), &req("cxx11")));
+        assert!(r.provides(&cc("clang", "3.6.2"), &req("cxx11")));
+        assert!(!r.provides(&cc("intel", "14.0.4"), &req("cxx11")));
+        assert!(r.provides(&cc("intel", "15.0.1"), &req("cxx11")));
+    }
+
+    #[test]
+    fn versioned_openmp() {
+        let r = FeatureRegistry::with_defaults();
+        // gcc 4.7 has OpenMP 3.1 but not 4.0.
+        assert!(r.provides(&cc("gcc", "4.7.4"), &req("openmp@3:")));
+        assert!(!r.provides(&cc("gcc", "4.7.4"), &req("openmp@4:")));
+        assert!(r.provides(&cc("gcc", "4.9.3"), &req("openmp@4:")));
+    }
+
+    #[test]
+    fn provides_all_conjunction() {
+        let r = FeatureRegistry::with_defaults();
+        let reqs = [req("cxx11"), req("openmp@4:")];
+        assert!(r.provides_all(&cc("gcc", "4.9.3"), reqs.iter()));
+        assert!(!r.provides_all(&cc("gcc", "4.8.1"), reqs.iter()));
+        assert!(!r.provides_all(&cc("xl", "13.1"), reqs.iter()));
+    }
+
+    #[test]
+    fn unknown_feature_never_provided() {
+        let r = FeatureRegistry::with_defaults();
+        assert!(!r.provides(&cc("gcc", "9.9"), &req("quantum")));
+    }
+}

@@ -1,0 +1,41 @@
+//! # spack-concretize
+//!
+//! The concretization layer of `spack-rs` (SC'15 §3.3–§3.4): the reverse
+//! provider index for versioned virtual dependencies, layered site/user
+//! configuration scopes, the greedy fixed-point concretizer of Fig. 6, and
+//! — as the paper's stated future-work extension — a backtracking solver
+//! used for ablation comparisons.
+//!
+//! ```
+//! use spack_package::{PackageBuilder, Repository, RepoStack};
+//! use spack_concretize::{Concretizer, Config};
+//! use spack_spec::Spec;
+//!
+//! let mut repo = Repository::new("builtin");
+//! repo.register(PackageBuilder::new("libelf")
+//!     .version("0.8.13", "aa").version("0.8.12", "bb")
+//!     .build().unwrap()).unwrap();
+//! let repos = RepoStack::with_builtin(repo);
+//! let config = Config::with_defaults();
+//!
+//! let dag = Concretizer::new(&repos, &config)
+//!     .concretize(&Spec::parse("libelf@0.8.12:").unwrap())
+//!     .unwrap();
+//! assert_eq!(dag.root_node().version.to_string(), "0.8.13");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backtrack;
+pub mod concretizer;
+pub mod config;
+pub mod error;
+pub mod features;
+pub mod providers;
+
+pub use backtrack::BacktrackingConcretizer;
+pub use concretizer::{Concretizer, ConcretizeStats};
+pub use config::{parse_preferences, Config, Preferences, RegisteredCompiler};
+pub use error::ConcretizeError;
+pub use features::{FeatureEntry, FeatureRegistry};
+pub use providers::{ProviderEntry, ProviderIndex};

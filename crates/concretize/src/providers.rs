@@ -1,0 +1,200 @@
+//! Versioned virtual dependencies and the provider index (SC'15 §3.3).
+//!
+//! A virtual dependency is an abstract name for an interface (`mpi`,
+//! `blas`) rather than an implementation. Spack versions these interfaces:
+//! `provides('mpi@:2.2', when='@1.9')` says mvapich2 1.9 implements MPI
+//! up to 2.2. The concretizer "builds a reverse index from virtual
+//! packages to providers" (§3.4); that index lives here.
+
+use std::collections::BTreeMap;
+
+use spack_package::RepoStack;
+use spack_spec::{Spec, VersionList};
+
+/// One way a concrete package can provide a virtual interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProviderEntry {
+    /// Provider package name (e.g. `mvapich2`).
+    pub package: String,
+    /// The versions of the virtual interface provided (e.g. `mpi@:2.2`
+    /// yields `:2.2`).
+    pub interface_versions: VersionList,
+    /// Constraint on the provider for this entry to hold (the `when=`
+    /// spec, e.g. `@1.9`). Anonymous; applies to the provider node.
+    pub when: Option<Spec>,
+}
+
+/// Reverse index: virtual name → all provider entries, from every package
+/// visible through a repository stack.
+#[derive(Debug, Clone, Default)]
+pub struct ProviderIndex {
+    by_virtual: BTreeMap<String, Vec<ProviderEntry>>,
+}
+
+impl ProviderIndex {
+    /// Build the index by scanning every visible package's `provides`
+    /// directives.
+    pub fn build(repos: &RepoStack) -> ProviderIndex {
+        let mut by_virtual: BTreeMap<String, Vec<ProviderEntry>> = BTreeMap::new();
+        for pkg in repos.visible_packages() {
+            for p in &pkg.provides {
+                let Some(vname) = p.vspec.name.clone() else {
+                    continue;
+                };
+                by_virtual.entry(vname).or_default().push(ProviderEntry {
+                    package: pkg.name.clone(),
+                    interface_versions: p.vspec.versions.clone(),
+                    when: p.when.clone(),
+                });
+            }
+        }
+        // Deterministic candidate order: by package name, then by the
+        // provider constraint text, so ties break identically everywhere.
+        for entries in by_virtual.values_mut() {
+            entries.sort_by(|a, b| {
+                a.package.cmp(&b.package).then_with(|| {
+                    format_when(&a.when).cmp(&format_when(&b.when))
+                })
+            });
+        }
+        ProviderIndex { by_virtual }
+    }
+
+    /// Is this name a virtual interface (i.e. does anything provide it)?
+    pub fn is_virtual(&self, name: &str) -> bool {
+        self.by_virtual.contains_key(name)
+    }
+
+    /// All virtual names in the index.
+    pub fn virtual_names(&self) -> Vec<&str> {
+        self.by_virtual.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Candidates able to satisfy a constraint on a virtual interface:
+    /// entries whose provided interface versions overlap the requested
+    /// versions. E.g. `mpi@2:` excludes `mpich@1:` providing `mpi@:1`
+    /// (the Gerris example of Fig. 5).
+    pub fn candidates_for(&self, virtual_spec: &Spec) -> Vec<&ProviderEntry> {
+        let Some(name) = virtual_spec.name.as_deref() else {
+            return Vec::new();
+        };
+        match self.by_virtual.get(name) {
+            None => Vec::new(),
+            Some(entries) => entries
+                .iter()
+                .filter(|e| e.interface_versions.overlaps(&virtual_spec.versions))
+                .collect(),
+        }
+    }
+
+    /// Candidates restricted to one provider package (used when the user
+    /// forces a provider with `^mvapich2`).
+    pub fn candidates_from(&self, virtual_spec: &Spec, package: &str) -> Vec<&ProviderEntry> {
+        self.candidates_for(virtual_spec)
+            .into_iter()
+            .filter(|e| e.package == package)
+            .collect()
+    }
+}
+
+fn format_when(when: &Option<Spec>) -> String {
+    when.as_ref().map(|w| w.to_string()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_package::{PackageBuilder, Repository};
+
+    /// The exact provider layout of Fig. 5.
+    fn fig5_repo() -> RepoStack {
+        let mut repo = Repository::new("builtin");
+        repo.register(
+            PackageBuilder::new("mvapich2")
+                .version("1.9", "aa")
+                .version("2.0", "bb")
+                .provides_when("mpi@:2.2", "@1.9")
+                .provides_when("mpi@:3.0", "@2.0")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        repo.register(
+            PackageBuilder::new("mpich")
+                .version("1.2", "cc")
+                .version("3.0.4", "dd")
+                .provides_when("mpi@:3", "@3:")
+                .provides_when("mpi@:1", "@1:1.9")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        repo.register(
+            PackageBuilder::new("mpileaks")
+                .version("1.0", "ee")
+                .depends_on("mpi")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        repo.register(
+            PackageBuilder::new("gerris")
+                .version("1.0", "ff")
+                .depends_on("mpi@2:")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        RepoStack::with_builtin(repo)
+    }
+
+    #[test]
+    fn index_detects_virtuals() {
+        let idx = ProviderIndex::build(&fig5_repo());
+        assert!(idx.is_virtual("mpi"));
+        assert!(!idx.is_virtual("mpileaks"));
+        assert_eq!(idx.virtual_names(), vec!["mpi"]);
+    }
+
+    #[test]
+    fn fig5_unconstrained_mpi_has_all_providers() {
+        let idx = ProviderIndex::build(&fig5_repo());
+        let any_mpi = Spec::parse("mpi").unwrap();
+        let c = idx.candidates_for(&any_mpi);
+        // Four entries: mvapich2 x2, mpich x2.
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn fig5_gerris_needs_mpi2_excluding_old_mpich() {
+        // "Any version except mpich 1.x could be used to satisfy the
+        // constrained dependency."
+        let idx = ProviderIndex::build(&fig5_repo());
+        let mpi2 = Spec::parse("mpi@2:").unwrap();
+        let c = idx.candidates_for(&mpi2);
+        let names: Vec<String> = c
+            .iter()
+            .map(|e| format!("{} when {}", e.package, format_when(&e.when)))
+            .collect();
+        assert_eq!(c.len(), 3, "{names:?}");
+        assert!(!names.iter().any(|n| n.contains("mpi@:1")
+            || (n.starts_with("mpich") && n.contains("@1:1.9"))));
+    }
+
+    #[test]
+    fn forced_provider_restriction() {
+        let idx = ProviderIndex::build(&fig5_repo());
+        let any_mpi = Spec::parse("mpi").unwrap();
+        let only = idx.candidates_from(&any_mpi, "mvapich2");
+        assert_eq!(only.len(), 2);
+        assert!(only.iter().all(|e| e.package == "mvapich2"));
+    }
+
+    #[test]
+    fn unknown_virtual_yields_nothing() {
+        let idx = ProviderIndex::build(&fig5_repo());
+        assert!(idx
+            .candidates_for(&Spec::parse("blas").unwrap())
+            .is_empty());
+    }
+}

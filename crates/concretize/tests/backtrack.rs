@@ -1,0 +1,93 @@
+//! Tests for the backtracking concretizer (the paper's §4.5 future work):
+//! where greedy raises a conflict and makes the user resolve it, the
+//! backtracking solver explores alternative provider assignments.
+
+use spack_concretize::{BacktrackingConcretizer, Concretizer, Config};
+use spack_package::{PackageBuilder, RepoStack, Repository};
+use spack_spec::Spec;
+
+/// §4.5 world: `app` needs hwloc@1.9 and mpi; provider `strictmpi` pins
+/// hwloc@1.8 (conflict), provider `loosempi` accepts any hwloc.
+fn hwloc_world() -> RepoStack {
+    let mut r = Repository::new("builtin");
+    r.register(PackageBuilder::new("hwloc")
+        .version("1.8", "aa").version("1.9", "ab")
+        .build().unwrap()).unwrap();
+    r.register(PackageBuilder::new("strictmpi")
+        .version("1.0", "ba")
+        .provides("mpi@:3")
+        .depends_on("hwloc@1.8")
+        .build().unwrap()).unwrap();
+    r.register(PackageBuilder::new("loosempi")
+        .version("1.0", "ca")
+        .provides("mpi@:3")
+        .depends_on("hwloc")
+        .build().unwrap()).unwrap();
+    r.register(PackageBuilder::new("app")
+        .version("1.0", "da")
+        .depends_on("hwloc@1.9")
+        .depends_on("mpi")
+        .build().unwrap()).unwrap();
+    RepoStack::with_builtin(r)
+}
+
+fn config_preferring(provider: &str) -> Config {
+    let mut c = Config::with_defaults();
+    c.push_scope_text("site", &format!("providers mpi = {provider}\n")).unwrap();
+    c
+}
+
+#[test]
+fn greedy_fails_where_backtracking_succeeds() {
+    let repos = hwloc_world();
+    let cfg = config_preferring("strictmpi");
+    let request = Spec::parse("app").unwrap();
+
+    // Greedy: policy picks strictmpi, whose hwloc@1.8 contradicts the
+    // root's hwloc@1.9 — error, no backtracking (§3.4/§4.5).
+    assert!(Concretizer::new(&repos, &cfg).concretize(&request).is_err());
+
+    // Backtracking: tries the other provider and succeeds.
+    let (dag, stats) = BacktrackingConcretizer::new(&repos, &cfg)
+        .concretize_with_stats(&request)
+        .unwrap();
+    assert!(dag.by_name("loosempi").is_some());
+    let hwloc = dag.node(dag.by_name("hwloc").unwrap());
+    assert_eq!(hwloc.version.to_string(), "1.9");
+    assert!(stats.attempts > 1, "must have backtracked: {stats:?}");
+}
+
+#[test]
+fn backtracking_is_pass_through_when_greedy_succeeds() {
+    let repos = hwloc_world();
+    let cfg = config_preferring("loosempi");
+    let request = Spec::parse("app").unwrap();
+    let (dag, stats) = BacktrackingConcretizer::new(&repos, &cfg)
+        .concretize_with_stats(&request)
+        .unwrap();
+    assert_eq!(stats.attempts, 1);
+    assert!(dag.by_name("loosempi").is_some());
+}
+
+#[test]
+fn truly_unsatisfiable_still_fails() {
+    let repos = hwloc_world();
+    let cfg = config_preferring("strictmpi");
+    // Force the conflicting provider explicitly: no assignment can help.
+    let request = Spec::parse("app ^strictmpi").unwrap();
+    assert!(BacktrackingConcretizer::new(&repos, &cfg)
+        .concretize(&request)
+        .is_err());
+}
+
+#[test]
+fn attempt_bound_is_honored() {
+    let repos = hwloc_world();
+    let cfg = config_preferring("strictmpi");
+    let request = Spec::parse("app").unwrap();
+    // With a bound of 1, only the greedy attempt runs — failure stands.
+    assert!(BacktrackingConcretizer::new(&repos, &cfg)
+        .with_max_attempts(1)
+        .concretize(&request)
+        .is_err());
+}

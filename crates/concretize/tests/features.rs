@@ -1,0 +1,140 @@
+//! Integration tests for compiler-feature dependencies (§4.5 extension):
+//! packages that need C++11 or OpenMP levels steer compiler selection,
+//! and C++ ABI consistency is enforced DAG-wide.
+
+use spack_concretize::{Concretizer, ConcretizeError, Config};
+use spack_package::{PackageBuilder, RepoStack, Repository};
+use spack_spec::Spec;
+
+fn world() -> RepoStack {
+    let mut r = Repository::new("builtin");
+    r.register(
+        PackageBuilder::new("oldlib")
+            .version("1.0", "aa")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    r.register(
+        PackageBuilder::new("modern")
+            .version("1.0", "bb")
+            .requires_feature("cxx11")
+            .depends_on("oldlib")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    r.register(
+        PackageBuilder::new("openmp4app")
+            .version("1.0", "cc")
+            .requires_feature("openmp@4:")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    r.register(
+        PackageBuilder::new("cxxpair")
+            .version("1.0", "dd")
+            .requires_feature("cxx11")
+            .depends_on("modern")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    RepoStack::with_builtin(r)
+}
+
+fn config() -> Config {
+    let mut c = Config::new();
+    c.register_compiler("gcc", "4.7.4", &[]); // no cxx11, OpenMP 3.1
+    c.register_compiler("gcc", "4.9.3", &[]); // cxx11, OpenMP 4.0
+    c.register_compiler("intel", "14.0.4", &[]); // neither
+    c.push_scope_text("site", "arch = linux-x86_64\ncompiler = gcc\n").unwrap();
+    c
+}
+
+#[test]
+fn feature_requirement_steers_version_choice() {
+    let repos = world();
+    let mut cfg = config();
+    // Site prefers the old gcc...
+    cfg.push_scope_text("user", "compiler_order = gcc@4.7.4\n").unwrap();
+    let c = Concretizer::new(&repos, &cfg);
+    // ...and plain packages get it...
+    let dag = c.concretize(&Spec::parse("oldlib").unwrap()).unwrap();
+    assert_eq!(dag.root_node().compiler.to_string(), "gcc@4.7.4");
+    // ...but a cxx11 package is steered to gcc 4.9.3.
+    let dag = c.concretize(&Spec::parse("modern").unwrap()).unwrap();
+    assert_eq!(dag.root_node().compiler.to_string(), "gcc@4.9.3");
+}
+
+#[test]
+fn versioned_openmp_requirement() {
+    let repos = world();
+    let cfg = config();
+    let c = Concretizer::new(&repos, &cfg);
+    let dag = c.concretize(&Spec::parse("openmp4app").unwrap()).unwrap();
+    assert_eq!(dag.root_node().compiler.to_string(), "gcc@4.9.3");
+    // Constraining to the old gcc is an explicit feature error.
+    let err = c
+        .concretize(&Spec::parse("openmp4app%gcc@4.7.4").unwrap())
+        .unwrap_err();
+    assert!(matches!(err, ConcretizeError::FeatureUnsupported { .. }), "{err}");
+}
+
+#[test]
+fn constrained_compiler_upgrades_within_constraint() {
+    let repos = world();
+    let cfg = config();
+    let c = Concretizer::new(&repos, &cfg);
+    // `%gcc` resolves to the newest gcc anyway; `%gcc@4.7:` must skip
+    // 4.7.4 (no cxx11) and land on 4.9.3.
+    let dag = c.concretize(&Spec::parse("modern%gcc@4.7:").unwrap()).unwrap();
+    assert_eq!(dag.root_node().compiler.to_string(), "gcc@4.9.3");
+}
+
+#[test]
+fn no_capable_compiler_is_an_error() {
+    let repos = world();
+    let mut cfg = Config::new();
+    cfg.register_compiler("intel", "14.0.4", &[]); // lacks cxx11
+    cfg.push_scope_text("site", "arch = linux-x86_64\ncompiler = intel\n").unwrap();
+    let err = Concretizer::new(&repos, &cfg)
+        .concretize(&Spec::parse("modern").unwrap())
+        .unwrap_err();
+    assert!(matches!(err, ConcretizeError::FeatureUnsupported { .. }));
+}
+
+#[test]
+fn abi_mismatch_is_refused() {
+    let repos = world();
+    let mut cfg = config();
+    cfg.register_compiler("clang", "3.6.2", &[]); // also cxx11-capable
+    let c = Concretizer::new(&repos, &cfg);
+    // Forcing different C++ compilers on two cxx11 nodes breaks the ABI.
+    let err = c
+        .concretize(&Spec::parse("cxxpair%clang ^modern%gcc@4.9.3").unwrap())
+        .unwrap_err();
+    assert!(matches!(err, ConcretizeError::AbiMismatch(_)), "{err}");
+    // Consistent compilers are fine.
+    let dag = c
+        .concretize(&Spec::parse("cxxpair%gcc@4.9.3").unwrap())
+        .unwrap();
+    assert_eq!(dag.len(), 3);
+}
+
+#[test]
+fn custom_feature_registry() {
+    use spack_concretize::FeatureRegistry;
+    let repos = world();
+    let mut cfg = config();
+    // A site that claims its ancient gcc was patched for C++11.
+    let mut features = FeatureRegistry::with_defaults();
+    features.register("gcc", "4.7.4", "cxx11", ":").unwrap();
+    cfg.set_features(features);
+    cfg.push_scope_text("user", "compiler_order = gcc@4.7.4\n").unwrap();
+    let dag = Concretizer::new(&repos, &cfg)
+        .concretize(&Spec::parse("modern").unwrap())
+        .unwrap();
+    assert_eq!(dag.root_node().compiler.to_string(), "gcc@4.7.4");
+}

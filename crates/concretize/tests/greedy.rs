@@ -1,0 +1,410 @@
+//! Integration tests for the greedy concretizer against the paper's own
+//! scenarios: the mpileaks DAG of Figs. 2 and 7, the versioned virtual
+//! dependencies of Fig. 5, conditional dependencies (§3.2.4), site
+//! policies (§3.4.4, §4.3.1), and the greedy-conflict behavior of §4.5.
+
+use spack_concretize::{Concretizer, ConcretizeError, Config};
+use spack_package::{PackageBuilder, RepoStack, Repository};
+use spack_spec::Spec;
+
+/// The package universe used throughout the paper: mpileaks and its
+/// dependencies (Fig. 2), the MPI providers of Fig. 5, and the hwloc
+/// conflict example of §4.5.
+fn paper_repo() -> RepoStack {
+    let mut r = Repository::new("builtin");
+    let reg = |r: &mut Repository, p| r.register(p).unwrap();
+
+    reg(&mut r, PackageBuilder::new("mpileaks")
+        .describe("Tool to detect and report leaked MPI objects.")
+        .version("1.0", "8838c574b39202a57d7c2d68692718aa")
+        .version("1.1", "4282eddb08ad8d36df15b06d4be38bcb")
+        .version("2.3", "77cc77cc77cc77cc77cc77cc77cc77cc")
+        .variant("debug", false, "debug instrumentation")
+        .depends_on("mpi")
+        .depends_on("callpath")
+        .build().unwrap());
+
+    reg(&mut r, PackageBuilder::new("callpath")
+        .version("1.0", "aa").version("1.0.2", "ab").version("1.1", "ac")
+        .variant("debug", false, "debug symbols")
+        .depends_on("dyninst")
+        .depends_on("mpi")
+        .build().unwrap());
+
+    reg(&mut r, PackageBuilder::new("dyninst")
+        .version("8.0", "ba").version("8.1.2", "bb")
+        .depends_on("libdwarf")
+        .depends_on("libelf")
+        .build().unwrap());
+
+    reg(&mut r, PackageBuilder::new("libdwarf")
+        .version("20130207", "ca").version("20130729", "cb")
+        .depends_on("libelf")
+        .build().unwrap());
+
+    reg(&mut r, PackageBuilder::new("libelf")
+        .version("0.8.11", "da").version("0.8.13", "db")
+        .build().unwrap());
+
+    // Fig. 5 providers.
+    reg(&mut r, PackageBuilder::new("mvapich2")
+        .version("1.9", "ea").version("2.0", "eb")
+        .provides_when("mpi@:2.2", "@1.9")
+        .provides_when("mpi@:3.0", "@2.0")
+        .build().unwrap());
+
+    reg(&mut r, PackageBuilder::new("mpich")
+        .version("1.2", "fa").version("3.0.4", "fb")
+        .provides_when("mpi@:3", "@3:")
+        .provides_when("mpi@:1", "@1:1.9")
+        .build().unwrap());
+
+    reg(&mut r, PackageBuilder::new("openmpi")
+        .version("1.4.7", "ga").version("1.8.8", "gb")
+        .provides("mpi@:2.2")
+        .build().unwrap());
+
+    // Fig. 5 dependent with a versioned interface requirement.
+    reg(&mut r, PackageBuilder::new("gerris")
+        .version("1.0", "ha")
+        .depends_on("mpi@2:")
+        .build().unwrap());
+
+    // §4.5 hwloc conflict: strict-mpi pins hwloc@1.8, loose-mpi is fine.
+    reg(&mut r, PackageBuilder::new("hwloc")
+        .version("1.8", "ia").version("1.9", "ib")
+        .build().unwrap());
+    reg(&mut r, PackageBuilder::new("strictmpi")
+        .version("1.0", "ja")
+        .provides("mpi@:3")
+        .depends_on("hwloc@1.8")
+        .build().unwrap());
+    reg(&mut r, PackageBuilder::new("loosempi")
+        .version("1.0", "ka")
+        .provides("mpi@:3")
+        .depends_on("hwloc")
+        .build().unwrap());
+    reg(&mut r, PackageBuilder::new("needs-hwloc19")
+        .version("1.0", "la")
+        .depends_on("hwloc@1.9")
+        .depends_on("mpi")
+        .build().unwrap());
+
+    // §3.2.4 conditional dependencies.
+    reg(&mut r, PackageBuilder::new("boost")
+        .version("1.54.0", "ma").version("1.59.0", "mb")
+        .build().unwrap());
+    reg(&mut r, PackageBuilder::new("rose")
+        .version("0.9.6", "na")
+        .depends_on_when("boost@1.54.0", "%gcc@:4")
+        .depends_on_when("boost@1.59.0", "%gcc@5:")
+        .build().unwrap());
+    reg(&mut r, PackageBuilder::new("hdf5")
+        .version("1.8.13", "oa")
+        .variant("mpi", true, "parallel HDF5")
+        .depends_on_when("mpi", "+mpi")
+        .build().unwrap());
+
+    RepoStack::with_builtin(r)
+}
+
+fn config() -> Config {
+    let mut c = Config::new();
+    c.register_compiler("gcc", "4.7.3", &[]);
+    c.register_compiler("gcc", "4.9.2", &[]);
+    c.register_compiler("gcc", "5.2.0", &[]);
+    c.register_compiler("intel", "14.1", &[]);
+    c.register_compiler("xl", "12.1", &["bgq"]);
+    c.push_scope_text("site", "arch = linux-x86_64\ncompiler = gcc\n").unwrap();
+    c
+}
+
+fn concretize(text: &str) -> Result<spack_spec::ConcreteDag, ConcretizeError> {
+    let repos = paper_repo();
+    let cfg = config();
+    Concretizer::new(&repos, &cfg).concretize(&Spec::parse(text).unwrap())
+}
+
+#[test]
+fn fig2a_unconstrained_mpileaks_builds_full_dag() {
+    let dag = concretize("mpileaks").unwrap();
+    // mpileaks, callpath, dyninst, libdwarf, libelf + one MPI provider.
+    assert_eq!(dag.len(), 6);
+    assert_eq!(dag.root_node().name, "mpileaks");
+    for pkg in ["callpath", "dyninst", "libdwarf", "libelf"] {
+        assert!(dag.by_name(pkg).is_some(), "missing {pkg}");
+    }
+    // Exactly one MPI provider, no virtual node.
+    let mpis: Vec<&str> = ["mpich", "mvapich2", "openmpi"]
+        .into_iter()
+        .filter(|m| dag.by_name(m).is_some())
+        .collect();
+    assert_eq!(mpis.len(), 1);
+    assert!(dag.by_name("mpi").is_none());
+}
+
+#[test]
+fn fig7_all_parameters_concrete() {
+    let dag = concretize("mpileaks").unwrap();
+    for node in dag.nodes() {
+        assert_eq!(node.architecture, "linux-x86_64");
+        assert_eq!(node.compiler.name, "gcc");
+        // Newest registered gcc.
+        assert_eq!(node.compiler.version.to_string(), "5.2.0");
+    }
+    // Newest versions chosen by default.
+    assert_eq!(dag.root_node().version.to_string(), "2.3");
+    let libelf = dag.node(dag.by_name("libelf").unwrap());
+    assert_eq!(libelf.version.to_string(), "0.8.13");
+    // Defaults fill unrequested variants.
+    assert_eq!(dag.root_node().variants.get("debug"), Some(&false));
+}
+
+#[test]
+fn fig2b_version_constraint_on_root() {
+    let dag = concretize("mpileaks@2.3").unwrap();
+    assert_eq!(dag.root_node().version.to_string(), "2.3");
+    let dag = concretize("mpileaks@:1.0").unwrap();
+    assert_eq!(dag.root_node().version.to_string(), "1.0");
+}
+
+#[test]
+fn fig2c_dependency_constraints_apply_anywhere() {
+    let dag = concretize("mpileaks@2.3 ^callpath@1.0+debug ^libelf@0.8.11").unwrap();
+    let callpath = dag.node(dag.by_name("callpath").unwrap());
+    // `@1.0` has prefix-inclusive semantics (as in 2015 Spack), so the
+    // newest 1.0-prefixed release wins.
+    assert_eq!(callpath.version.to_string(), "1.0.2");
+    assert_eq!(callpath.variants.get("debug"), Some(&true));
+    // libelf is a transitive dependency (via dyninst and libdwarf), yet
+    // the constraint reaches it by name.
+    let libelf = dag.node(dag.by_name("libelf").unwrap());
+    assert_eq!(libelf.version.to_string(), "0.8.11");
+}
+
+#[test]
+fn compiler_constraint_propagates_to_dag() {
+    let dag = concretize("mpileaks%gcc@4.7.3").unwrap();
+    for node in dag.nodes() {
+        assert_eq!(node.compiler.to_string(), "gcc@4.7.3", "{}", node.name);
+    }
+}
+
+#[test]
+fn dependency_compiler_can_differ() {
+    // Table 2 row 7: callpath built with gcc@4.7.3 while the root uses
+    // gcc@4.9.2.
+    let dag = concretize("mpileaks%gcc@4.9.2 ^callpath%gcc@4.7.3").unwrap();
+    let root = dag.root_node();
+    assert_eq!(root.compiler.to_string(), "gcc@4.9.2");
+    let callpath = dag.node(dag.by_name("callpath").unwrap());
+    assert_eq!(callpath.compiler.to_string(), "gcc@4.7.3");
+    // Nodes without their own constraint inherit the root's.
+    let libelf = dag.node(dag.by_name("libelf").unwrap());
+    assert_eq!(libelf.compiler.to_string(), "gcc@4.9.2");
+}
+
+#[test]
+fn forcing_an_mpi_provider() {
+    // §3.4: "force the build to use a particular MPI implementation by
+    // supplying ^openmpi or ^mpich".
+    for provider in ["openmpi", "mpich", "mvapich2"] {
+        let dag = concretize(&format!("mpileaks ^{provider}")).unwrap();
+        assert!(dag.by_name(provider).is_some(), "forced {provider}");
+    }
+}
+
+#[test]
+fn fig5_gerris_rejects_old_mpich() {
+    // gerris needs mpi@2:; if the user forces mpich, version 3.0.4 (which
+    // provides mpi@:3) must be chosen, not 1.2 (mpi@:1).
+    let dag = concretize("gerris ^mpich").unwrap();
+    let mpich = dag.node(dag.by_name("mpich").unwrap());
+    assert_eq!(mpich.version.to_string(), "3.0.4");
+}
+
+#[test]
+fn fig5_interface_version_selects_provider_version() {
+    // Asking for MPI interface 3.0 rules out mvapich2@1.9 (mpi@:2.2), so
+    // mvapich2@2.0 (mpi@:3.0) is selected.
+    let dag = concretize("mpileaks ^mpi@3.0 ^mvapich2").unwrap();
+    let mv = dag.node(dag.by_name("mvapich2").unwrap());
+    assert_eq!(mv.version.to_string(), "2.0");
+    // Conversely, pinning the provider version picks the compatible
+    // provides() entry instead of the most capable one.
+    let dag = concretize("mpileaks ^mvapich2@1.9").unwrap();
+    let mv = dag.node(dag.by_name("mvapich2").unwrap());
+    assert_eq!(mv.version.to_string(), "1.9");
+}
+
+#[test]
+fn one_mpi_implementation_per_dag() {
+    // Both mpileaks and callpath depend on mpi; they must share one
+    // provider node (§3.2.1: one configuration per package per DAG).
+    let dag = concretize("mpileaks").unwrap();
+    let provider = ["mpich", "mvapich2", "openmpi"]
+        .into_iter()
+        .find(|m| dag.by_name(m).is_some())
+        .unwrap();
+    let pid = dag.by_name(provider).unwrap();
+    let root_deps = &dag.root_node().deps;
+    let callpath = dag.node(dag.by_name("callpath").unwrap());
+    assert!(root_deps.contains(&pid));
+    assert!(callpath.deps.contains(&pid));
+}
+
+#[test]
+fn conditional_dependency_on_compiler_version() {
+    // §3.2.4 ROSE example.
+    let dag = concretize("rose%gcc@4.9.2").unwrap();
+    let boost = dag.node(dag.by_name("boost").unwrap());
+    assert_eq!(boost.version.to_string(), "1.54.0");
+    let dag = concretize("rose%gcc@5.2.0").unwrap();
+    let boost = dag.node(dag.by_name("boost").unwrap());
+    assert_eq!(boost.version.to_string(), "1.59.0");
+}
+
+#[test]
+fn conditional_dependency_on_variant() {
+    // §3.2.4: depends_on('mpi', when='+mpi').
+    let with_mpi = concretize("hdf5+mpi").unwrap();
+    assert!(with_mpi.len() >= 2, "expected an MPI provider");
+    let without = concretize("hdf5~mpi").unwrap();
+    assert_eq!(without.len(), 1);
+    // Default variant value (+mpi) applies when unspecified.
+    let default = concretize("hdf5").unwrap();
+    assert!(default.len() >= 2);
+}
+
+#[test]
+fn greedy_conflict_hwloc_example() {
+    // §4.5: the policy-chosen MPI pins hwloc@1.8 while the root needs
+    // hwloc@1.9. Greedy refuses rather than backtracking.
+    let repos = paper_repo();
+    let mut cfg = config();
+    cfg.push_scope_text("user", "providers mpi = strictmpi\n").unwrap();
+    let err = Concretizer::new(&repos, &cfg)
+        .concretize(&Spec::parse("needs-hwloc19").unwrap())
+        .unwrap_err();
+    assert!(matches!(err, ConcretizeError::Conflict(_)), "{err}");
+    // Being explicit (the paper's suggested user fix) resolves it.
+    let dag = Concretizer::new(&repos, &cfg)
+        .concretize(&Spec::parse("needs-hwloc19 ^loosempi").unwrap())
+        .unwrap();
+    assert!(dag.by_name("loosempi").is_some());
+}
+
+#[test]
+fn provider_order_policy_is_respected() {
+    let repos = paper_repo();
+    let mut cfg = config();
+    cfg.push_scope_text("site", "providers mpi = openmpi,mpich\n").unwrap();
+    let dag = Concretizer::new(&repos, &cfg)
+        .concretize(&Spec::parse("mpileaks").unwrap())
+        .unwrap();
+    assert!(dag.by_name("openmpi").is_some());
+}
+
+#[test]
+fn compiler_order_policy_is_respected() {
+    // §4.3.1: compiler_order = icc,gcc@4.9.3 — here intel first.
+    let repos = paper_repo();
+    let mut cfg = config();
+    cfg.push_scope_text("user", "compiler_order = intel,gcc\n").unwrap();
+    let dag = Concretizer::new(&repos, &cfg)
+        .concretize(&Spec::parse("libelf").unwrap())
+        .unwrap();
+    assert_eq!(dag.root_node().compiler.name, "intel");
+}
+
+#[test]
+fn version_preference_policy() {
+    let repos = paper_repo();
+    let mut cfg = config();
+    cfg.push_scope_text("site", "prefer libelf = 0.8.11\n").unwrap();
+    let dag = Concretizer::new(&repos, &cfg)
+        .concretize(&Spec::parse("mpileaks").unwrap())
+        .unwrap();
+    let libelf = dag.node(dag.by_name("libelf").unwrap());
+    assert_eq!(libelf.version.to_string(), "0.8.11");
+    // An explicit request still overrides the preference.
+    let dag = Concretizer::new(&repos, &cfg)
+        .concretize(&Spec::parse("mpileaks ^libelf@0.8.13").unwrap())
+        .unwrap();
+    let libelf = dag.node(dag.by_name("libelf").unwrap());
+    assert_eq!(libelf.version.to_string(), "0.8.13");
+}
+
+#[test]
+fn variant_preference_policy() {
+    let repos = paper_repo();
+    let mut cfg = config();
+    cfg.push_scope_text("site", "variants mpileaks = +debug\n").unwrap();
+    let dag = Concretizer::new(&repos, &cfg)
+        .concretize(&Spec::parse("mpileaks").unwrap())
+        .unwrap();
+    assert_eq!(dag.root_node().variants.get("debug"), Some(&true));
+}
+
+#[test]
+fn unknown_version_is_extrapolated_when_pinned() {
+    // §3.2.3: "If the user requests a specific version on the command line
+    // that is unknown to Spack, Spack will attempt to fetch and install it."
+    let dag = concretize("libelf@0.8.14").unwrap();
+    assert_eq!(dag.root_node().version.to_string(), "0.8.14");
+    // But an unsatisfiable *range* is an error.
+    let err = concretize("libelf@2:").unwrap_err();
+    assert!(matches!(err, ConcretizeError::NoSatisfyingVersion { .. }));
+}
+
+#[test]
+fn error_cases() {
+    assert!(matches!(
+        concretize("no-such-package"),
+        Err(ConcretizeError::UnknownPackage(_))
+    ));
+    assert!(matches!(
+        concretize("mpileaks+nonexistent-variant"),
+        Err(ConcretizeError::UnknownVariant { .. })
+    ));
+    assert!(matches!(
+        concretize("gerris ^mpi@9:"),
+        Err(ConcretizeError::NoProvider { .. })
+    ));
+    // ^name that is not a dependency of the root.
+    assert!(matches!(
+        concretize("libelf ^boost"),
+        Err(ConcretizeError::Conflict(_))
+    ));
+}
+
+#[test]
+fn conflicting_user_and_package_constraints_error() {
+    // gerris (package file) needs mpi@2:, the user demands mpi@:1 —
+    // the intersection is empty, so no provider can satisfy it.
+    assert!(concretize("gerris ^mpi@:1").is_err());
+    // Inline contradictions are caught at parse time already.
+    assert!(Spec::parse("mpileaks@1.0@2.0").is_err());
+}
+
+#[test]
+fn root_can_be_virtual() {
+    // `spack install mpi` — pick and build a provider directly.
+    let dag = concretize("mpi").unwrap();
+    assert!(["mpich", "mvapich2", "openmpi", "strictmpi", "loosempi"]
+        .contains(&dag.root_node().name.as_str()));
+}
+
+#[test]
+fn concretization_is_deterministic() {
+    let a = concretize("mpileaks ^mvapich2@1.9 ^callpath@1.0+debug").unwrap();
+    let b = concretize("mpileaks ^mvapich2@1.9 ^callpath@1.0+debug").unwrap();
+    assert_eq!(spack_spec::dag_hash(&a), spack_spec::dag_hash(&b));
+}
+
+#[test]
+fn concrete_dag_satisfies_original_request() {
+    let request = Spec::parse("mpileaks@1.1:2.3+debug ^libelf@0.8.11").unwrap();
+    let dag = concretize("mpileaks@1.1:2.3+debug ^libelf@0.8.11").unwrap();
+    assert!(dag.satisfies(&request));
+}

@@ -1,0 +1,67 @@
+//! Tests for the concretization statistics used by the Fig. 8 harness.
+
+use spack_concretize::{Concretizer, Config};
+use spack_package::{PackageBuilder, RepoStack, Repository};
+use spack_spec::Spec;
+
+fn world() -> (RepoStack, Config) {
+    let mut r = Repository::new("builtin");
+    r.register(PackageBuilder::new("leaf").version("1.0", "aa").build().unwrap()).unwrap();
+    r.register(
+        PackageBuilder::new("mid")
+            .version("1.0", "ba")
+            .depends_on("leaf")
+            .depends_on("iface")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    r.register(
+        PackageBuilder::new("impl-a")
+            .version("1.0", "ca")
+            .provides("iface@:2")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    r.register(
+        PackageBuilder::new("root")
+            .version("1.0", "da")
+            .depends_on("mid")
+            .depends_on("iface")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let mut c = Config::new();
+    c.register_compiler("gcc", "4.9.3", &[]);
+    c.push_scope_text("site", "arch = linux-x86_64\ncompiler = gcc\n").unwrap();
+    (RepoStack::with_builtin(r), c)
+}
+
+#[test]
+fn stats_reflect_the_solve() {
+    let (repos, config) = world();
+    let (dag, stats) = Concretizer::new(&repos, &config)
+        .concretize_with_stats(&Spec::parse("root").unwrap())
+        .unwrap();
+    assert_eq!(dag.len(), 4);
+    assert_eq!(stats.dag_nodes, 4);
+    // Every node's parameters were pinned exactly once.
+    assert_eq!(stats.pins, 4);
+    // One virtual interface was resolved (consistently, for two edges).
+    assert_eq!(stats.virtuals_resolved, 1);
+    // At least one propagation pass per pin plus the final quiescent one.
+    assert!(stats.propagation_passes >= stats.pins);
+}
+
+#[test]
+fn single_node_solve_is_minimal() {
+    let (repos, config) = world();
+    let (dag, stats) = Concretizer::new(&repos, &config)
+        .concretize_with_stats(&Spec::parse("leaf").unwrap())
+        .unwrap();
+    assert_eq!(dag.len(), 1);
+    assert_eq!(stats.pins, 1);
+    assert_eq!(stats.virtuals_resolved, 0);
+}

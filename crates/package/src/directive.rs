@@ -1,0 +1,142 @@
+//! Directive data model: the metadata added by the package DSL.
+//!
+//! In Spack, packages are Python classes and directives (`version`,
+//! `depends_on`, `provides`, `patch`, ...) are DSL functions that attach
+//! metadata to the class (SC'15 §3.1). Here each directive is a plain
+//! struct collected by the [`crate::package::PackageBuilder`]. All `when=`
+//! predicates are anonymous [`Spec`]s matched against the node being
+//! concretized (§3.2.4).
+
+use spack_spec::{Spec, Version};
+
+/// A known version of a package together with its download checksum
+/// (Fig. 1: `version('1.0', '8838c574b39202a57d7c2d68692718aa')`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionDirective {
+    /// The version this directive declares.
+    pub version: Version,
+    /// MD5 checksum of the release tarball, when known ("safe" versions).
+    /// `None` for versions extrapolated from URLs (§3.2.3 "Versions").
+    pub checksum: Option<String>,
+    /// Whether site policy should prefer this version (used sparingly,
+    /// e.g. to steer away from a broken release).
+    pub preferred: bool,
+}
+
+/// How a dependency is used by the dependent. The paper's build
+/// methodology distinguishes what must be present at build time (headers,
+/// compiler wrappers) from what is linked and what is needed at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Needed to build (e.g. cmake): added to PATH in the build env.
+    Build,
+    /// Linked against: contributes -I/-L/-rpath flags via wrappers.
+    Link,
+    /// Needed when the installed package runs (e.g. interpreter).
+    Run,
+}
+
+/// A `depends_on(spec, when=...)` directive (Fig. 1, §3.2.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependencyDirective {
+    /// Constraint on the dependency, e.g. `callpath@1.54.0` or `mpi@2:`.
+    /// The name may be a virtual package.
+    pub spec: Spec,
+    /// Optional predicate: the dependency exists only when the dependent's
+    /// node spec satisfies this condition (e.g. `+mpi`, `%gcc@:4`).
+    pub when: Option<Spec>,
+    /// Usage kind; `Link` is the default, as in Spack.
+    pub kind: DepKind,
+}
+
+/// A `provides(vspec, when=...)` directive for versioned virtual
+/// dependencies (§3.3, Fig. 5): `provides('mpi@:2.2', when='@1.9')`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvidesDirective {
+    /// The virtual interface provided, possibly versioned (`mpi@:3`).
+    pub vspec: Spec,
+    /// Provider versions for which this holds (`@2.0` or a range).
+    pub when: Option<Spec>,
+}
+
+/// A `patch(name, when=...)` directive (§3.2.4): a source patch applied
+/// before building when the node matches the predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchDirective {
+    /// Patch file name, e.g. `python-bgq-xlc.patch`.
+    pub name: String,
+    /// Apply only when the node satisfies this predicate
+    /// (e.g. `=bgq%xl`).
+    pub when: Option<Spec>,
+}
+
+/// A named build option (§3.2.3 "Variants"): a boolean flag with a
+/// default, e.g. `debug` or `mpi`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantDirective {
+    /// Variant name as used in `+name`/`~name`.
+    pub name: String,
+    /// Value chosen when neither the user nor policy sets it.
+    pub default: bool,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// A declared conflict: building is refused when the node satisfies
+/// `spec` (and `when`, if given). Mirrors Spack's `conflicts()` directive,
+/// the declarative form of "this combination is known not to build".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictDirective {
+    /// The conflicting condition, e.g. `%xl` for a package that cannot
+    /// build with XL compilers.
+    pub spec: Spec,
+    /// Optional scoping predicate.
+    pub when: Option<Spec>,
+    /// Explanation shown to the user.
+    pub message: String,
+}
+
+/// Evaluate a `when=` predicate against a node spec. `None` always holds.
+pub fn when_matches(when: &Option<Spec>, node: &Spec) -> bool {
+    match when {
+        None => true,
+        Some(cond) => node.node_satisfies(cond),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn when_none_always_matches() {
+        let node = Spec::parse("libelf@0.8.11%gcc@4.9=linux-x86_64").unwrap();
+        assert!(when_matches(&None, &node));
+    }
+
+    #[test]
+    fn when_predicates_match_node_params() {
+        let node = Spec::parse("python@2.7.9%xl@12.1+shared=bgq").unwrap();
+        let cond = |s: &str| Some(Spec::parse(s).unwrap());
+        assert!(when_matches(&cond("=bgq"), &node));
+        assert!(when_matches(&cond("=bgq%xl"), &node));
+        assert!(when_matches(&cond("@2.7:"), &node));
+        assert!(when_matches(&cond("+shared"), &node));
+        assert!(!when_matches(&cond("=bgq%clang"), &node));
+        assert!(!when_matches(&cond("@3:"), &node));
+        assert!(!when_matches(&cond("~shared"), &node));
+    }
+
+    #[test]
+    fn when_compiler_ranges() {
+        // The ROSE example from §3.2.4: different boost per compiler.
+        let gcc4 = Spec::parse("rose@0.9%gcc@4.8=linux-x86_64").unwrap();
+        let gcc5 = Spec::parse("rose@0.9%gcc@5.1=linux-x86_64").unwrap();
+        let old = Some(Spec::parse("%gcc@:4").unwrap());
+        let new = Some(Spec::parse("%gcc@5:").unwrap());
+        assert!(when_matches(&old, &gcc4));
+        assert!(!when_matches(&old, &gcc5));
+        assert!(when_matches(&new, &gcc5));
+        assert!(!when_matches(&new, &gcc4));
+    }
+}

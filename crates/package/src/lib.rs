@@ -1,0 +1,43 @@
+//! # spack-package
+//!
+//! The package layer of `spack-rs` (SC'15 §3.1–§3.3, §4.3.2): package
+//! definitions as *templates* that can be built in many configurations,
+//! the directive DSL (`version`, `depends_on(when=)`, `provides(when=)`,
+//! `patch(when=)`, `variant`, `conflicts`, `extends`), predicate-dispatched
+//! build rules (the `@when` decorator of Fig. 4), URL extrapolation from
+//! versions, and stacked package repositories with site overrides.
+//!
+//! Packages here are declarative Rust values rather than Python classes,
+//! but the information content matches Fig. 1 of the paper one-for-one:
+//!
+//! ```
+//! use spack_package::{PackageBuilder, BuildRecipe};
+//!
+//! let pkg = PackageBuilder::new("mpileaks")
+//!     .describe("Tool to detect and report leaked MPI objects.")
+//!     .version("1.0", "8838c574b39202a57d7c2d68692718aa")
+//!     .depends_on("mpi")
+//!     .depends_on("callpath")
+//!     .install(BuildRecipe::autotools())
+//!     .build()
+//!     .unwrap();
+//! assert!(pkg.all_dependency_names().contains("mpi"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod directive;
+pub mod multimethod;
+pub mod package;
+pub mod recipe;
+pub mod repo;
+pub mod url;
+
+pub use directive::{
+    when_matches, ConflictDirective, DepKind, DependencyDirective, PatchDirective,
+    ProvidesDirective, VariantDirective, VersionDirective,
+};
+pub use multimethod::Multimethod;
+pub use package::{PackageBuilder, PackageDef};
+pub use recipe::{BuildRecipe, BuildWorkload};
+pub use repo::{RepoStack, Repository};

@@ -1,0 +1,114 @@
+//! Predicate-dispatched build rules: the `@when` decorator (SC'15 §3.2.5).
+//!
+//! Spack lets a package define several `install` methods, each guarded by
+//! a spec predicate, so old and new build logic coexist without tangled
+//! conditionals (Fig. 4: Dyninst uses autotools at `@:8.1` and CMake
+//! after). [`Multimethod`] reproduces that dispatch for any rule type:
+//! cases are tried in declaration order, the first whose predicate the
+//! node satisfies wins, and a default applies when no predicate matches.
+
+use spack_spec::Spec;
+
+use crate::directive::when_matches;
+
+/// An ordered set of predicate-guarded cases with an optional default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Multimethod<T> {
+    cases: Vec<(Spec, T)>,
+    default: Option<T>,
+}
+
+impl<T> Default for Multimethod<T> {
+    fn default() -> Self {
+        Multimethod {
+            cases: Vec::new(),
+            default: None,
+        }
+    }
+}
+
+impl<T> Multimethod<T> {
+    /// An empty multimethod with no cases and no default.
+    pub fn new() -> Multimethod<T> {
+        Multimethod::default()
+    }
+
+    /// Set the default rule (the undecorated method).
+    pub fn set_default(&mut self, value: T) {
+        self.default = Some(value);
+    }
+
+    /// Add a guarded case (`@when('@:8.1')`). Cases are consulted in the
+    /// order added.
+    pub fn add_case(&mut self, when: Spec, value: T) {
+        self.cases.push((when, value));
+    }
+
+    /// Resolve against a node spec: first matching case, else the default.
+    pub fn resolve(&self, node: &Spec) -> Option<&T> {
+        for (when, value) in &self.cases {
+            if when_matches(&Some(when.clone()), node) {
+                return Some(value);
+            }
+        }
+        self.default.as_ref()
+    }
+
+    /// Number of guarded cases.
+    pub fn case_count(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Whether a default rule exists.
+    pub fn has_default(&self) -> bool {
+        self.default.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::BuildRecipe;
+
+    fn node(text: &str) -> Spec {
+        Spec::parse(text).unwrap()
+    }
+
+    /// Fig. 4: dyninst <= 8.1 uses autotools, default is cmake.
+    fn dyninst_install() -> Multimethod<BuildRecipe> {
+        let mut m = Multimethod::new();
+        m.set_default(BuildRecipe::cmake());
+        m.add_case(node("@:8.1"), BuildRecipe::autotools());
+        m
+    }
+
+    #[test]
+    fn fig4_dyninst_dispatch() {
+        let m = dyninst_install();
+        let old = node("dyninst@8.0%gcc@4.9=linux-x86_64");
+        let boundary = node("dyninst@8.1.2%gcc@4.9=linux-x86_64");
+        let new = node("dyninst@8.2%gcc@4.9=linux-x86_64");
+        assert_eq!(m.resolve(&old), Some(&BuildRecipe::autotools()));
+        // 8.1.2 is within the prefix-inclusive upper bound @:8.1.
+        assert_eq!(m.resolve(&boundary), Some(&BuildRecipe::autotools()));
+        assert_eq!(m.resolve(&new), Some(&BuildRecipe::cmake()));
+    }
+
+    #[test]
+    fn first_matching_case_wins() {
+        let mut m = Multimethod::new();
+        m.add_case(node("%gcc"), 1);
+        m.add_case(node("%gcc@4:"), 2);
+        let n = node("x@1%gcc@4.9=linux-x86_64");
+        assert_eq!(m.resolve(&n), Some(&1));
+    }
+
+    #[test]
+    fn no_match_no_default_is_none() {
+        let mut m: Multimethod<u8> = Multimethod::new();
+        m.add_case(node("%xl"), 1);
+        assert_eq!(m.resolve(&node("x@1%gcc@4.9=linux-x86_64")), None);
+        assert!(!m.has_default());
+        assert_eq!(m.case_count(), 1);
+    }
+}

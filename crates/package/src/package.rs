@@ -1,0 +1,653 @@
+//! Package definitions and the builder DSL (SC'15 §3.1, Fig. 1).
+//!
+//! A [`PackageDef`] is the Rust analogue of a Spack package class: a
+//! template, explicitly parameterized by version, compiler, options, and
+//! dependencies, from which many concrete builds can be produced. The
+//! [`PackageBuilder`] mirrors the Python DSL:
+//!
+//! ```
+//! use spack_package::{PackageBuilder, BuildRecipe};
+//!
+//! let mpileaks = PackageBuilder::new("mpileaks")
+//!     .describe("Tool to detect and report leaked MPI objects.")
+//!     .homepage("https://github.com/hpc/mpileaks")
+//!     .url_model("https://github.com/hpc/mpileaks/releases/download/v1.0/mpileaks-1.0.tar.gz")
+//!     .version("1.0", "8838c574b39202a57d7c2d68692718aa")
+//!     .version("1.1", "4282eddb08ad8d36df15b06d4be38bcb")
+//!     .depends_on("mpi")
+//!     .depends_on("callpath")
+//!     .variant("debug", false, "Build with debug instrumentation")
+//!     .install(BuildRecipe::autotools())
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(mpileaks.known_versions().len(), 2);
+//! ```
+
+use std::collections::BTreeSet;
+
+use spack_spec::{Spec, SpecError, Version};
+
+use crate::directive::{
+    when_matches, ConflictDirective, DepKind, DependencyDirective, PatchDirective,
+    ProvidesDirective, VariantDirective, VersionDirective,
+};
+use crate::multimethod::Multimethod;
+use crate::recipe::{BuildRecipe, BuildWorkload};
+
+/// A package definition: metadata plus parameterized build rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackageDef {
+    /// Package name.
+    pub name: String,
+    /// Repository namespace this definition came from (set on
+    /// registration; §4.3.2).
+    pub namespace: String,
+    /// One-line description.
+    pub description: String,
+    /// Project homepage.
+    pub homepage: String,
+    /// Model URL for version extrapolation (§3.2.3 "Versions").
+    pub url_model: Option<String>,
+    /// Free-form category tag; Fig. 13 colors ARES nodes by
+    /// physics/utility/math/external.
+    pub category: Option<String>,
+    /// Known ("safe") versions with checksums.
+    pub versions: Vec<VersionDirective>,
+    /// Declared variants with defaults.
+    pub variants: Vec<VariantDirective>,
+    /// Dependency directives, conditional or not.
+    pub dependencies: Vec<DependencyDirective>,
+    /// Virtual interfaces provided (empty unless this is a provider).
+    pub provides: Vec<ProvidesDirective>,
+    /// Conditional source patches.
+    pub patches: Vec<PatchDirective>,
+    /// Declared build conflicts.
+    pub conflicts: Vec<ConflictDirective>,
+    /// Name of the extendable package this one extends (`extends('python')`,
+    /// §4.2), if any.
+    pub extends: Option<String>,
+    /// Whether other packages may extend this one (python, R, lua...).
+    pub extendable: bool,
+    /// Compiler features the package needs (SC'15 §4.5 future work):
+    /// anonymous specs like `cxx11` or `openmp@4:` checked against the
+    /// compiler-feature registry at concretization time.
+    pub compiler_features: Vec<Spec>,
+    /// Predicate-dispatched install rules (§3.2.5).
+    pub install_rules: Multimethod<BuildRecipe>,
+    /// Simulated build size (drives Figs. 10/11 workloads).
+    pub workload: BuildWorkload,
+}
+
+impl PackageDef {
+    /// Is this package purely virtual? Virtual packages (like `mpi`) have
+    /// no definition at all in Spack; in this model a virtual name is one
+    /// with no versions, no rules — they are represented only by provider
+    /// directives in *other* packages, so this type never describes one.
+    /// Real packages always have at least one version (enforced by the
+    /// builder).
+    pub fn known_versions(&self) -> Vec<&Version> {
+        self.versions.iter().map(|v| &v.version).collect()
+    }
+
+    /// The checksum recorded for a version, if that version is "safe".
+    pub fn checksum_for(&self, version: &Version) -> Option<&str> {
+        self.versions
+            .iter()
+            .find(|v| &v.version == version)
+            .and_then(|v| v.checksum.as_deref())
+    }
+
+    /// Is `version` one of the declared safe versions?
+    pub fn has_version(&self, version: &Version) -> bool {
+        self.versions.iter().any(|v| &v.version == version)
+    }
+
+    /// Declared variant names.
+    pub fn variant_names(&self) -> BTreeSet<&str> {
+        self.variants.iter().map(|v| v.name.as_str()).collect()
+    }
+
+    /// The default value of a variant, if declared.
+    pub fn variant_default(&self, name: &str) -> Option<bool> {
+        self.variants
+            .iter()
+            .find(|v| v.name == name)
+            .map(|v| v.default)
+    }
+
+    /// Dependencies active for a given (partially concrete) node spec:
+    /// directives whose `when` predicate the node satisfies (§3.2.4).
+    pub fn dependencies_for(&self, node: &Spec) -> Vec<&DependencyDirective> {
+        self.dependencies
+            .iter()
+            .filter(|d| when_matches(&d.when, node))
+            .collect()
+    }
+
+    /// All dependency names that could ever be active (unconditioned
+    /// union), used for cheap reachability pre-passes.
+    pub fn all_dependency_names(&self) -> BTreeSet<&str> {
+        self.dependencies
+            .iter()
+            .filter_map(|d| d.spec.name.as_deref())
+            .collect()
+    }
+
+    /// Virtual specs provided by a given provider node (§3.3): the
+    /// `provides` directives whose `when` matches the node.
+    pub fn provides_for(&self, node: &Spec) -> Vec<&ProvidesDirective> {
+        self.provides
+            .iter()
+            .filter(|p| when_matches(&p.when, node))
+            .collect()
+    }
+
+    /// Does this package provide the named virtual interface under *any*
+    /// condition?
+    pub fn ever_provides(&self, virtual_name: &str) -> bool {
+        self.provides
+            .iter()
+            .any(|p| p.vspec.name.as_deref() == Some(virtual_name))
+    }
+
+    /// Patches to apply for a node spec (§3.2.4, the Python-on-BG/Q
+    /// example).
+    pub fn patches_for(&self, node: &Spec) -> Vec<&PatchDirective> {
+        self.patches
+            .iter()
+            .filter(|p| when_matches(&p.when, node))
+            .collect()
+    }
+
+    /// Any conflict triggered by this node spec.
+    pub fn conflict_for(&self, node: &Spec) -> Option<&ConflictDirective> {
+        self.conflicts
+            .iter()
+            .find(|c| when_matches(&c.when, node) && node.node_satisfies(&c.spec))
+    }
+
+    /// The build recipe selected for a node spec by `@when` dispatch.
+    pub fn recipe_for(&self, node: &Spec) -> Option<&BuildRecipe> {
+        self.install_rules.resolve(node)
+    }
+}
+
+/// Fluent builder mirroring Spack's package DSL.
+#[derive(Debug)]
+pub struct PackageBuilder {
+    def: PackageDef,
+    error: Option<SpecError>,
+}
+
+impl PackageBuilder {
+    /// Start a package definition with the given name.
+    pub fn new(name: impl Into<String>) -> PackageBuilder {
+        PackageBuilder {
+            def: PackageDef {
+                name: name.into(),
+                namespace: String::new(),
+                description: String::new(),
+                homepage: String::new(),
+                url_model: None,
+                category: None,
+                versions: Vec::new(),
+                variants: Vec::new(),
+                dependencies: Vec::new(),
+                provides: Vec::new(),
+                patches: Vec::new(),
+                conflicts: Vec::new(),
+                extends: None,
+                extendable: false,
+                compiler_features: Vec::new(),
+                install_rules: Multimethod::new(),
+                workload: BuildWorkload::default(),
+            },
+            error: None,
+        }
+    }
+
+    fn record_err(&mut self, e: SpecError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    fn parse(&mut self, text: &str) -> Option<Spec> {
+        match Spec::parse(text) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                self.record_err(e);
+                None
+            }
+        }
+    }
+
+    /// `"""docstring"""` — one-line description.
+    pub fn describe(mut self, text: &str) -> Self {
+        self.def.description = text.to_string();
+        self
+    }
+
+    /// `homepage = ...`.
+    pub fn homepage(mut self, url: &str) -> Self {
+        self.def.homepage = url.to_string();
+        self
+    }
+
+    /// `url = ...` — model URL for extrapolation.
+    pub fn url_model(mut self, url: &str) -> Self {
+        self.def.url_model = Some(url.to_string());
+        self
+    }
+
+    /// Category tag for Fig. 13-style classification.
+    pub fn category(mut self, cat: &str) -> Self {
+        self.def.category = Some(cat.to_string());
+        self
+    }
+
+    /// `version('1.0', '<md5>')` — a safe version with checksum.
+    pub fn version(mut self, v: &str, md5: &str) -> Self {
+        match Version::new(v) {
+            Ok(version) => self.def.versions.push(VersionDirective {
+                version,
+                checksum: Some(md5.to_string()),
+                preferred: false,
+            }),
+            Err(e) => self.record_err(e),
+        }
+        self
+    }
+
+    /// A version without a checksum (e.g. `develop`).
+    pub fn version_unchecked(mut self, v: &str) -> Self {
+        match Version::new(v) {
+            Ok(version) => self.def.versions.push(VersionDirective {
+                version,
+                checksum: None,
+                preferred: false,
+            }),
+            Err(e) => self.record_err(e),
+        }
+        self
+    }
+
+    /// Mark the most recently added version as site-preferred.
+    pub fn preferred(mut self) -> Self {
+        if let Some(last) = self.def.versions.last_mut() {
+            last.preferred = true;
+        }
+        self
+    }
+
+    /// `depends_on('callpath')` / `depends_on('boost@1.54.0')`.
+    pub fn depends_on(mut self, spec: &str) -> Self {
+        if let Some(s) = self.parse(spec) {
+            if s.name.is_none() {
+                self.record_err(SpecError::parse(format!(
+                    "depends_on needs a package name in `{spec}`"
+                )));
+            } else {
+                self.def.dependencies.push(DependencyDirective {
+                    spec: s,
+                    when: None,
+                    kind: DepKind::Link,
+                });
+            }
+        }
+        self
+    }
+
+    /// `depends_on(spec, when=cond)` (§3.2.4).
+    pub fn depends_on_when(mut self, spec: &str, when: &str) -> Self {
+        let (s, w) = (self.parse(spec), self.parse(when));
+        if let (Some(s), Some(w)) = (s, w) {
+            self.def.dependencies.push(DependencyDirective {
+                spec: s,
+                when: Some(w),
+                kind: DepKind::Link,
+            });
+        }
+        self
+    }
+
+    /// A build-only dependency (tools like cmake).
+    pub fn depends_on_build(mut self, spec: &str) -> Self {
+        if let Some(s) = self.parse(spec) {
+            self.def.dependencies.push(DependencyDirective {
+                spec: s,
+                when: None,
+                kind: DepKind::Build,
+            });
+        }
+        self
+    }
+
+    /// A run-only dependency (e.g. an interpreter).
+    pub fn depends_on_run(mut self, spec: &str) -> Self {
+        if let Some(s) = self.parse(spec) {
+            self.def.dependencies.push(DependencyDirective {
+                spec: s,
+                when: None,
+                kind: DepKind::Run,
+            });
+        }
+        self
+    }
+
+    /// `provides('mpi@:2.2', when='@1.9')` (§3.3, Fig. 5).
+    pub fn provides_when(mut self, vspec: &str, when: &str) -> Self {
+        let (v, w) = (self.parse(vspec), self.parse(when));
+        if let (Some(v), Some(w)) = (v, w) {
+            self.def.provides.push(ProvidesDirective {
+                vspec: v,
+                when: Some(w),
+            });
+        }
+        self
+    }
+
+    /// Unconditional `provides('blas')`.
+    pub fn provides(mut self, vspec: &str) -> Self {
+        if let Some(v) = self.parse(vspec) {
+            self.def.provides.push(ProvidesDirective {
+                vspec: v,
+                when: None,
+            });
+        }
+        self
+    }
+
+    /// `variant('debug', default=False, description=...)`.
+    pub fn variant(mut self, name: &str, default: bool, description: &str) -> Self {
+        self.def.variants.push(VariantDirective {
+            name: name.to_string(),
+            default,
+            description: description.to_string(),
+        });
+        self
+    }
+
+    /// `patch('file.patch', when=cond)`.
+    pub fn patch_when(mut self, name: &str, when: &str) -> Self {
+        if let Some(w) = self.parse(when) {
+            self.def.patches.push(PatchDirective {
+                name: name.to_string(),
+                when: Some(w),
+            });
+        }
+        self
+    }
+
+    /// Unconditional patch.
+    pub fn patch(mut self, name: &str) -> Self {
+        self.def.patches.push(PatchDirective {
+            name: name.to_string(),
+            when: None,
+        });
+        self
+    }
+
+    /// `conflicts('%xl', msg=...)`.
+    pub fn conflicts(mut self, spec: &str, message: &str) -> Self {
+        if let Some(s) = self.parse(spec) {
+            self.def.conflicts.push(ConflictDirective {
+                spec: s,
+                when: None,
+                message: message.to_string(),
+            });
+        }
+        self
+    }
+
+    /// `extends('python')` (§4.2): a dependency plus activation support.
+    pub fn extends(mut self, pkg: &str) -> Self {
+        self.def.extends = Some(pkg.to_string());
+        if let Some(s) = self.parse(pkg) {
+            self.def.dependencies.push(DependencyDirective {
+                spec: s,
+                when: None,
+                kind: DepKind::Run,
+            });
+        }
+        self
+    }
+
+    /// Mark as extendable (python, R, lua, ...).
+    pub fn extendable(mut self) -> Self {
+        self.def.extendable = true;
+        self
+    }
+
+    /// `requires_feature('cxx11')` / `requires_feature('openmp@4:')` —
+    /// constrain compiler selection to toolchains providing the feature
+    /// (the paper's §4.5 compiler-feature extension).
+    pub fn requires_feature(mut self, feature: &str) -> Self {
+        if let Some(f) = self.parse(feature) {
+            if f.name.is_none() {
+                self.record_err(SpecError::parse(format!(
+                    "requires_feature needs a feature name in `{feature}`"
+                )));
+            } else {
+                self.def.compiler_features.push(f);
+            }
+        }
+        self
+    }
+
+    /// The default install rule.
+    pub fn install(mut self, recipe: BuildRecipe) -> Self {
+        self.def.install_rules.set_default(recipe);
+        self
+    }
+
+    /// An `@when(cond)`-guarded install rule (§3.2.5, Fig. 4).
+    pub fn install_when(mut self, when: &str, recipe: BuildRecipe) -> Self {
+        if let Some(w) = self.parse(when) {
+            self.def.install_rules.add_case(w, recipe);
+        }
+        self
+    }
+
+    /// Simulated build workload calibration.
+    pub fn workload(mut self, w: BuildWorkload) -> Self {
+        self.def.workload = w;
+        self
+    }
+
+    /// Finalize. Errors if any directive failed to parse, no version was
+    /// declared, or a variant/dependency is duplicated.
+    pub fn build(mut self) -> Result<PackageDef, SpecError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if self.def.versions.is_empty() {
+            return Err(SpecError::parse(format!(
+                "package `{}` declares no versions",
+                self.def.name
+            )));
+        }
+        let mut seen = BTreeSet::new();
+        for v in &self.def.versions {
+            if !seen.insert(v.version.to_string()) {
+                return Err(SpecError::parse(format!(
+                    "package `{}` declares version {} twice",
+                    self.def.name, v.version
+                )));
+            }
+        }
+        let mut vars = BTreeSet::new();
+        for v in &self.def.variants {
+            if !vars.insert(v.name.clone()) {
+                return Err(SpecError::parse(format!(
+                    "package `{}` declares variant `{}` twice",
+                    self.def.name, v.name
+                )));
+            }
+        }
+        if self.def.install_rules.resolve(&Spec::named(&self.def.name)).is_none()
+            && !self.def.install_rules.has_default()
+            && self.def.install_rules.case_count() == 0
+        {
+            // No install rule at all: default to autotools, the most common
+            // HPC build system, rather than failing — matching how most
+            // simple Spack packages look.
+            self.def.install_rules.set_default(BuildRecipe::autotools());
+        }
+        Ok(self.def)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mpileaks() -> PackageDef {
+        PackageBuilder::new("mpileaks")
+            .describe("Tool to detect and report leaked MPI objects.")
+            .homepage("https://github.com/hpc/mpileaks")
+            .version("1.0", "8838c574b39202a57d7c2d68692718aa")
+            .version("1.1", "4282eddb08ad8d36df15b06d4be38bcb")
+            .depends_on("mpi")
+            .depends_on("callpath")
+            .variant("debug", false, "debug instrumentation")
+            .install(BuildRecipe::autotools())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fig1_mpileaks_package() {
+        let p = mpileaks();
+        assert_eq!(p.known_versions().len(), 2);
+        assert_eq!(
+            p.checksum_for(&Version::new("1.0").unwrap()),
+            Some("8838c574b39202a57d7c2d68692718aa")
+        );
+        assert_eq!(p.all_dependency_names().len(), 2);
+        assert_eq!(p.variant_default("debug"), Some(false));
+        assert_eq!(p.variant_default("ghost"), None);
+    }
+
+    #[test]
+    fn conditional_dependencies_rose_example() {
+        // §3.2.4: boost version depends on compiler version.
+        let rose = PackageBuilder::new("rose")
+            .version("0.9.6", "aa")
+            .depends_on_when("boost@1.54.0", "%gcc@:4")
+            .depends_on_when("boost@1.59.0", "%gcc@5:")
+            .build()
+            .unwrap();
+        let with_gcc4 = Spec::parse("rose@0.9.6%gcc@4.9=linux-x86_64").unwrap();
+        let with_gcc5 = Spec::parse("rose@0.9.6%gcc@5.2=linux-x86_64").unwrap();
+        let deps4 = rose.dependencies_for(&with_gcc4);
+        assert_eq!(deps4.len(), 1);
+        assert_eq!(deps4[0].spec.versions.to_string(), "1.54.0");
+        let deps5 = rose.dependencies_for(&with_gcc5);
+        assert_eq!(deps5.len(), 1);
+        assert_eq!(deps5[0].spec.versions.to_string(), "1.59.0");
+    }
+
+    #[test]
+    fn optional_mpi_dependency() {
+        // §3.2.4: depends_on('mpi', when='+mpi').
+        let p = PackageBuilder::new("hdf5")
+            .version("1.8.13", "cc")
+            .variant("mpi", true, "parallel I/O")
+            .depends_on_when("mpi", "+mpi")
+            .build()
+            .unwrap();
+        let par = Spec::parse("hdf5@1.8.13+mpi%gcc@4.9=linux-x86_64").unwrap();
+        let ser = Spec::parse("hdf5@1.8.13~mpi%gcc@4.9=linux-x86_64").unwrap();
+        assert_eq!(p.dependencies_for(&par).len(), 1);
+        assert_eq!(p.dependencies_for(&ser).len(), 0);
+    }
+
+    #[test]
+    fn conditional_patches_python_bgq() {
+        // §3.2.4: patch('python-bgq-xlc.patch', when='=bgq%xl').
+        let p = PackageBuilder::new("python")
+            .version("2.7.9", "dd")
+            .patch_when("python-bgq-xlc.patch", "=bgq%xl")
+            .patch_when("python-bgq-clang.patch", "=bgq%clang")
+            .build()
+            .unwrap();
+        let xl = Spec::parse("python@2.7.9%xl@12=bgq").unwrap();
+        let clang = Spec::parse("python@2.7.9%clang@3.5=bgq").unwrap();
+        let linux = Spec::parse("python@2.7.9%gcc@4.9=linux-x86_64").unwrap();
+        assert_eq!(p.patches_for(&xl).len(), 1);
+        assert_eq!(p.patches_for(&xl)[0].name, "python-bgq-xlc.patch");
+        assert_eq!(p.patches_for(&clang)[0].name, "python-bgq-clang.patch");
+        assert!(p.patches_for(&linux).is_empty());
+    }
+
+    #[test]
+    fn fig5_versioned_provides() {
+        let mvapich2 = PackageBuilder::new("mvapich2")
+            .version("1.9", "aa")
+            .version("2.0", "bb")
+            .provides_when("mpi@:2.2", "@1.9")
+            .provides_when("mpi@:3.0", "@2.0")
+            .build()
+            .unwrap();
+        let v19 = Spec::parse("mvapich2@1.9%gcc@4.9=linux-x86_64").unwrap();
+        let v20 = Spec::parse("mvapich2@2.0%gcc@4.9=linux-x86_64").unwrap();
+        assert_eq!(mvapich2.provides_for(&v19).len(), 1);
+        assert_eq!(mvapich2.provides_for(&v19)[0].vspec.versions.to_string(), ":2.2");
+        assert_eq!(mvapich2.provides_for(&v20)[0].vspec.versions.to_string(), ":3.0");
+        assert!(mvapich2.ever_provides("mpi"));
+        assert!(!mvapich2.ever_provides("blas"));
+    }
+
+    #[test]
+    fn conflicts_are_detected() {
+        let p = PackageBuilder::new("gerris")
+            .version("1.0", "aa")
+            .conflicts("%xl", "gerris does not build with XL compilers")
+            .build()
+            .unwrap();
+        let xl = Spec::parse("gerris@1.0%xl@12=bgq").unwrap();
+        let gcc = Spec::parse("gerris@1.0%gcc@4.9=bgq").unwrap();
+        assert!(p.conflict_for(&xl).is_some());
+        assert!(p.conflict_for(&gcc).is_none());
+    }
+
+    #[test]
+    fn builder_error_propagation() {
+        assert!(PackageBuilder::new("x").build().is_err()); // no versions
+        assert!(PackageBuilder::new("x")
+            .version("1.0", "aa")
+            .version("1.0", "bb")
+            .build()
+            .is_err()); // duplicate version
+        assert!(PackageBuilder::new("x")
+            .version("1.0", "aa")
+            .variant("a", true, "")
+            .variant("a", false, "")
+            .build()
+            .is_err()); // duplicate variant
+        assert!(PackageBuilder::new("x")
+            .version("1.0", "aa")
+            .depends_on("@@bad@@")
+            .build()
+            .is_err()); // bad spec text
+    }
+
+    #[test]
+    fn default_recipe_is_autotools() {
+        let p = PackageBuilder::new("x").version("1", "aa").build().unwrap();
+        let node = Spec::parse("x@1%gcc@4.9=linux-x86_64").unwrap();
+        assert_eq!(p.recipe_for(&node), Some(&BuildRecipe::autotools()));
+    }
+
+    #[test]
+    fn extends_records_dependency() {
+        let numpy = PackageBuilder::new("py-numpy")
+            .version("1.9.1", "aa")
+            .extends("python")
+            .build()
+            .unwrap();
+        assert_eq!(numpy.extends.as_deref(), Some("python"));
+        assert!(numpy.all_dependency_names().contains("python"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Build recipes: what a package's `install()` method does.
+//!
+//! Spack packages provide an `install(self, spec, prefix)` method that
+//! invokes `configure`/`cmake`/`make` (SC'15 Fig. 1). In this
+//! reproduction, recipes are declarative: they describe the build-system
+//! invocation that the simulated build environment (`spack-buildenv`)
+//! executes against the simulated filesystem and compiler wrappers.
+
+/// The build-system invocation a package uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildRecipe {
+    /// `configure --prefix=... <args> && make && make install` (Fig. 1).
+    Autotools {
+        /// Extra arguments for `configure` (e.g. `--with-callpath=...`).
+        configure_args: Vec<String>,
+    },
+    /// `cmake .. <std args> && make && make install` in a build dir (Fig. 4).
+    CMake {
+        /// Extra `-D` style arguments.
+        cmake_args: Vec<String>,
+    },
+    /// `python setup.py install --prefix=...` for Python extensions (§4.2).
+    PythonSetup,
+    /// Plain `make && make install` with no configure step.
+    Makefile,
+    /// A no-op install for meta/bundle packages.
+    Bundle,
+}
+
+impl BuildRecipe {
+    /// Autotools with no extra arguments.
+    pub fn autotools() -> BuildRecipe {
+        BuildRecipe::Autotools {
+            configure_args: Vec::new(),
+        }
+    }
+
+    /// Autotools with extra configure arguments.
+    pub fn autotools_with(args: &[&str]) -> BuildRecipe {
+        BuildRecipe::Autotools {
+            configure_args: args.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// CMake with no extra arguments.
+    pub fn cmake() -> BuildRecipe {
+        BuildRecipe::CMake {
+            cmake_args: Vec::new(),
+        }
+    }
+
+    /// CMake with extra arguments.
+    pub fn cmake_with(args: &[&str]) -> BuildRecipe {
+        BuildRecipe::CMake {
+            cmake_args: args.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Does this recipe run a configure-style probe phase?
+    pub fn has_configure_phase(&self) -> bool {
+        matches!(self, BuildRecipe::Autotools { .. } | BuildRecipe::CMake { .. })
+    }
+}
+
+/// Knobs describing how big a package's build is, used to calibrate the
+/// simulated builds that regenerate Figs. 10/11. Values are in abstract
+/// work units; `spack-buildenv` maps them to simulated compiler
+/// invocations and filesystem operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildWorkload {
+    /// Number of translation units compiled (each goes through the
+    /// compiler wrapper once).
+    pub compile_units: u32,
+    /// Relative cost of compiling one unit (1 = small C file).
+    pub unit_cost: u32,
+    /// Number of configure-time probe executions (tiny compiles).
+    pub configure_probes: u32,
+    /// Number of files written into the prefix at install time.
+    pub install_files: u32,
+    /// Small filesystem operations per configure probe: shell fork/exec
+    /// PATH lookups, libtool script reads, conftest bookkeeping. Autotools
+    /// probes touch the filesystem dozens of times each, which is exactly
+    /// why NFS hurts configure-heavy builds most (Fig. 11).
+    pub ops_per_probe: u32,
+    /// Header files stat+read per compiled unit (make dependency checks
+    /// plus preprocessor includes).
+    pub headers_per_unit: u32,
+}
+
+impl Default for BuildWorkload {
+    fn default() -> Self {
+        BuildWorkload {
+            compile_units: 50,
+            unit_cost: 2,
+            configure_probes: 120,
+            install_files: 40,
+            ops_per_probe: 80,
+            headers_per_unit: 30,
+        }
+    }
+}
+
+impl BuildWorkload {
+    /// A workload scaled for quick unit tests.
+    pub fn tiny() -> BuildWorkload {
+        BuildWorkload {
+            compile_units: 3,
+            unit_cost: 1,
+            configure_probes: 5,
+            install_files: 3,
+            ops_per_probe: 10,
+            headers_per_unit: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recipe_constructors() {
+        assert_eq!(
+            BuildRecipe::autotools_with(&["--with-callpath=/p"]),
+            BuildRecipe::Autotools {
+                configure_args: vec!["--with-callpath=/p".to_string()]
+            }
+        );
+        assert!(BuildRecipe::cmake().has_configure_phase());
+        assert!(!BuildRecipe::Makefile.has_configure_phase());
+        assert!(!BuildRecipe::Bundle.has_configure_phase());
+    }
+}

@@ -1,0 +1,206 @@
+//! Package repositories and site overrides (SC'15 §4.3.2).
+//!
+//! Spack keeps its package files in a mainline ("builtin") repository and
+//! lets sites stack additional repositories on top: site packages can
+//! shadow or replace builtin recipes, supporting proprietary patches and
+//! local build policy without forking the mainline. A [`RepoStack`]
+//! searches repositories in order, so earlier (site) repos win.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use spack_spec::SpecError;
+
+use crate::package::PackageDef;
+
+/// A single named repository of package definitions.
+#[derive(Debug, Clone, Default)]
+pub struct Repository {
+    namespace: String,
+    packages: BTreeMap<String, Arc<PackageDef>>,
+}
+
+impl Repository {
+    /// An empty repository with the given namespace (e.g. `builtin`,
+    /// `llnl.site`).
+    pub fn new(namespace: impl Into<String>) -> Repository {
+        Repository {
+            namespace: namespace.into(),
+            packages: BTreeMap::new(),
+        }
+    }
+
+    /// The repository's namespace.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// Register a package definition. The definition's `namespace` field is
+    /// stamped with this repository's namespace. Errors on duplicates.
+    pub fn register(&mut self, mut def: PackageDef) -> Result<(), SpecError> {
+        if self.packages.contains_key(&def.name) {
+            return Err(SpecError::parse(format!(
+                "package `{}` already registered in repo `{}`",
+                def.name, self.namespace
+            )));
+        }
+        def.namespace = self.namespace.clone();
+        self.packages.insert(def.name.clone(), Arc::new(def));
+        Ok(())
+    }
+
+    /// Look up a package by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<PackageDef>> {
+        self.packages.get(name)
+    }
+
+    /// All package names, sorted.
+    pub fn package_names(&self) -> Vec<&str> {
+        self.packages.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of packages.
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    /// Iterate over all definitions.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<PackageDef>> {
+        self.packages.values()
+    }
+}
+
+/// An ordered stack of repositories; the first repo containing a package
+/// name wins, so site repos placed before `builtin` shadow it (§4.3.2).
+#[derive(Debug, Clone, Default)]
+pub struct RepoStack {
+    repos: Vec<Repository>,
+}
+
+impl RepoStack {
+    /// A stack containing only the given repository.
+    pub fn with_builtin(builtin: Repository) -> RepoStack {
+        RepoStack {
+            repos: vec![builtin],
+        }
+    }
+
+    /// Push a repository that *shadows* everything already present.
+    pub fn push_front(&mut self, repo: Repository) {
+        self.repos.insert(0, repo);
+    }
+
+    /// Append a repository searched after everything already present.
+    pub fn push_back(&mut self, repo: Repository) {
+        self.repos.push(repo);
+    }
+
+    /// Find a package: first match in stack order.
+    pub fn get(&self, name: &str) -> Option<&Arc<PackageDef>> {
+        self.repos.iter().find_map(|r| r.get(name))
+    }
+
+    /// Does any repo define this name?
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// All distinct package names visible through the stack, sorted.
+    pub fn package_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .repos
+            .iter()
+            .flat_map(|r| r.package_names())
+            .map(|s| s.to_string())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// All visible definitions after shadowing: one per name.
+    pub fn visible_packages(&self) -> Vec<&Arc<PackageDef>> {
+        self.package_names()
+            .iter()
+            .filter_map(|n| self.get(n))
+            .collect()
+    }
+
+    /// Total number of distinct package names.
+    pub fn len(&self) -> usize {
+        self.package_names().len()
+    }
+
+    /// Whether no repository defines any package.
+    pub fn is_empty(&self) -> bool {
+        self.repos.iter().all(|r| r.is_empty())
+    }
+
+    /// The repositories in search order.
+    pub fn repos(&self) -> &[Repository] {
+        &self.repos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::PackageBuilder;
+    use crate::recipe::BuildRecipe;
+
+    fn pkg(name: &str, version: &str) -> PackageDef {
+        PackageBuilder::new(name)
+            .version(version, "aa")
+            .install(BuildRecipe::autotools())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let mut repo = Repository::new("builtin");
+        repo.register(pkg("libelf", "0.8.13")).unwrap();
+        repo.register(pkg("libdwarf", "20130729")).unwrap();
+        assert_eq!(repo.len(), 2);
+        assert_eq!(repo.get("libelf").unwrap().namespace, "builtin");
+        assert!(repo.get("ghost").is_none());
+        assert!(repo.register(pkg("libelf", "0.8.12")).is_err());
+    }
+
+    #[test]
+    fn site_repo_shadows_builtin() {
+        let mut builtin = Repository::new("builtin");
+        builtin.register(pkg("python", "2.7.8")).unwrap();
+        builtin.register(pkg("libelf", "0.8.13")).unwrap();
+        let mut site = Repository::new("llnl.site");
+        site.register(pkg("python", "2.7.9")).unwrap();
+
+        let mut stack = RepoStack::with_builtin(builtin);
+        stack.push_front(site);
+
+        // Site python wins; builtin libelf still visible.
+        let p = stack.get("python").unwrap();
+        assert_eq!(p.namespace, "llnl.site");
+        assert_eq!(p.known_versions()[0].to_string(), "2.7.9");
+        assert_eq!(stack.get("libelf").unwrap().namespace, "builtin");
+        assert_eq!(stack.len(), 2);
+        assert_eq!(stack.visible_packages().len(), 2);
+    }
+
+    #[test]
+    fn stack_order_is_respected() {
+        let mut a = Repository::new("a");
+        a.register(pkg("x", "1")).unwrap();
+        let mut b = Repository::new("b");
+        b.register(pkg("x", "2")).unwrap();
+        let mut stack = RepoStack::default();
+        stack.push_back(a);
+        stack.push_back(b);
+        assert_eq!(stack.get("x").unwrap().namespace, "a");
+    }
+}

@@ -1,0 +1,161 @@
+//! URL extrapolation from versions (SC'15 §3.2.3 "Versions").
+//!
+//! "Spack can extrapolate URLs from versions, using the package's `url`
+//! attribute as a model": given the model
+//! `.../mpileaks-1.0.tar.gz` and a requested version `2.3`, Spack guesses
+//! `.../mpileaks-2.3.tar.gz`. This lets users install bleeding-edge
+//! versions the package file does not list yet. The same model is used to
+//! scrape listing pages for new releases; [`scan_versions`] implements
+//! that scrape over arbitrary text.
+
+use spack_spec::Version;
+
+/// Find the version embedded in a model URL, given the package name.
+///
+/// Heuristics mirror Spack's: look for `name-<version>` or `name_<version>`
+/// followed by an archive suffix, else the last dotted numeric run before
+/// the suffix.
+pub fn version_in_url(url: &str, package: &str) -> Option<String> {
+    let base = url.rsplit('/').next()?;
+    let stem = strip_archive_suffix(base);
+    for sep in ['-', '_'] {
+        let prefix = format!("{package}{sep}");
+        if let Some(rest) = stem.strip_prefix(prefix.as_str()) {
+            if looks_like_version(rest) {
+                return Some(rest.to_string());
+            }
+        }
+    }
+    // Fallback: trailing dotted numeric run.
+    let idx = stem.rfind(|c: char| !(c.is_ascii_digit() || c == '.'))?;
+    let tail = &stem[idx + 1..];
+    if looks_like_version(tail) {
+        Some(tail.to_string())
+    } else {
+        None
+    }
+}
+
+fn strip_archive_suffix(name: &str) -> &str {
+    for suffix in [
+        ".tar.gz", ".tgz", ".tar.bz2", ".tbz2", ".tar.xz", ".txz", ".zip", ".tar",
+    ] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    name
+}
+
+fn looks_like_version(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '.')
+}
+
+/// Substitute a new version into a model URL. Every occurrence of the old
+/// version string in the URL is replaced (release directories often repeat
+/// it, e.g. `/releases/download/v1.0/mpileaks-1.0.tar.gz`).
+pub fn extrapolate(url_model: &str, package: &str, new_version: &Version) -> Option<String> {
+    let old = version_in_url(url_model, package)?;
+    let new = new_version.to_string();
+    if old == new {
+        return Some(url_model.to_string());
+    }
+    Some(url_model.replace(&old, &new))
+}
+
+/// Scrape a listing page (any text) for versions of a package, using the
+/// archive-name pattern from the model URL. Returns sorted, deduplicated
+/// versions. This simulates Spack's webpage scraping for new releases.
+pub fn scan_versions(page: &str, package: &str) -> Vec<Version> {
+    let mut found = Vec::new();
+    for sep in ['-', '_'] {
+        let needle = format!("{package}{sep}");
+        let mut rest = page;
+        while let Some(pos) = rest.find(needle.as_str()) {
+            let tail = &rest[pos + needle.len()..];
+            let end = tail
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '.'))
+                .unwrap_or(tail.len());
+            let candidate = strip_archive_suffix(&tail[..end]);
+            if looks_like_version(candidate) {
+                if let Ok(v) = Version::new(candidate) {
+                    found.push(v);
+                }
+            }
+            rest = &rest[pos + needle.len()..];
+        }
+    }
+    found.sort();
+    found.dedup();
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MPILEAKS_URL: &str =
+        "https://github.com/hpc/mpileaks/releases/download/v1.0/mpileaks-1.0.tar.gz";
+
+    #[test]
+    fn finds_version_in_model_url() {
+        assert_eq!(
+            version_in_url(MPILEAKS_URL, "mpileaks").as_deref(),
+            Some("1.0")
+        );
+        assert_eq!(
+            version_in_url("http://x.org/libelf-0.8.13.tar.gz", "libelf").as_deref(),
+            Some("0.8.13")
+        );
+        assert_eq!(
+            version_in_url("http://x.org/libdwarf_20130729.tar.gz", "libdwarf").as_deref(),
+            Some("20130729")
+        );
+    }
+
+    #[test]
+    fn extrapolates_new_versions() {
+        let v = Version::new("2.3").unwrap();
+        assert_eq!(
+            extrapolate(MPILEAKS_URL, "mpileaks", &v).unwrap(),
+            "https://github.com/hpc/mpileaks/releases/download/v2.3/mpileaks-2.3.tar.gz"
+        );
+    }
+
+    #[test]
+    fn extrapolate_same_version_is_identity() {
+        let v = Version::new("1.0").unwrap();
+        assert_eq!(
+            extrapolate(MPILEAKS_URL, "mpileaks", &v).unwrap(),
+            MPILEAKS_URL
+        );
+    }
+
+    #[test]
+    fn extrapolate_unparseable_model_is_none() {
+        assert_eq!(
+            extrapolate("http://x.org/snapshot.tar.gz", "mpileaks", &Version::new("2").unwrap()),
+            None
+        );
+    }
+
+    #[test]
+    fn scans_listing_pages() {
+        let page = r#"
+            <a href="mpileaks-1.0.tar.gz">mpileaks-1.0.tar.gz</a>
+            <a href="mpileaks-1.1.tar.gz">mpileaks-1.1.tar.gz</a>
+            <a href="mpileaks-2.0rc1.tar.gz">mpileaks-2.0rc1.tar.gz</a>
+            <a href="other-9.9.tar.gz">other-9.9.tar.gz</a>
+        "#;
+        let versions = scan_versions(page, "mpileaks");
+        let strs: Vec<String> = versions.iter().map(|v| v.to_string()).collect();
+        assert_eq!(strs, vec!["1.0", "1.1", "2.0rc1"]);
+    }
+
+    #[test]
+    fn scan_ignores_non_versions() {
+        assert!(scan_versions("mpileaks-latest.tar.gz", "mpileaks").is_empty());
+    }
+}

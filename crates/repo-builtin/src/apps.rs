@@ -1,0 +1,119 @@
+//! Scientific applications and larger frameworks.
+
+use spack_package::Repository;
+
+use crate::helpers::{wl_huge, wl_medium, wl_small};
+use crate::pkg;
+
+/// Register applications.
+pub fn register(r: &mut Repository) {
+    pkg!(r, "gromacs", ["5.1.1"],
+        .describe("Molecular dynamics for biomolecular systems."),
+        .variant("mpi", true, "Domain-decomposition parallelism"),
+        .depends_on("fftw"),
+        .depends_on_when("mpi", "+mpi"),
+        .depends_on_build("cmake"),
+        .install(spack_package::BuildRecipe::cmake()),
+        .workload(wl_huge()));
+
+    pkg!(r, "lammps", ["2015.08.10"],
+        .describe("Large-scale atomic/molecular massively parallel simulator."),
+        .depends_on("mpi"),
+        .depends_on("fftw"),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_huge()));
+
+    pkg!(r, "quantum-espresso", ["5.3.0"],
+        .describe("Electronic-structure calculations with plane waves."),
+        .depends_on("mpi"),
+        .depends_on("blas"),
+        .depends_on("lapack"),
+        .depends_on("fftw"),
+        .workload(wl_huge()));
+
+    pkg!(r, "abinit", ["7.10.5"],
+        .describe("DFT electronic structure package."),
+        .depends_on("mpi"),
+        .depends_on("blas"),
+        .depends_on("lapack"),
+        .depends_on("netcdf-fortran"),
+        .workload(wl_huge()));
+
+    pkg!(r, "openfoam", ["2.4.0"],
+        .describe("Computational fluid dynamics toolbox."),
+        .depends_on("mpi"),
+        .depends_on("scotch"),
+        .depends_on("zlib"),
+        .workload(wl_huge()));
+
+    // Fig. 5's constrained dependent, with its real CFD identity.
+    pkg!(r, "gerris", ["1.3.2"],
+        .describe("Computational fluid dynamics solver needing MPI-2 or higher (Fig. 5)."),
+        .conflicts("%xl", "gerris does not build with XL compilers"),
+        .depends_on("mpi@2:"),
+        .depends_on("gsl"),
+        .depends_on("glib"),
+        .workload(wl_medium()));
+
+    pkg!(r, "rose", ["0.9.6a"],
+        .describe("Compiler-infrastructure for source transformation (LLNL; the 3.2.4 boost-pinning example)."),
+        .homepage("http://rosecompiler.org"),
+        .depends_on_when("boost@1.54.0", "%gcc@:4"),
+        .depends_on_when("boost@1.59.0", "%gcc@5:"),
+        .depends_on("libtool"),
+        .workload(wl_huge()));
+
+    pkg!(r, "cram", ["1.0.1"],
+        .describe("Runs many small MPI jobs inside one large allocation (LLNL)."),
+        .depends_on("mpi"),
+        .depends_on_build("cmake"),
+        .workload(wl_small()));
+
+    pkg!(r, "scr", ["1.1.8"],
+        .describe("Scalable checkpoint/restart library (LLNL)."),
+        .depends_on("mpi"),
+        .depends_on_build("cmake"),
+        .workload(wl_small()));
+
+    pkg!(r, "spindle", ["0.8.1"],
+        .describe("Scalable dynamic-library loading for HPC (LLNL)."),
+        .depends_on("launchmon"),
+        .workload(wl_small()));
+
+    pkg!(r, "datalib", ["1.0"],
+        .describe("LLNL data management utility library."),
+        .category("utility"),
+        .depends_on("hdf5"),
+        .workload(wl_small()));
+
+    pkg!(r, "espresso-tool", ["0.4"],
+        .describe("Logic minimization tool."),
+        .workload(wl_small()));
+
+    pkg!(r, "sundance", ["2.4.5"],
+        .describe("PDE simulation on Trilinos."),
+        .depends_on("trilinos"),
+        .depends_on("mpi"),
+        .workload(wl_medium()));
+
+    pkg!(r, "octave", ["4.0.0"],
+        .describe("GNU high-level numerical computation language."),
+        .depends_on("blas"),
+        .depends_on("lapack"),
+        .depends_on("readline"),
+        .depends_on("pcre"),
+        .depends_on("fftw"),
+        .depends_on("hdf5"),
+        .depends_on("gnuplot"),
+        .workload(wl_huge()));
+
+    pkg!(r, "netgauge", ["2.4.6"],
+        .describe("Network performance measurement toolkit."),
+        .depends_on("mpi"),
+        .workload(wl_small()));
+
+    pkg!(r, "osu-micro-benchmarks", ["5.0"],
+        .describe("OSU MPI point-to-point and collective benchmarks."),
+        .depends_on("mpi"),
+        .workload(wl_small()));
+}

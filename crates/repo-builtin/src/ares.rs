@@ -1,0 +1,141 @@
+//! The ARES multi-physics stack (SC'15 §4.4, Fig. 13, Table 3).
+//!
+//! ARES is LLNL's 1/2/3-D radiation hydrodynamics code. Its production
+//! configuration comprises 47 packages: ARES itself, 11 LLNL physics
+//! packages, 4 LLNL math/meshing libraries, 8 LLNL utility libraries, and
+//! 23 externals (including the virtual MPI and BLAS). One common package
+//! supports the (C)urrent and (P)revious production versions, the (L)ite
+//! configuration, and the (D)evelopment version "with conditional logic
+//! on versions and variants".
+
+use spack_package::Repository;
+
+use crate::helpers::{wl, wl_medium, wl_small, wl_tiny};
+use crate::pkg;
+
+/// Register the ARES stack.
+pub fn register(r: &mut Repository) {
+    // --- 11 LLNL physics packages -------------------------------------
+    let phys = |r: &mut Repository, name: &str, vers: &[&str], desc: &str, deps: &[&str]| {
+        let mut b = spack_package::PackageBuilder::new(name)
+            .describe(desc)
+            .category("physics")
+            .workload(wl_medium());
+        for v in vers {
+            b = b.version(v, &crate::helpers::cks(name, v));
+        }
+        for d in deps {
+            b = b.depends_on(d);
+        }
+        r.register(b.build().expect("valid physics package")).expect("unique physics package");
+    };
+    phys(r, "matprop", &["3.2", "4.0"], "Material property database interface (physics).", &["bdivxml"]);
+    phys(r, "leos", &["8.1", "8.2"], "Livermore equation-of-state access library (physics).", &["bdivxml", "hdf5"]);
+    phys(r, "mslib", &["3.5"], "Material strength model library (physics).", &["matprop"]);
+    phys(r, "laser", &["2.1"], "Laser ray-trace deposition package (physics).", &["mpi"]);
+    phys(r, "cretin", &["2.09"], "Atomic kinetics and radiation package (physics).", &["hdf5"]);
+    phys(r, "tdf", &["1.7"], "Tabular data format physics I/O (physics).", &["silo"]);
+    phys(r, "cheetah", &["4.2"], "Thermochemical equation-of-state package (physics).", &["leos"]);
+    phys(r, "dsd", &["1.3"], "Detonation shock dynamics package (physics).", &["mslib"]);
+    phys(r, "teton", &["4.0", "4.1"], "Deterministic Sn thermal radiation transport (physics).", &["mpi", "silo"]);
+    phys(r, "nuclear", &["2.0"], "Nuclear reaction data package (physics).", &["bdivxml"]);
+    phys(r, "asclaser", &["1.1"], "ASC laser physics package (physics).", &["laser"]);
+
+    // --- 8 LLNL utility libraries (Silo registered in io.rs) -----------
+    pkg!(r, "bdivxml", ["2.4"],
+        .describe("B-division XML data interchange library, self-contained parser (utility)."),
+        .category("utility"),
+        .workload(wl_tiny()));
+    pkg!(r, "sgeos-xml", ["1.8"],
+        .describe("Structured geometry/EOS XML schemas (utility)."),
+        .category("utility"),
+        .depends_on("bdivxml"),
+        .workload(wl_tiny()));
+    pkg!(r, "scallop", ["2.2"],
+        .describe("Scalable checkpoint aggregation layer (utility)."),
+        .category("utility"),
+        .depends_on("mpi"),
+        .workload(wl_small()));
+    pkg!(r, "opclient", ["3.1"],
+        .describe("Opacity-server client library (Fig. 13 external)."),
+        .workload(wl_tiny()));
+
+    // --- ARES itself ----------------------------------------------------
+    // Versions: 2015.06 = (C)urrent production, 2014.11 = (P)revious,
+    // develop = (D)evelopment. The (L)ite configuration is `+lite`.
+    pkg!(r, "ares", ["2014.11", "2015.06"],
+        .describe("LLNL 1/2/3-D radiation hydrodynamics code for munitions modeling and ICF simulation (SC'15 4.4)."),
+        .category("physics"),
+        .version_unchecked("develop"),
+        .variant("lite", false, "Reduced feature/dependency configuration"),
+        .variant("debug", false, "Debug build"),
+        // LLNL physics.
+        .depends_on("matprop"),
+        .depends_on("leos"),
+        .depends_on("mslib"),
+        .depends_on_when("laser", "~lite"),
+        .depends_on_when("cretin", "~lite"),
+        .depends_on_when("asclaser", "~lite"),
+        .depends_on("tdf"),
+        .depends_on("cheetah"),
+        .depends_on_when("dsd", "~lite"),
+        .depends_on_when("teton", "~lite"),
+        .depends_on_when("nuclear", "~lite"),
+        // LLNL math/meshing.
+        .depends_on("samrai"),
+        .depends_on("hypre"),
+        .depends_on("overlink"),
+        // overlink pulls silo; qd comes via silo. Utilities:
+        .depends_on("bdivxml"),
+        .depends_on("sgeos-xml"),
+        .depends_on("scallop"),
+        .depends_on("rng"),
+        .depends_on("perflib"),
+        .depends_on("memusage"),
+        .depends_on("timers"),
+        // Externals. ARES builds its own Python, even on BG/Q (4.4).
+        .depends_on("python@2.7.9"),
+        .depends_on_when("py-numpy", "~lite"),
+        .depends_on_when("py-scipy", "~lite"),
+        .depends_on("tk"),
+        .depends_on("hpdf"),
+        .depends_on("opclient"),
+        .depends_on("boost"),
+        .depends_on("gsl"),
+        .depends_on("hdf5"),
+        .depends_on_when("gperftools", "~lite"),
+        .depends_on_when("papi", "~lite"),
+        .depends_on("ga"),
+        .depends_on("lapack"),
+        .depends_on("mpi"),
+        .depends_on_build("cmake"),
+        // Version-conditional dependency requirements: the development
+        // version tracks newer SAMRAI/HDF5 (4.4: "Each configuration
+        // requires a slightly different set of dependencies and
+        // dependency versions").
+        .depends_on_when("samrai@3.10.0", "@develop"),
+        .depends_on_when("samrai@:3.9.1", "@:2015.06"),
+        .depends_on_when("hdf5@1.8.16", "@develop"),
+        .conflicts("%intel@:13", "ARES requires Intel 14 or newer"),
+        .workload(wl(1500, 4, 600, 500, 70, 50)));
+
+    // A couple of companion LLNL proxy apps that exercise similar stacks.
+    pkg!(r, "lulesh", ["2.0.3"],
+        .describe("Livermore unstructured Lagrangian explicit shock hydro proxy app."),
+        .variant("mpi", true, "Parallel version"),
+        .depends_on_when("mpi", "+mpi"),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_small()));
+    pkg!(r, "kripke", ["1.1"],
+        .describe("Sn transport proxy application (LLNL)."),
+        .depends_on("mpi"),
+        .depends_on_build("cmake"),
+        .install(spack_package::BuildRecipe::cmake()),
+        .workload(wl_small()));
+    pkg!(r, "amg2013", ["1.0"],
+        .describe("Algebraic multigrid proxy app on hypre (LLNL)."),
+        .depends_on("hypre"),
+        .depends_on("mpi"),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_small()));
+}

@@ -1,0 +1,56 @@
+//! BLAS/LAPACK implementations: the paper's second archetypal virtual
+//! interface (SC'15 §3.3: "fungible implementations — ATLAS, LAPACK-BLAS,
+//! and MKL" — with versioned `blas` levels and `lapack`).
+
+use spack_package::Repository;
+
+use crate::helpers::{wl, wl_medium};
+use crate::pkg;
+
+/// Register BLAS and LAPACK providers.
+pub fn register(r: &mut Repository) {
+    pkg!(r, "netlib-blas", ["3.5.0"],
+        .describe("Reference BLAS from netlib."),
+        .homepage("https://www.netlib.org/blas"),
+        .provides("blas@:3"),
+        .workload(wl(120, 1, 40, 20, 40, 8)));
+
+    // "LAPACK" in Fig. 10 — CMake-based netlib LAPACK: long Fortran
+    // compiles, relatively few configure probes.
+    pkg!(r, "netlib-lapack", ["3.4.2", "3.5.0"],
+        .describe("Reference LAPACK from netlib (the paper's Fig. 10 LAPACK)."),
+        .homepage("https://www.netlib.org/lapack"),
+        .url_model("https://www.netlib.org/lapack/lapack-3.5.0.tgz"),
+        .variant("shared", true, "Build shared libraries"),
+        .provides("lapack@:3"),
+        .provides("blas@:3"),
+        .install(spack_package::BuildRecipe::cmake()),
+        .workload(wl(270, 2, 120, 60, 110, 24)));
+
+    pkg!(r, "atlas", ["3.10.2", "3.11.34"],
+        .describe("Automatically Tuned Linear Algebra Software."),
+        .homepage("http://math-atlas.sourceforge.net"),
+        .provides("blas@:3"),
+        .provides("lapack@:3"),
+        .workload(wl_medium()));
+
+    pkg!(r, "openblas", ["0.2.14", "0.2.15"],
+        .describe("Optimized BLAS based on GotoBLAS2."),
+        .homepage("https://www.openblas.net"),
+        .provides("blas@:3"),
+        .provides("lapack@:3"),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_medium()));
+
+    pkg!(r, "mkl", ["11.1", "11.3"],
+        .describe("Intel Math Kernel Library (registered external)."),
+        .provides("blas@:3"),
+        .provides("lapack@:3"),
+        .provides("fft"),
+        .workload(wl(5, 1, 10, 300, 10, 2)));
+
+    pkg!(r, "eigen", ["3.2.7"],
+        .describe("C++ template library for linear algebra (header-only)."),
+        .depends_on_build("cmake"),
+        .workload(crate::helpers::wl_tiny()));
+}

@@ -1,0 +1,118 @@
+//! Build tooling: autotools, CMake, generators, and documentation tools.
+
+use spack_package::BuildRecipe;
+use spack_package::Repository;
+
+use crate::helpers::{wl_medium, wl_small, wl_tiny};
+use crate::pkg;
+
+/// Register build tools.
+pub fn register(r: &mut Repository) {
+    pkg!(r, "cmake", ["2.8.10.2", "3.0.2", "3.4.0"],
+        .describe("Cross-platform build-system generator."),
+        .homepage("https://www.cmake.org"),
+        .url_model("https://cmake.org/files/v3.4/cmake-3.4.0.tar.gz"),
+        .variant("qt", false, "Build the Qt GUI"),
+        .depends_on("ncurses"),
+        .depends_on_when("qt", "+qt"),
+        .workload(wl_medium()));
+
+    pkg!(r, "autoconf", ["2.69"],
+        .describe("GNU configure-script generator."),
+        .depends_on("m4"),
+        .depends_on_run("perl"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "automake", ["1.14.1", "1.15"],
+        .describe("GNU Makefile generator."),
+        .depends_on("autoconf"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "libtool", ["2.4.2", "2.4.6"],
+        .describe("GNU shared-library support script."),
+        .depends_on("m4"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "m4", ["1.4.17"],
+        .describe("GNU macro processor."),
+        .depends_on("libsigsegv"),
+        .workload(wl_small()));
+
+    pkg!(r, "libsigsegv", ["2.10"],
+        .describe("Page-fault handling library."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "pkg-config", ["0.28"],
+        .describe("Helper returning metadata about installed libraries."),
+        .workload(wl_small()));
+
+    pkg!(r, "flex", ["2.5.39"],
+        .describe("Fast lexical analyzer generator."),
+        .depends_on("bison"),
+        .workload(wl_small()));
+
+    pkg!(r, "bison", ["3.0.4"],
+        .describe("GNU parser generator."),
+        .depends_on("m4"),
+        .workload(wl_small()));
+
+    pkg!(r, "swig", ["3.0.2", "3.0.8"],
+        .describe("Interface compiler connecting C/C++ with scripting languages."),
+        .depends_on("pcre"),
+        .workload(wl_small()));
+
+    pkg!(r, "gperf", ["3.0.4"],
+        .describe("Perfect hash function generator."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "ninja", ["1.6.0"],
+        .describe("Small, fast build system."),
+        .depends_on_run("python"),
+        .workload(wl_small()));
+
+    pkg!(r, "doxygen", ["1.8.10"],
+        .describe("Source-code documentation generator."),
+        .depends_on("flex"),
+        .depends_on("bison"),
+        .workload(wl_medium()));
+
+    pkg!(r, "gettext", ["0.19.6"],
+        .describe("GNU internationalization runtime and tools."),
+        .depends_on("libiconv"),
+        .workload(wl_medium()));
+
+    pkg!(r, "help2man", ["1.47.2"],
+        .describe("Man-page generator from --help output."),
+        .depends_on_run("perl"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "texinfo", ["5.2", "6.0"],
+        .describe("GNU documentation system."),
+        .depends_on_run("perl"),
+        .workload(wl_small()));
+
+    pkg!(r, "binutils", ["2.24", "2.25"],
+        .describe("GNU binary utilities: as, ld, objdump."),
+        .variant("gold", true, "Build the gold linker"),
+        .depends_on("zlib"),
+        .workload(wl_medium()));
+
+    pkg!(r, "gmake", ["4.0"],
+        .describe("GNU make."),
+        .workload(wl_small()));
+
+    pkg!(r, "environment-modules", ["3.2.10"],
+        .describe("The classic TCL environment-modules system (SC'15 2)."),
+        .depends_on("tcl"),
+        .workload(wl_small()));
+
+    pkg!(r, "lmod", ["5.9", "6.0.1"],
+        .describe("Lua-based hierarchical environment modules (SC'15 2, [27])."),
+        .depends_on("lua"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "dotkit", ["1.0"],
+        .describe("LLNL's dotkit environment tool ([6] in the paper)."),
+        .install(BuildRecipe::Bundle),
+        .workload(wl_tiny()));
+}

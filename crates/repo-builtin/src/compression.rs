@@ -1,0 +1,55 @@
+//! Compression libraries and archivers.
+
+use spack_package::Repository;
+
+use crate::helpers::{wl, wl_small, wl_tiny};
+use crate::pkg;
+
+/// Register compression packages.
+pub fn register(r: &mut Repository) {
+    pkg!(r, "zlib", ["1.2.8"],
+        .describe("Massively-spiffy yet delicately-unobtrusive compression library."),
+        .homepage("https://zlib.net"),
+        .url_model("https://zlib.net/zlib-1.2.8.tar.gz"),
+        .workload(wl(15, 1, 60, 12, 50, 8)));
+
+    pkg!(r, "bzip2", ["1.0.6"],
+        .describe("High-quality block-sorting file compressor."),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl(12, 1, 5, 10, 20, 6)));
+
+    pkg!(r, "xz", ["5.2.0", "5.2.2"],
+        .describe("LZMA compression tools and liblzma."),
+        .workload(wl_small()));
+
+    pkg!(r, "lz4", ["131"],
+        .describe("Extremely fast compression algorithm."),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_tiny()));
+
+    pkg!(r, "snappy", ["1.1.3"],
+        .describe("Fast compressor/decompressor from Google."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "szip", ["2.1"],
+        .describe("Science-data lossless compression (HDF extended-rice)."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "gzip", ["1.6"],
+        .describe("GNU compression utility."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "tar", ["1.28"],
+        .describe("GNU tape archiver."),
+        .workload(wl_small()));
+
+    pkg!(r, "zip", ["3.0"],
+        .describe("Info-ZIP compressor."),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_tiny()));
+
+    pkg!(r, "unzip", ["6.0"],
+        .describe("Info-ZIP decompressor."),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_tiny()));
+}

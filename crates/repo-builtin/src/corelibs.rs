@@ -1,0 +1,127 @@
+//! Core system libraries: terminal, crypto, parsing, networking.
+
+use spack_package::Repository;
+
+use crate::helpers::{wl, wl_medium, wl_small, wl_tiny};
+use crate::pkg;
+
+/// Register core libraries.
+pub fn register(r: &mut Repository) {
+    pkg!(r, "ncurses", ["5.9", "6.0"],
+        .describe("Terminal-independent character-screen handling."),
+        .homepage("https://invisible-island.net/ncurses"),
+        .workload(wl_small()));
+
+    pkg!(r, "readline", ["6.3"],
+        .describe("GNU command-line editing library."),
+        .depends_on("ncurses"),
+        .workload(wl_small()));
+
+    pkg!(r, "sqlite", ["3.8.5", "3.9.2"],
+        .describe("Self-contained serverless SQL database engine."),
+        .workload(wl(90, 3, 130, 15, 60, 20)));
+
+    pkg!(r, "openssl", ["1.0.1h", "1.0.2e"],
+        .describe("TLS/SSL toolkit and general-purpose crypto library."),
+        .depends_on("zlib"),
+        .workload(wl_medium()));
+
+    pkg!(r, "libxml2", ["2.9.2"],
+        .describe("XML parsing library."),
+        .variant("python", false, "Python bindings"),
+        .depends_on("zlib"),
+        .depends_on("xz"),
+        .depends_on_when("python", "+python"),
+        .workload(wl_small()));
+
+    pkg!(r, "libxslt", ["1.1.28"],
+        .describe("XSLT processing library."),
+        .depends_on("libxml2"),
+        .workload(wl_small()));
+
+    pkg!(r, "expat", ["2.1.0"],
+        .describe("Stream-oriented XML parser."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "curl", ["7.42.1", "7.46.0"],
+        .describe("Client-side URL transfer library and tool."),
+        .depends_on("openssl"),
+        .depends_on("zlib"),
+        .workload(wl_small()));
+
+    pkg!(r, "wget", ["1.16"],
+        .describe("Non-interactive network downloader."),
+        .depends_on("openssl"),
+        .workload(wl_small()));
+
+    pkg!(r, "pcre", ["8.36", "8.38"],
+        .describe("Perl-compatible regular expressions."),
+        .workload(wl_small()));
+
+    pkg!(r, "icu4c", ["54.1"],
+        .describe("Unicode and globalization library for C/C++."),
+        .workload(wl_medium()));
+
+    pkg!(r, "libiconv", ["1.14"],
+        .describe("Character-set conversion library."),
+        .workload(wl_small()));
+
+    pkg!(r, "libffi", ["3.2.1"],
+        .describe("Portable foreign-function interface library."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "libedit", ["3.1"],
+        .describe("BSD line-editing library."),
+        .depends_on("ncurses"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "libuuid", ["1.0.3"],
+        .describe("Portable UUID generation library."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "boost", ["1.54.0", "1.55.0", "1.59.0"],
+        .describe("Peer-reviewed portable C++ source libraries (the paper's 3.2.2 example of a pinned user constraint)."),
+        .homepage("https://www.boost.org"),
+        .url_model("https://downloads.sourceforge.net/project/boost/boost/1.59.0/boost_1_59_0.tar.bz2"),
+        .variant("mpi", false, "Build Boost.MPI"),
+        .variant("python", false, "Build Boost.Python"),
+        .depends_on("bzip2"),
+        .depends_on("zlib"),
+        .depends_on_when("mpi", "+mpi"),
+        .depends_on_when("python", "+python"),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl(900, 3, 60, 600, 40, 60)));
+
+    pkg!(r, "jemalloc", ["4.0.4"],
+        .describe("Scalable concurrent malloc implementation."),
+        .workload(wl_small()));
+
+    pkg!(r, "libpng", ["1.2.51", "1.5.13", "1.6.16"],
+        .describe("Official PNG reference library."),
+        .homepage("http://www.libpng.org"),
+        .url_model("https://download.sourceforge.net/libpng/libpng-1.6.16.tar.gz"),
+        .depends_on("zlib"),
+        // Fig. 10: ~35 s build dominated by an autoconf/libtool configure
+        // storm — the worst NFS overhead of the seven (62.7%).
+        .workload(wl(24, 4, 150, 22, 225, 16)));
+
+    pkg!(r, "libjpeg-turbo", ["1.3.1"],
+        .describe("SIMD-accelerated JPEG codec."),
+        .workload(wl_small()));
+
+    pkg!(r, "libtiff", ["4.0.3"],
+        .describe("TIFF image format library."),
+        .depends_on("libjpeg-turbo"),
+        .depends_on("zlib"),
+        .workload(wl_small()));
+
+    pkg!(r, "libmng", ["2.0.2"],
+        .describe("Multiple-image Network Graphics reference library."),
+        .depends_on("libjpeg-turbo"),
+        .depends_on("zlib"),
+        .workload(wl_small()));
+
+    pkg!(r, "giflib", ["5.1.1"],
+        .describe("GIF image codec library."),
+        .workload(wl_tiny()));
+}

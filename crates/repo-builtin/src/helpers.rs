@@ -1,0 +1,68 @@
+//! Helpers shared by the builtin package modules.
+
+use spack_buildenv::Mirror;
+use spack_package::BuildWorkload;
+use spack_spec::Version;
+
+/// Checksum a (package, version) pair against the deterministic mirror,
+/// so every `version(...)` directive in the builtin repo verifies against
+/// what `spack_buildenv::Mirror` actually serves.
+pub fn cks(name: &str, ver: &str) -> String {
+    let v = Version::new(ver).unwrap_or_else(|_| panic!("bad version `{ver}` for {name}"));
+    Mirror::checksum_of(name, &v)
+}
+
+/// A build workload: (compile units, unit cost, configure probes,
+/// install files, fs ops per probe, headers per unit).
+pub fn wl(units: u32, cost: u32, probes: u32, files: u32, ops: u32, hdrs: u32) -> BuildWorkload {
+    BuildWorkload {
+        compile_units: units,
+        unit_cost: cost,
+        configure_probes: probes,
+        install_files: files,
+        ops_per_probe: ops,
+        headers_per_unit: hdrs,
+    }
+}
+
+/// Header-only or script package: almost no build.
+pub fn wl_tiny() -> BuildWorkload {
+    wl(4, 1, 30, 12, 30, 6)
+}
+
+/// A small C library (~30 s native build).
+pub fn wl_small() -> BuildWorkload {
+    wl(60, 2, 160, 40, 60, 25)
+}
+
+/// A mid-size package (~2 min native build).
+pub fn wl_medium() -> BuildWorkload {
+    wl(260, 3, 320, 120, 70, 35)
+}
+
+/// A large package (~6 min native build).
+pub fn wl_large() -> BuildWorkload {
+    wl(700, 4, 500, 300, 80, 45)
+}
+
+/// A huge C++ framework (Qt/Trilinos class, ~20 min native build).
+pub fn wl_huge() -> BuildWorkload {
+    wl(2200, 4, 900, 900, 80, 55)
+}
+
+/// Define a builtin package: versions get mirror-consistent checksums,
+/// then arbitrary builder calls apply.
+#[macro_export]
+macro_rules! pkg {
+    ($repo:expr, $name:literal, [$($v:literal),+ $(,)?] $(, . $method:ident($($arg:expr),*))* $(,)?) => {
+        $repo
+            .register(
+                spack_package::PackageBuilder::new($name)
+                    $(.version($v, &$crate::helpers::cks($name, $v)))+
+                    $(.$method($($arg),*))*
+                    .build()
+                    .expect(concat!("invalid builtin package ", $name)),
+            )
+            .expect(concat!("duplicate builtin package ", $name));
+    };
+}

@@ -1,0 +1,77 @@
+//! Scientific I/O libraries.
+
+use spack_package::Repository;
+
+use crate::helpers::{wl, wl_medium, wl_small};
+use crate::pkg;
+
+/// Register I/O libraries.
+pub fn register(r: &mut Repository) {
+    pkg!(r, "hdf5", ["1.8.13", "1.8.15", "1.8.16"],
+        .describe("Hierarchical data format and library (Fig. 13 external)."),
+        .homepage("https://www.hdfgroup.org"),
+        .url_model("https://support.hdfgroup.org/ftp/HDF5/releases/hdf5-1.8.16/src/hdf5-1.8.16.tar.gz"),
+        .variant("mpi", true, "Parallel HDF5"),
+        .variant("szip", false, "Szip compression"),
+        .variant("cxx", true, "C++ API"),
+        .depends_on("zlib"),
+        .depends_on_when("mpi", "+mpi"),
+        .depends_on_when("szip", "+szip"),
+        .workload(wl_medium()));
+
+    pkg!(r, "hdf", ["4.2.11"],
+        .describe("Legacy HDF4 format library."),
+        .depends_on("zlib"),
+        .depends_on("libjpeg-turbo"),
+        .depends_on("szip"),
+        .workload(wl_small()));
+
+    pkg!(r, "netcdf", ["4.3.3", "4.4.0"],
+        .describe("Machine-independent array data formats."),
+        .variant("mpi", true, "Parallel I/O via HDF5"),
+        .depends_on("hdf5"),
+        .depends_on("zlib"),
+        .depends_on("curl"),
+        .depends_on_when("mpi", "+mpi"),
+        .workload(wl_medium()));
+
+    pkg!(r, "netcdf-cxx", ["4.2"],
+        .describe("C++ bindings for netCDF."),
+        .depends_on("netcdf"),
+        .workload(wl_small()));
+
+    pkg!(r, "netcdf-fortran", ["4.4.2"],
+        .describe("Fortran bindings for netCDF."),
+        .depends_on("netcdf"),
+        .workload(wl_small()));
+
+    pkg!(r, "parallel-netcdf", ["1.6.1"],
+        .describe("Parallel I/O for classic netCDF files."),
+        .depends_on("mpi"),
+        .workload(wl_small()));
+
+    pkg!(r, "silo", ["4.8", "4.10.2"],
+        .describe("Mesh and field I/O library for visualization (LLNL; the paper's 3.5 --with-silo example)."),
+        .homepage("https://wci.llnl.gov/simulation/computer-codes/silo"),
+        .category("utility"),
+        .variant("fortran", true, "Fortran bindings"),
+        .depends_on("hdf5"),
+        .depends_on("qd"),
+        .workload(wl_medium()));
+
+    pkg!(r, "adios", ["1.9.0"],
+        .describe("Adaptable I/O system for exascale simulation data."),
+        .depends_on("mpi"),
+        .depends_on("zlib"),
+        .depends_on("mxml"),
+        .workload(wl_medium()));
+
+    pkg!(r, "mxml", ["2.9"],
+        .describe("Miniature XML parsing library."),
+        .workload(crate::helpers::wl_tiny()));
+
+    pkg!(r, "hpdf", ["2.2.1", "2.3.0"],
+        .describe("libHaru free PDF generation library (Fig. 13 external)."),
+        .depends_on("zlib"),
+        .workload(wl(40, 1, 90, 20, 50, 12)));
+}

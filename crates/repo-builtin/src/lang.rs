@@ -1,0 +1,83 @@
+//! Language runtimes and interpreters.
+
+use spack_package::Repository;
+
+use crate::helpers::{wl, wl_medium, wl_small};
+use crate::pkg;
+
+/// Register language runtimes (Python lives in `python.rs`).
+pub fn register(r: &mut Repository) {
+    pkg!(r, "tcl", ["8.5.17", "8.6.4"],
+        .describe("Tool command language (Fig. 13 external)."),
+        .homepage("https://www.tcl.tk"),
+        .extendable(),
+        .depends_on("zlib"),
+        .workload(wl_small()));
+
+    pkg!(r, "tk", ["8.6.3", "8.6.4"],
+        .describe("Tcl GUI toolkit (Fig. 13 external)."),
+        .depends_on("tcl"),
+        .workload(wl_small()));
+
+    pkg!(r, "lua", ["5.1.5", "5.3.1"],
+        .describe("Lightweight embeddable scripting language."),
+        .extendable(),
+        .depends_on("ncurses"),
+        .depends_on("readline"),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_small()));
+
+    pkg!(r, "ruby", ["2.2.0"],
+        .describe("Dynamic object-oriented scripting language."),
+        .extendable(),
+        .depends_on("openssl"),
+        .depends_on("readline"),
+        .depends_on("zlib"),
+        .workload(wl_medium()));
+
+    pkg!(r, "perl", ["5.20.1", "5.22.0"],
+        .describe("Practical extraction and report language."),
+        .extendable(),
+        .workload(wl_medium()));
+
+    pkg!(r, "r", ["3.2.2", "3.2.3"],
+        .describe("R statistical computing language."),
+        .extendable(),
+        .variant("x11", false, "X11 graphics"),
+        .depends_on("readline"),
+        .depends_on("ncurses"),
+        .depends_on("icu4c"),
+        .depends_on("zlib"),
+        .depends_on("curl"),
+        .depends_on("blas"),
+        .depends_on("lapack"),
+        .workload(wl_medium()));
+
+    pkg!(r, "jdk", ["7u80", "8u66"],
+        .describe("Oracle Java development kit (registered binary)."),
+        .install(spack_package::BuildRecipe::Bundle),
+        .workload(wl(2, 1, 4, 400, 10, 2)));
+
+    pkg!(r, "go", ["1.5.2"],
+        .describe("The Go programming language toolchain."),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_medium()));
+
+    pkg!(r, "gcc", ["4.7.4", "4.9.3", "5.3.0"],
+        .describe("The GNU compiler collection, buildable as a package."),
+        .homepage("https://gcc.gnu.org"),
+        .depends_on("gmp"),
+        .depends_on("mpfr"),
+        .depends_on("mpc"),
+        .depends_on("isl"),
+        .depends_on("binutils"),
+        .workload(crate::helpers::wl_huge()));
+
+    pkg!(r, "llvm", ["3.6.2", "3.7.0"],
+        .describe("LLVM compiler infrastructure with Clang."),
+        .variant("libcxx", true, "Build libc++"),
+        .depends_on("python"),
+        .depends_on_build("cmake"),
+        .install(spack_package::BuildRecipe::cmake()),
+        .workload(crate::helpers::wl_huge()));
+}

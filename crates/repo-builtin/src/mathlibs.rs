@@ -1,0 +1,193 @@
+//! Math libraries and solvers: the heart of the HPC dependency jungle.
+
+use spack_package::Repository;
+
+use crate::helpers::{wl_huge, wl_medium, wl_small};
+use crate::pkg;
+
+/// Register math libraries.
+pub fn register(r: &mut Repository) {
+    pkg!(r, "gsl", ["1.16", "2.0"],
+        .describe("GNU Scientific Library."),
+        .homepage("https://www.gnu.org/software/gsl"),
+        .workload(wl_medium()));
+
+    pkg!(r, "fftw", ["3.3.4"],
+        .describe("Fastest Fourier Transform in the West."),
+        .homepage("http://www.fftw.org"),
+        .variant("mpi", true, "Distributed-memory transforms"),
+        .variant("openmp", false, "OpenMP threads"),
+        .provides("fft"),
+        .depends_on_when("mpi", "+mpi"),
+        .workload(wl_medium()));
+
+    pkg!(r, "metis", ["5.1.0"],
+        .describe("Serial graph partitioning and fill-reducing ordering."),
+        .depends_on_build("cmake"),
+        .workload(wl_small()));
+
+    pkg!(r, "parmetis", ["4.0.3"],
+        .describe("Parallel graph partitioning."),
+        .depends_on("metis"),
+        .depends_on("mpi"),
+        .depends_on_build("cmake"),
+        .workload(wl_small()));
+
+    pkg!(r, "scotch", ["6.0.3"],
+        .describe("Graph/mesh partitioning and sparse matrix ordering."),
+        .variant("mpi", true, "Build PT-Scotch"),
+        .depends_on("zlib"),
+        .depends_on("flex"),
+        .depends_on("bison"),
+        .depends_on_when("mpi", "+mpi"),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_medium()));
+
+    pkg!(r, "mumps", ["5.0.1"],
+        .describe("Multifrontal massively parallel sparse direct solver."),
+        .variant("mpi", true, "Parallel solver"),
+        .depends_on("blas"),
+        .depends_on("scotch"),
+        .depends_on_when("parmetis", "+mpi"),
+        .depends_on_when("mpi", "+mpi"),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_medium()));
+
+    pkg!(r, "superlu", ["4.3"],
+        .describe("Sequential sparse direct solver."),
+        .depends_on("blas"),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_small()));
+
+    pkg!(r, "superlu-dist", ["4.1"],
+        .describe("Distributed-memory sparse direct solver."),
+        .depends_on("blas"),
+        .depends_on("lapack"),
+        .depends_on("parmetis"),
+        .depends_on("mpi"),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_medium()));
+
+    pkg!(r, "arpack-ng", ["3.3.0"],
+        .describe("Large-scale eigenvalue problems (ARPACK rewrite)."),
+        .variant("mpi", false, "Parallel PARPACK"),
+        .depends_on("blas"),
+        .depends_on("lapack"),
+        .depends_on_when("mpi", "+mpi"),
+        .workload(wl_small()));
+
+    pkg!(r, "suite-sparse", ["4.4.5"],
+        .describe("Sparse matrix algorithms (CHOLMOD, UMFPACK, ...)."),
+        .depends_on("blas"),
+        .depends_on("lapack"),
+        .depends_on("metis"),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_medium()));
+
+    pkg!(r, "qhull", ["2012.1"],
+        .describe("Convex hulls, Delaunay triangulations, Voronoi diagrams."),
+        .depends_on_build("cmake"),
+        .workload(wl_small()));
+
+    pkg!(r, "glpk", ["4.57"],
+        .describe("GNU linear programming kit."),
+        .depends_on("gmp"),
+        .workload(wl_small()));
+
+    pkg!(r, "gmp", ["6.0.0a", "6.1.0"],
+        .describe("GNU multiple-precision arithmetic."),
+        .workload(wl_small()));
+
+    pkg!(r, "mpfr", ["3.1.3"],
+        .describe("Multiple-precision floating point with correct rounding."),
+        .depends_on("gmp"),
+        .workload(wl_small()));
+
+    pkg!(r, "mpc", ["1.0.3"],
+        .describe("Complex arithmetic with arbitrary precision."),
+        .depends_on("gmp"),
+        .depends_on("mpfr"),
+        .workload(wl_small()));
+
+    pkg!(r, "isl", ["0.14"],
+        .describe("Integer set library for polyhedral compilation."),
+        .depends_on("gmp"),
+        .workload(wl_small()));
+
+    pkg!(r, "petsc", ["3.5.3", "3.6.3"],
+        .describe("Portable extensible toolkit for scientific computation."),
+        .homepage("https://www.mcs.anl.gov/petsc"),
+        .variant("hdf5", true, "HDF5 I/O"),
+        .variant("hypre", true, "Hypre preconditioners"),
+        .depends_on("blas"),
+        .depends_on("lapack"),
+        .depends_on("mpi"),
+        .depends_on("metis"),
+        .depends_on("parmetis"),
+        .depends_on_when("hdf5+mpi", "+hdf5"),
+        .depends_on_when("hypre", "+hypre"),
+        .depends_on("superlu-dist"),
+        .workload(wl_huge()));
+
+    pkg!(r, "slepc", ["3.6.2"],
+        .describe("Scalable eigenvalue computations on PETSc."),
+        .depends_on("petsc"),
+        .depends_on("arpack-ng"),
+        .workload(wl_medium()));
+
+    pkg!(r, "trilinos", ["11.14.3", "12.4.2"],
+        .describe("Sandia's parallel solver framework."),
+        .homepage("https://trilinos.org"),
+        .variant("mpi", true, "Parallel build"),
+        .depends_on("blas"),
+        .depends_on("lapack"),
+        .depends_on("boost"),
+        .depends_on("netcdf"),
+        .depends_on("mpi"),
+        .depends_on_build("cmake"),
+        .install(spack_package::BuildRecipe::cmake()),
+        .workload(wl_huge()));
+
+    pkg!(r, "hypre", ["2.10.0b", "2.10.1"],
+        .describe("Scalable linear solvers and multigrid (LLNL; Fig. 13 math)."),
+        .homepage("https://computation.llnl.gov/projects/hypre"),
+        .category("math"),
+        .depends_on("blas"),
+        .depends_on("lapack"),
+        .depends_on("mpi"),
+        .workload(wl_medium()));
+
+    pkg!(r, "sundials", ["2.6.2"],
+        .describe("Nonlinear and differential/algebraic equation solvers (LLNL)."),
+        .depends_on("mpi"),
+        .depends_on("blas"),
+        .depends_on_build("cmake"),
+        .workload(wl_medium()));
+
+    pkg!(r, "qd", ["2.3.17"],
+        .describe("Double-double and quad-double arithmetic (LLNL; Fig. 13 math)."),
+        .category("math"),
+        .workload(wl_small()));
+
+    pkg!(r, "samrai", ["3.9.1", "3.10.0"],
+        .describe("Structured adaptive mesh refinement application infrastructure (LLNL; Fig. 13 math/meshing)."),
+        .homepage("https://computation.llnl.gov/projects/samrai"),
+        .category("math"),
+        .depends_on("hdf5"),
+        .depends_on("boost"),
+        .depends_on("mpi"),
+        .workload(wl_medium()));
+
+    pkg!(r, "overlink", ["1.0"],
+        .describe("Overlap remap/link library for multi-physics coupling (LLNL; Fig. 13 math/meshing)."),
+        .category("math"),
+        .depends_on("silo"),
+        .workload(wl_small()));
+
+    pkg!(r, "ga", ["5.3", "5.4"],
+        .describe("Global Arrays shared-memory programming model."),
+        .depends_on("mpi"),
+        .depends_on("blas"),
+        .depends_on("lapack"),
+        .workload(wl_medium()));
+}

@@ -1,0 +1,72 @@
+//! MPI implementations: versioned providers of the `mpi` virtual
+//! interface (SC'15 §3.3, Fig. 5 verbatim for mpich and mvapich2).
+
+use spack_package::Repository;
+
+use crate::helpers::{wl, wl_medium};
+use crate::pkg;
+
+/// Register all MPI providers.
+pub fn register(r: &mut Repository) {
+    // Fig. 5: provides('mpi@:3', when='@3:'); provides('mpi@:1', when='@1:')
+    // (the 1.x entry narrowed to 1.x releases so the two clauses do not
+    // overlap for 3.x).
+    pkg!(r, "mpich", ["1.2", "3.0.4", "3.1.4"],
+        .describe("High-performance implementation of the MPI standard."),
+        .homepage("https://www.mpich.org"),
+        .url_model("https://www.mpich.org/static/downloads/3.0.4/mpich-3.0.4.tar.gz"),
+        .variant("verbs", false, "InfiniBand verbs support"),
+        .provides_when("mpi@:3", "@3:"),
+        .provides_when("mpi@:1", "@1:1.9"),
+        .workload(wl_medium()));
+
+    pkg!(r, "mvapich", ["1.2"],
+        .describe("Classic MVAPICH 1.x over InfiniBand (Table 3's MVAPICH column)."),
+        .provides("mpi@:2.0"),
+        .workload(wl_medium()));
+
+    // Fig. 5 verbatim.
+    pkg!(r, "mvapich2", ["1.9", "2.0", "2.1"],
+        .describe("MPI over InfiniBand, Omni-Path, Ethernet/iWARP, and RoCE."),
+        .homepage("https://mvapich.cse.ohio-state.edu"),
+        .variant("debug", false, "Debug build"),
+        .provides_when("mpi@:2.2", "@1.9"),
+        .provides_when("mpi@:3.0", "@2.0:"),
+        .workload(wl_medium()));
+
+    pkg!(r, "openmpi", ["1.4.7", "1.6.5", "1.8.8"],
+        .describe("Open source MPI-2 implementation maintained by a consortium."),
+        .homepage("https://www.open-mpi.org"),
+        .url_model("https://www.open-mpi.org/software/ompi/v1.8/downloads/openmpi-1.8.8.tar.gz"),
+        .variant("psm", false, "PSM interface support"),
+        .provides_when("mpi@:2.2", "@1.4:"),
+        .depends_on("hwloc"),
+        .workload(wl_medium()));
+
+    // Vendor MPIs, normally registered as external packages at sites.
+    pkg!(r, "intel-mpi", ["4.1.3", "5.0.1"],
+        .describe("Intel's MPI implementation (vendor-optimized fabrics)."),
+        .provides_when("mpi@:3.0", "@5:"),
+        .provides_when("mpi@:2.2", "@4:4.9"),
+        .workload(wl(10, 1, 20, 200, 20, 4)));
+
+    pkg!(r, "bgq-mpi", ["1.0"],
+        .describe("IBM Blue Gene/Q system MPI (PAMI-based MPICH derivative)."),
+        .provides("mpi@:2.2"),
+        .workload(wl(10, 1, 20, 100, 20, 4)));
+
+    pkg!(r, "cray-mpich", ["7.0.0", "7.2.5"],
+        .describe("Cray's MPT MPICH for XE/XC systems."),
+        .provides_when("mpi@:3.0", "@7:"),
+        .workload(wl(10, 1, 20, 100, 20, 4)));
+
+    pkg!(r, "hwloc", ["1.8", "1.9", "1.11.2"],
+        .describe("Portable abstraction of hierarchical hardware topology."),
+        .homepage("https://www.open-mpi.org/projects/hwloc"),
+        .depends_on("libpciaccess"),
+        .workload(wl(40, 1, 180, 30, 70, 15)));
+
+    pkg!(r, "libpciaccess", ["0.13.4"],
+        .describe("Generic PCI access library."),
+        .workload(wl(20, 1, 120, 15, 60, 10)));
+}

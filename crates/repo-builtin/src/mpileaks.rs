@@ -1,0 +1,118 @@
+//! The paper's running example: mpileaks and its dependency stack
+//! (SC'15 Figs. 1, 2, 7, 9) plus the LLNL tool chain around it.
+
+use spack_package::Repository;
+
+use crate::helpers::{wl, wl_small};
+use crate::pkg;
+
+/// Register the mpileaks stack.
+pub fn register(r: &mut Repository) {
+    // Fig. 1, verbatim metadata.
+    pkg!(r, "mpileaks", ["1.0", "1.1", "2.3"],
+        .describe("Tool to detect and report leaked MPI objects."),
+        .homepage("https://github.com/hpc/mpileaks"),
+        .url_model("https://github.com/hpc/mpileaks/releases/download/v1.0/mpileaks-1.0.tar.gz"),
+        .category("external"),
+        .variant("debug", false, "Build with debug instrumentation"),
+        .depends_on("mpi"),
+        .depends_on("callpath"),
+        .install(spack_package::BuildRecipe::autotools_with(&["--with-callpath"])),
+        // Fig. 10 calibration: ~30 s build, configure-heavy.
+        .workload(wl(55, 2, 180, 35, 100, 22)));
+
+    pkg!(r, "callpath", ["1.0", "1.0.2", "1.1"],
+        .describe("Library for representing call paths consistently in distributed tools."),
+        .homepage("https://github.com/llnl/callpath"),
+        .category("external"),
+        .variant("debug", false, "Debug symbols"),
+        .depends_on("dyninst"),
+        .depends_on("adept-utils"),
+        .depends_on("mpi"),
+        .install(spack_package::BuildRecipe::cmake()),
+        .workload(wl_small()));
+
+    pkg!(r, "adept-utils", ["1.0", "1.0.1"],
+        .describe("Utility libraries for LLNL performance tools."),
+        .category("external"),
+        .depends_on("boost"),
+        .depends_on("mpi"),
+        .install(spack_package::BuildRecipe::cmake()),
+        .workload(wl_small()));
+
+    // Fig. 4: dyninst installs with autotools at @:8.1, CMake afterwards.
+    pkg!(r, "dyninst", ["8.0", "8.1.1", "8.1.2", "8.2.1"],
+        .describe("API for dynamic binary instrumentation."),
+        .homepage("https://www.dyninst.org"),
+        .category("external"),
+        .variant("stat_dysect", false, "Patch for STAT's DySectAPI"),
+        .depends_on("libelf"),
+        .depends_on("libdwarf"),
+        .depends_on_when("boost", "@8.2:"),
+        .install(spack_package::BuildRecipe::cmake()),
+        .install_when("@:8.1", spack_package::BuildRecipe::autotools()),
+        // Fig. 10: the longest build (~350 s), compile-dominated C++ —
+        // filesystem and wrapper overheads are proportionally negligible.
+        .workload(wl(780, 4, 110, 160, 25, 12)));
+
+    pkg!(r, "libdwarf", ["20130207", "20130729", "20140805"],
+        .describe("DWARF debugging information consumer/producer library."),
+        .homepage("https://www.prevanders.net/dwarf.html"),
+        .url_model("https://www.prevanders.net/libdwarf-20130729.tar.gz"),
+        .category("external"),
+        .depends_on("libelf"),
+        // Fig. 10: ~40 s, modest configure, small compile.
+        .workload(wl(85, 2, 65, 30, 85, 18)));
+
+    pkg!(r, "libelf", ["0.8.11", "0.8.12", "0.8.13"],
+        .describe("ELF object file access library (the public one, distinct from RedHat's ABI-incompatible build, SC'15 3.5.1)."),
+        .homepage("https://directory.fsf.org/wiki/Libelf"),
+        .url_model("http://www.mr511.de/software/libelf-0.8.13.tar.gz"),
+        .category("external"),
+        // Fig. 10: ~40 s, autoconf-heavy relative to its small compile.
+        .workload(wl(64, 2, 150, 28, 180, 26)));
+
+    pkg!(r, "launchmon", ["1.0.1", "1.0.2"],
+        .describe("Tool daemon launcher for distributed performance tools."),
+        .category("external"),
+        .depends_on("libelf"),
+        .depends_on("boost"),
+        .depends_on("mpi"),
+        .workload(wl_small()));
+
+    pkg!(r, "libunwind", ["1.1"],
+        .describe("Call-chain unwinding library."),
+        .workload(wl_small()));
+
+    // STAT and its dependencies: the LLNL debugging stack that motivated
+    // mpileaks-style tooling.
+    pkg!(r, "mrnet", ["4.0.0", "4.1.0", "5.0.1"],
+        .describe("Multicast/reduction software overlay network."),
+        .depends_on("boost"),
+        .workload(wl_small()));
+
+    pkg!(r, "graphlib", ["2.0.0", "3.0.0"],
+        .describe("Graph library for STAT call-prefix trees."),
+        .workload(wl_small()));
+
+    pkg!(r, "stat", ["2.0.0", "2.1.0", "2.2.0"],
+        .describe("Stack Trace Analysis Tool for debugging at scale."),
+        .homepage("https://github.com/llnl/stat"),
+        .variant("dysect", false, "Enable the DySectAPI"),
+        .depends_on("libelf"),
+        .depends_on("libdwarf"),
+        .depends_on_when("dyninst+stat_dysect", "+dysect"),
+        .depends_on_when("dyninst", "~dysect"),
+        .depends_on("graphlib"),
+        .depends_on("launchmon"),
+        .depends_on("mrnet"),
+        .depends_on("mpi"),
+        .workload(wl_small()));
+
+    pkg!(r, "mpip", ["3.4.1"],
+        .describe("Lightweight, scalable MPI profiling."),
+        .depends_on("libelf"),
+        .depends_on("libunwind"),
+        .depends_on("mpi"),
+        .workload(wl_small()));
+}

@@ -1,0 +1,116 @@
+//! Networking, serialization, and data-service libraries.
+
+use spack_package::Repository;
+
+use crate::helpers::{wl_medium, wl_small, wl_tiny};
+use crate::pkg;
+
+/// Register networking/data packages.
+pub fn register(r: &mut Repository) {
+    pkg!(r, "protobuf", ["2.5.0", "2.6.1"],
+        .describe("Google protocol buffers."),
+        .depends_on("zlib"),
+        .workload(wl_medium()));
+
+    pkg!(r, "gflags", ["2.1.2"],
+        .describe("Command-line flags processing library."),
+        .depends_on_build("cmake"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "glog", ["0.3.4"],
+        .describe("Application-level logging library."),
+        .depends_on("gflags"),
+        .workload(wl_small()));
+
+    pkg!(r, "leveldb", ["1.18"],
+        .describe("Fast key-value storage library."),
+        .depends_on("snappy"),
+        .workload(wl_small()));
+
+    pkg!(r, "zeromq", ["4.1.2"],
+        .describe("High-performance asynchronous messaging library."),
+        .depends_on("libsodium"),
+        .workload(wl_small()));
+
+    pkg!(r, "libsodium", ["1.0.3"],
+        .describe("Modern crypto library."),
+        .workload(wl_small()));
+
+    pkg!(r, "czmq", ["3.0.2"],
+        .describe("High-level C binding for ZeroMQ."),
+        .depends_on("zeromq"),
+        .depends_on("libuuid"),
+        .workload(wl_small()));
+
+    pkg!(r, "nanomsg", ["0.5"],
+        .describe("Socket library for common communication patterns."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "libarchive", ["3.1.2"],
+        .describe("Multi-format archive and compression library."),
+        .depends_on("zlib"),
+        .depends_on("bzip2"),
+        .depends_on("xz"),
+        .depends_on("openssl"),
+        .depends_on("libxml2"),
+        .workload(wl_medium()));
+
+    pkg!(r, "jansson", ["2.7"],
+        .describe("C library for JSON data."),
+        .depends_on_build("cmake"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "yaml-cpp", ["0.5.2"],
+        .describe("YAML parser and emitter for C++."),
+        .depends_on("boost"),
+        .depends_on_build("cmake"),
+        .workload(wl_small()));
+
+    pkg!(r, "cereal", ["1.1.2"],
+        .describe("Header-only C++ serialization."),
+        .depends_on_build("cmake"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "libcircle", ["0.2.1"],
+        .describe("Distributed work-queue library over MPI (LLNL/LANL file tools substrate)."),
+        .depends_on("mpi"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "dtcmp", ["1.0.3"],
+        .describe("Datatype comparison and sorting over MPI (LLNL)."),
+        .depends_on("mpi"),
+        .depends_on("lwgrp"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "lwgrp", ["1.0.2"],
+        .describe("Lightweight group representations for MPI (LLNL)."),
+        .depends_on("mpi"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "mpifileutils", ["0.6"],
+        .describe("Parallel file-management tools (dcp, drm, dwalk)."),
+        .depends_on("mpi"),
+        .depends_on("libcircle"),
+        .depends_on("dtcmp"),
+        .depends_on("libarchive"),
+        .workload(wl_small()));
+
+    pkg!(r, "sz-compressor", ["1.1"],
+        .describe("Error-bounded lossy compressor for scientific data."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "hub", ["2.2.2"],
+        .describe("Command-line wrapper for git and GitHub."),
+        .depends_on("go"),
+        .workload(wl_small()));
+
+    pkg!(r, "the-silver-searcher", ["0.30.0"],
+        .describe("Fast code-search tool."),
+        .depends_on("pcre"),
+        .depends_on("xz"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "jq", ["1.5"],
+        .describe("Command-line JSON processor."),
+        .workload(wl_tiny()));
+}

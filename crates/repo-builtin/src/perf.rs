@@ -1,0 +1,156 @@
+//! Performance analysis tools: the LLNL/Jülich tool stacks.
+
+use spack_package::Repository;
+
+use crate::helpers::{wl_medium, wl_small, wl_tiny};
+use crate::pkg;
+
+/// Register performance tools.
+pub fn register(r: &mut Repository) {
+    pkg!(r, "papi", ["5.3.0", "5.4.1"],
+        .describe("Performance API for hardware counters (Fig. 13 external)."),
+        .homepage("https://icl.utk.edu/papi"),
+        .workload(wl_small()));
+
+    // §4.1: the combinatorial-naming use case.
+    pkg!(r, "gperftools", ["2.3", "2.4"],
+        .describe("Google's fast malloc plus profilers; C++ ABI forces per-compiler rebuilds (SC'15 4.1)."),
+        .homepage("https://github.com/gperftools/gperftools"),
+        .variant("libunwind", false, "Use external libunwind for stack traces"),
+        .depends_on_when("libunwind", "+libunwind"),
+        .patch_when("gpeftools2.4_xlc.patch", "@2.4%xl"),
+        .patch_when("gperftools-pgi-atomics.patch", "%pgi"),
+        .workload(wl_small()));
+
+    pkg!(r, "tau", ["2.24", "2.25"],
+        .describe("Tuning and analysis utilities for parallel programs."),
+        .variant("mpi", true, "MPI measurement"),
+        .variant("python", false, "Python bindings"),
+        .depends_on("pdt"),
+        .depends_on("binutils"),
+        .depends_on_when("mpi", "+mpi"),
+        .depends_on_when("python", "+python"),
+        .workload(wl_medium()));
+
+    pkg!(r, "pdt", ["3.20", "3.21"],
+        .describe("Program database toolkit for source analysis."),
+        .workload(wl_small()));
+
+    pkg!(r, "scorep", ["1.3", "1.4.2"],
+        .describe("Scalable performance measurement infrastructure."),
+        .depends_on("mpi"),
+        .depends_on("otf2"),
+        .depends_on("opari2"),
+        .depends_on("cube"),
+        .depends_on("papi"),
+        .workload(wl_medium()));
+
+    pkg!(r, "otf", ["1.12.5"],
+        .describe("Open trace format library (classic)."),
+        .depends_on("zlib"),
+        .workload(wl_small()));
+
+    pkg!(r, "otf2", ["1.5.1", "2.0"],
+        .describe("Open trace format 2 read/write library."),
+        .workload(wl_small()));
+
+    pkg!(r, "opari2", ["1.1.4"],
+        .describe("OpenMP pragma instrumenter."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "cube", ["4.2.3", "4.3.4"],
+        .describe("Performance report explorer for Score-P/Scalasca."),
+        .variant("gui", false, "Qt GUI"),
+        .depends_on_when("qt", "+gui"),
+        .workload(wl_medium()));
+
+    pkg!(r, "scalasca", ["2.2.2"],
+        .describe("Scalable trace-based performance analysis."),
+        .depends_on("mpi"),
+        .depends_on("otf2"),
+        .depends_on("cube"),
+        .workload(wl_medium()));
+
+    pkg!(r, "openspeedshop", ["2.2"],
+        .describe("Comprehensive performance analysis framework (one of the largest DAGs in 2015 Spack)."),
+        .variant("mpi", true, "MPI experiments"),
+        .depends_on("libelf"),
+        .depends_on("libdwarf"),
+        .depends_on("dyninst"),
+        .depends_on("boost"),
+        .depends_on("papi"),
+        .depends_on("sqlite"),
+        .depends_on("python"),
+        .depends_on("libxml2"),
+        .depends_on("binutils"),
+        .depends_on("otf"),
+        .depends_on("mrnet"),
+        .depends_on_when("mpi", "+mpi"),
+        .workload(wl_medium()));
+
+    pkg!(r, "hpctoolkit", ["5.4.0"],
+        .describe("Sampling-based performance measurement (Rice)."),
+        .depends_on("libelf"),
+        .depends_on("libdwarf"),
+        .depends_on("libunwind"),
+        .depends_on("papi"),
+        .depends_on("binutils"),
+        .depends_on("mpi"),
+        .workload(wl_medium()));
+
+    pkg!(r, "likwid", ["4.0.1"],
+        .describe("Lightweight performance-oriented tool suite for x86."),
+        .depends_on_run("perl"),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_small()));
+
+    pkg!(r, "memaxes", ["0.5"],
+        .describe("Interactive memory-access visualization (LLNL)."),
+        .depends_on("qt"),
+        .depends_on_build("cmake"),
+        .workload(wl_small()));
+
+    pkg!(r, "muster", ["1.0.1"],
+        .describe("Massively scalable clustering library (LLNL)."),
+        .depends_on("boost"),
+        .depends_on("mpi"),
+        .depends_on_build("cmake"),
+        .workload(wl_small()));
+
+    pkg!(r, "ravel", ["1.0.0"],
+        .describe("Parallel trace visualization with logical time (LLNL)."),
+        .depends_on("muster"),
+        .depends_on("otf"),
+        .depends_on("otf2"),
+        .depends_on("qt"),
+        .depends_on_build("cmake"),
+        .workload(wl_small()));
+
+    pkg!(r, "caliper", ["1.0"],
+        .describe("Application-level performance introspection (LLNL)."),
+        .depends_on("libunwind"),
+        .depends_on("papi"),
+        .depends_on_build("cmake"),
+        .workload(wl_small()));
+
+    pkg!(r, "timers", ["1.2"],
+        .describe("Lightweight timing instrumentation (LLNL; Fig. 13 utility)."),
+        .category("utility"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "perflib", ["2.0"],
+        .describe("LLNL performance measurement utility library (Fig. 13 utility)."),
+        .category("utility"),
+        .depends_on("papi"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "memusage", ["1.1"],
+        .describe("Per-process memory high-water-mark tracking (LLNL; Fig. 13 utility)."),
+        .category("utility"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "rng", ["1.4"],
+        .describe("Reproducible parallel random number generation (LLNL; Fig. 13 utility)."),
+        .category("utility"),
+        .workload(wl_tiny()));
+}

@@ -1,0 +1,106 @@
+//! Python and its extension ecosystem (SC'15 §4.2).
+//!
+//! Python is *extendable*; `py-*` packages `extends('python')` and install
+//! into their own prefixes, supporting combinatorial versioning, while
+//! activation symlinks them into a Python installation. The BG/Q patches
+//! of §3.2.4 appear verbatim on the interpreter.
+
+use spack_package::Repository;
+
+use crate::helpers::{wl, wl_small, wl_tiny};
+use crate::pkg;
+
+/// Register Python and its extensions.
+pub fn register(r: &mut Repository) {
+    // Dependencies exactly as in Fig. 13: bzip2, ncurses, sqlite,
+    // readline, openssl, zlib.
+    pkg!(r, "python", ["2.7.8", "2.7.9", "2.7.11", "3.5.1"],
+        .describe("The Python programming language (Fig. 13 external; ARES builds 2.7.9 itself on BG/Q, 4.4)."),
+        .homepage("https://www.python.org"),
+        .url_model("https://www.python.org/ftp/python/2.7.9/python-2.7.9.tgz"),
+        .extendable(),
+        .variant("shared", true, "Build a shared libpython"),
+        .depends_on("bzip2"),
+        .depends_on("ncurses"),
+        .depends_on("sqlite"),
+        .depends_on("readline"),
+        .depends_on("openssl"),
+        .depends_on("zlib"),
+        .patch_when("python-bgq-xlc.patch", "=bgq%xl"),
+        .patch_when("python-bgq-clang.patch", "=bgq%clang"),
+        // Fig. 10 calibration: ~160 s, configure-heavy interpreter build.
+        .workload(wl(300, 2, 700, 250, 150, 40)));
+
+    let ext = |r: &mut Repository, name: &str, vers: &[&str], desc: &str, deps: &[&str]| {
+        let mut b = spack_package::PackageBuilder::new(name)
+            .describe(desc)
+            .extends("python")
+            .install(spack_package::BuildRecipe::PythonSetup)
+            .workload(wl_tiny());
+        for v in vers {
+            b = b.version(v, &crate::helpers::cks(name, v));
+        }
+        for d in deps {
+            b = b.depends_on(d);
+        }
+        r.register(b.build().expect("valid py extension")).expect("unique py extension");
+    };
+
+    ext(r, "py-setuptools", &["18.1", "19.2"], "Python packaging toolchain (the one whose multi-version pkg_resources support needs client changes, 4.2).", &[]);
+    ext(r, "py-numpy", &["1.9.1", "1.9.2"], "N-dimensional arrays for Python (Fig. 13 'numpy'; the friendly interface to compiled BLAS/LAPACK, 4.2).", &["blas", "lapack"]);
+    ext(r, "py-scipy", &["0.15.0", "0.15.1"], "Scientific algorithms on numpy (Fig. 13 'scipy').", &["py-numpy"]);
+    ext(r, "py-six", &["1.9.0"], "Python 2/3 compatibility shims.", &[]);
+    ext(r, "py-nose", &["1.3.4", "1.3.7"], "Unit-test discovery and running.", &["py-setuptools"]);
+    ext(r, "py-cython", &["0.21.2", "0.23.4"], "C extension compiler for Python.", &[]);
+    ext(r, "py-dateutil", &["2.4.0", "2.4.2"], "Extensions to datetime.", &["py-six", "py-setuptools"]);
+    ext(r, "py-pytz", &["2014.10", "2015.4"], "World timezone definitions.", &[]);
+    ext(r, "py-pandas", &["0.16.0", "0.16.1"], "Data structures for statistics.", &["py-numpy", "py-dateutil", "py-pytz"]);
+    ext(r, "py-sympy", &["0.7.6"], "Symbolic mathematics.", &[]);
+    ext(r, "py-pyparsing", &["2.0.3"], "Grammar definition library.", &[]);
+    ext(r, "py-pygments", &["2.0.1", "2.0.2"], "Syntax highlighting.", &["py-setuptools"]);
+    ext(r, "py-markupsafe", &["0.23"], "XML/HTML/XHTML safe string markup.", &[]);
+    ext(r, "py-jinja2", &["2.8"], "Sandboxed templating engine.", &["py-markupsafe"]);
+    ext(r, "py-babel", &["2.2"], "Internationalization utilities.", &["py-pytz"]);
+    ext(r, "py-docutils", &["0.12"], "Documentation processing.", &[]);
+    ext(r, "py-sphinx", &["1.3.1"], "Documentation generator.", &["py-jinja2", "py-docutils", "py-pygments", "py-six", "py-babel"]);
+    ext(r, "py-mock", &["1.3.0"], "Mock objects for testing.", &["py-six", "py-setuptools"]);
+    ext(r, "py-pexpect", &["3.3"], "Controlling interactive applications.", &[]);
+    ext(r, "py-virtualenv", &["13.0.1", "13.1.2"], "Isolated Python environments.", &["py-setuptools"]);
+    ext(r, "py-matplotlib", &["1.4.2", "1.4.3"], "2D plotting library.", &["py-numpy", "py-dateutil", "py-pytz", "py-pyparsing", "py-setuptools", "libpng", "freetype"]);
+    ext(r, "py-h5py", &["2.4.0", "2.5.0"], "HDF5 bindings for Python.", &["hdf5", "py-numpy", "py-cython"]);
+    ext(r, "py-mpi4py", &["1.3.1"], "MPI bindings for Python.", &["mpi"]);
+    ext(r, "py-yaml", &["3.11"], "YAML parser and emitter.", &[]);
+    ext(r, "py-ipython", &["2.3.1", "3.1.0"], "Interactive Python shell.", &["py-pygments", "py-setuptools"]);
+    ext(r, "py-numexpr", &["2.4.6"], "Fast array expression evaluator.", &["py-numpy"]);
+    ext(r, "py-pillow", &["2.9.0"], "Imaging library fork of PIL.", &["libjpeg-turbo", "zlib", "py-setuptools"]);
+    ext(r, "py-pip", &["7.1.2"], "Package installer for Python.", &["py-setuptools"]);
+
+    // R extensions use the same extension machinery (§4.2: "this design
+    // could also be used with other languages ... R, Ruby, or Lua").
+    let rext = |r: &mut Repository, name: &str, ver: &str, desc: &str, deps: &[&str]| {
+        let mut b = spack_package::PackageBuilder::new(name)
+            .describe(desc)
+            .extends("r")
+            .install(spack_package::BuildRecipe::Bundle)
+            .workload(wl_tiny());
+        b = b.version(ver, &crate::helpers::cks(name, ver));
+        for d in deps {
+            b = b.depends_on(d);
+        }
+        r.register(b.build().expect("valid r extension")).expect("unique r extension");
+    };
+    rext(r, "r-rcpp", "0.12.2", "Seamless R and C++ integration.", &[]);
+    rext(r, "r-ggplot2", "1.0.1", "Grammar-of-graphics plotting.", &["r-rcpp"]);
+    rext(r, "r-matrix", "1.2.3", "Sparse and dense matrix classes.", &["lapack"]);
+
+    pkg!(r, "lua-luafilesystem", ["1.6.3"],
+        .describe("Filesystem functions for Lua."),
+        .extends("lua"),
+        .install(spack_package::BuildRecipe::Makefile),
+        .workload(wl_tiny()));
+
+    pkg!(r, "freetype", ["2.5.3"],
+        .describe("Font rendering engine."),
+        .depends_on("libpng"),
+        .workload(wl_small()));
+}

@@ -1,0 +1,88 @@
+//! System tools: version control, debuggers, profilers' substrate.
+
+use spack_package::Repository;
+
+use crate::helpers::{wl_medium, wl_small, wl_tiny};
+use crate::pkg;
+
+/// Register system tools.
+pub fn register(r: &mut Repository) {
+    pkg!(r, "git", ["2.2.1", "2.6.3"],
+        .describe("Distributed version control system."),
+        .depends_on("curl"),
+        .depends_on("expat"),
+        .depends_on("openssl"),
+        .depends_on("zlib"),
+        .depends_on("pcre"),
+        .workload(wl_medium()));
+
+    pkg!(r, "subversion", ["1.8.13"],
+        .describe("Centralized version control system."),
+        .depends_on("apr"),
+        .depends_on("apr-util"),
+        .depends_on("sqlite"),
+        .depends_on("zlib"),
+        .workload(wl_medium()));
+
+    pkg!(r, "apr", ["1.5.2"],
+        .describe("Apache portable runtime."),
+        .workload(wl_small()));
+
+    pkg!(r, "apr-util", ["1.5.4"],
+        .describe("Apache portable runtime utilities."),
+        .depends_on("apr"),
+        .depends_on("expat"),
+        .workload(wl_small()));
+
+    pkg!(r, "mercurial", ["3.6.2"],
+        .describe("Distributed version control (Python)."),
+        .extends("python"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "gdb", ["7.10.1"],
+        .describe("GNU debugger."),
+        .depends_on("texinfo"),
+        .depends_on("ncurses"),
+        .depends_on("expat"),
+        .workload(wl_medium()));
+
+    pkg!(r, "valgrind", ["3.11.0"],
+        .describe("Instrumentation framework for dynamic analysis."),
+        .variant("mpi", true, "MPI wrapper support"),
+        .depends_on_when("mpi", "+mpi"),
+        .workload(wl_medium()));
+
+    pkg!(r, "strace", ["4.10"],
+        .describe("System-call tracer."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "elfutils", ["0.163"],
+        .describe("Utilities and libraries for ELF object files (conflicts with libelf installs at link time)."),
+        .depends_on("zlib"),
+        .workload(wl_small()));
+
+    pkg!(r, "numactl", ["2.0.10"],
+        .describe("NUMA policy control library and tools."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "htop", ["1.0.3"],
+        .describe("Interactive process viewer."),
+        .depends_on("ncurses"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "tmux", ["2.1"],
+        .describe("Terminal multiplexer."),
+        .depends_on("ncurses"),
+        .depends_on("libevent"),
+        .workload(wl_small()));
+
+    pkg!(r, "libevent", ["2.0.21"],
+        .describe("Asynchronous event notification library."),
+        .depends_on("openssl"),
+        .workload(wl_small()));
+
+    pkg!(r, "screen", ["4.3.1"],
+        .describe("Full-screen window manager for terminals."),
+        .depends_on("ncurses"),
+        .workload(wl_small()));
+}

@@ -1,0 +1,102 @@
+//! Everyday user tools: editors, shells, text utilities.
+
+use spack_package::Repository;
+
+use crate::helpers::{wl_medium, wl_small, wl_tiny};
+use crate::pkg;
+
+/// Register user tools.
+pub fn register(r: &mut Repository) {
+    pkg!(r, "vim", ["7.4"],
+        .describe("Vi improved text editor."),
+        .variant("python", false, "Python scripting"),
+        .depends_on("ncurses"),
+        .depends_on_when("python", "+python"),
+        .workload(wl_medium()));
+
+    pkg!(r, "emacs", ["24.5"],
+        .describe("GNU Emacs editor."),
+        .depends_on("ncurses"),
+        .depends_on("zlib"),
+        .workload(wl_medium()));
+
+    pkg!(r, "nano", ["2.4.2"],
+        .describe("Small friendly text editor."),
+        .depends_on("ncurses"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "bash", ["4.3.30"],
+        .describe("GNU Bourne-again shell."),
+        .depends_on("readline"),
+        .depends_on("ncurses"),
+        .workload(wl_small()));
+
+    pkg!(r, "zsh", ["5.1.1"],
+        .describe("Z shell."),
+        .depends_on("ncurses"),
+        .depends_on("pcre"),
+        .workload(wl_small()));
+
+    pkg!(r, "coreutils", ["8.23"],
+        .describe("GNU core utilities."),
+        .workload(wl_medium()));
+
+    pkg!(r, "gawk", ["4.1.3"],
+        .describe("GNU awk pattern scanning language."),
+        .depends_on("readline"),
+        .depends_on("gmp"),
+        .depends_on("mpfr"),
+        .workload(wl_small()));
+
+    pkg!(r, "sed", ["4.2.2"],
+        .describe("GNU stream editor."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "grep", ["2.22"],
+        .describe("GNU pattern matching utilities."),
+        .depends_on("pcre"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "diffutils", ["3.3"],
+        .describe("GNU file comparison utilities."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "findutils", ["4.4.2"],
+        .describe("GNU find, xargs, locate."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "bc", ["1.06.95"],
+        .describe("Arbitrary-precision calculator language."),
+        .depends_on("readline"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "cscope", ["15.8b"],
+        .describe("C source-code browser."),
+        .depends_on("ncurses"),
+        .depends_on("flex"),
+        .depends_on("bison"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "global", ["6.5"],
+        .describe("Source tagging system."),
+        .depends_on("ncurses"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "patch", ["2.7.5"],
+        .describe("GNU patch: apply diffs to files."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "file", ["5.25"],
+        .describe("File type determination utility."),
+        .workload(wl_tiny()));
+
+    pkg!(r, "parallel", ["20150522"],
+        .describe("GNU parallel shell job executor."),
+        .depends_on_run("perl"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "rsync", ["3.1.2"],
+        .describe("Fast incremental file transfer."),
+        .depends_on("zlib"),
+        .workload(wl_small()));
+}

@@ -1,0 +1,125 @@
+//! Visualization and GUI stacks.
+
+use spack_package::Repository;
+
+use crate::helpers::{wl_huge, wl_medium, wl_small, wl_tiny};
+use crate::pkg;
+
+/// Register visualization packages.
+pub fn register(r: &mut Repository) {
+    pkg!(r, "qt", ["4.8.6", "5.4.2"],
+        .describe("Cross-platform application framework."),
+        .homepage("https://www.qt.io"),
+        .variant("mesa", false, "Software OpenGL via Mesa"),
+        .depends_on("libpng"),
+        .depends_on("libjpeg-turbo"),
+        .depends_on("libtiff"),
+        .depends_on("libmng"),
+        .depends_on("sqlite"),
+        .depends_on("openssl"),
+        .depends_on("zlib"),
+        .depends_on_when("mesa", "+mesa"),
+        .workload(wl_huge()));
+
+    pkg!(r, "mesa", ["8.0.5", "10.4.4"],
+        .describe("Software OpenGL implementation."),
+        .depends_on("libpng"),
+        .depends_on("libxml2"),
+        .depends_on("python"),
+        .workload(wl_medium()));
+
+    pkg!(r, "glm", ["0.9.7.1"],
+        .describe("Header-only OpenGL mathematics."),
+        .depends_on_build("cmake"),
+        .workload(wl_tiny()));
+
+    pkg!(r, "fontconfig", ["2.11.1"],
+        .describe("Font configuration and customization library."),
+        .depends_on("freetype"),
+        .depends_on("expat"),
+        .workload(wl_small()));
+
+    pkg!(r, "pixman", ["0.32.6"],
+        .describe("Low-level pixel manipulation."),
+        .depends_on("libpng"),
+        .workload(wl_small()));
+
+    pkg!(r, "cairo", ["1.14.0"],
+        .describe("2D graphics library with multiple backends."),
+        .depends_on("pixman"),
+        .depends_on("fontconfig"),
+        .depends_on("freetype"),
+        .depends_on("libpng"),
+        .workload(wl_medium()));
+
+    pkg!(r, "glib", ["2.42.1"],
+        .describe("GNOME core utility library."),
+        .depends_on("libffi"),
+        .depends_on("zlib"),
+        .depends_on("gettext"),
+        .workload(wl_medium()));
+
+    pkg!(r, "vtk", ["6.1.0", "6.3.0"],
+        .describe("Visualization toolkit."),
+        .variant("qt", true, "Qt GUI support"),
+        .depends_on_when("qt", "+qt"),
+        .depends_on("libpng"),
+        .depends_on("libjpeg-turbo"),
+        .depends_on("libtiff"),
+        .depends_on("libxml2"),
+        .depends_on("hdf5"),
+        .depends_on("zlib"),
+        .depends_on_build("cmake"),
+        .install(spack_package::BuildRecipe::cmake()),
+        .workload(wl_huge()));
+
+    pkg!(r, "paraview", ["4.4.0"],
+        .describe("Parallel data analysis and visualization."),
+        .variant("mpi", true, "Parallel rendering"),
+        .variant("python", true, "Python scripting"),
+        .depends_on_when("mpi", "+mpi"),
+        .depends_on_when("python", "+python"),
+        .depends_on_when("py-numpy", "+python"),
+        .depends_on_when("py-matplotlib", "+python"),
+        .depends_on("libpng"),
+        .depends_on("libjpeg-turbo"),
+        .depends_on("libxml2"),
+        .depends_on("hdf5"),
+        .depends_on("netcdf"),
+        .depends_on("qt"),
+        .depends_on_build("cmake"),
+        .install(spack_package::BuildRecipe::cmake()),
+        .workload(wl_huge()));
+
+    pkg!(r, "visit", ["2.10.0"],
+        .describe("Interactive parallel visualization (LLNL)."),
+        .depends_on("vtk"),
+        .depends_on("qt"),
+        .depends_on("silo"),
+        .depends_on("hdf5"),
+        .depends_on("python"),
+        .depends_on_build("cmake"),
+        .workload(wl_huge()));
+
+    pkg!(r, "gnuplot", ["5.0.1"],
+        .describe("Command-line driven graphing utility."),
+        .depends_on("cairo"),
+        .depends_on("libpng"),
+        .depends_on("readline"),
+        .workload(wl_small()));
+
+    pkg!(r, "graphviz", ["2.38.0"],
+        .describe("Graph drawing tools."),
+        .depends_on("cairo"),
+        .depends_on("libpng"),
+        .depends_on("expat"),
+        .workload(wl_medium()));
+
+    pkg!(r, "imagemagick", ["6.9.0"],
+        .describe("Image manipulation suite."),
+        .depends_on("libpng"),
+        .depends_on("libjpeg-turbo"),
+        .depends_on("libtiff"),
+        .depends_on("freetype"),
+        .workload(wl_medium()));
+}

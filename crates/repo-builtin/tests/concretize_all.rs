@@ -1,0 +1,128 @@
+//! Whole-repository concretization: every builtin package must concretize
+//! under a realistic site configuration (the precondition for the Fig. 8
+//! experiment), and the ARES stack must reproduce §4.4's numbers.
+
+use spack_concretize::{Concretizer, Config};
+use spack_repo_builtin::repo_stack;
+use spack_spec::Spec;
+
+fn site_config() -> Config {
+    let mut c = Config::new();
+    c.register_compiler("gcc", "4.9.3", &[]);
+    c.register_compiler("gcc", "4.7.4", &[]);
+    c.register_compiler("intel", "14.0.4", &[]);
+    c.register_compiler("intel", "15.0.1", &[]);
+    c.register_compiler("clang", "3.6.2", &[]);
+    c.register_compiler("pgi", "15.4", &[]);
+    c.register_compiler("xl", "12.1", &["bgq"]);
+    c.push_scope_text(
+        "site",
+        "arch = linux-x86_64\n\
+         compiler = gcc\n\
+         providers mpi = mvapich2,openmpi,mpich\n\
+         providers blas = netlib-blas\n\
+         providers lapack = netlib-lapack\n\
+         providers fft = fftw\n",
+    )
+    .unwrap();
+    c
+}
+
+#[test]
+fn every_builtin_package_concretizes() {
+    let repos = repo_stack();
+    let config = site_config();
+    let c = Concretizer::new(&repos, &config);
+    let mut failures = Vec::new();
+    let mut max_nodes = 0usize;
+    for name in repos.package_names() {
+        match c.concretize(&Spec::named(&name)) {
+            Ok(dag) => max_nodes = max_nodes.max(dag.len()),
+            Err(e) => failures.push(format!("{name}: {e}")),
+        }
+    }
+    assert!(failures.is_empty(), "failed:\n{}", failures.join("\n"));
+    assert!(max_nodes >= 40, "largest DAG only {max_nodes} nodes");
+}
+
+#[test]
+fn ares_stack_has_47_packages() {
+    // §4.4: "ARES comprises 47 packages, with complex dependency
+    // relationships."
+    let repos = repo_stack();
+    let config = site_config();
+    let dag = Concretizer::new(&repos, &config)
+        .concretize(&Spec::parse("ares").unwrap())
+        .unwrap();
+    let names: Vec<&str> = dag.package_names();
+    assert_eq!(dag.len(), 47, "ARES closure: {names:?}");
+    // The root depends on LLNL physics, math, utility, and externals.
+    for expected in [
+        "matprop", "leos", "teton", "cretin", "cheetah",  // physics
+        "samrai", "hypre", "overlink", "qd",               // math/meshing
+        "silo", "bdivxml", "scallop", "timers",            // utility
+        "python", "py-numpy", "py-scipy", "tcl", "tk",     // externals
+        "boost", "hdf5", "gsl", "ga", "hpdf", "opclient",
+        "netlib-lapack", "netlib-blas",                    // resolved virtuals
+    ] {
+        assert!(dag.by_name(expected).is_some(), "ARES missing {expected}");
+    }
+    // One MPI implementation, chosen by site policy.
+    assert!(dag.by_name("mvapich2").is_some());
+}
+
+#[test]
+fn ares_lite_is_smaller() {
+    let repos = repo_stack();
+    let config = site_config();
+    let c = Concretizer::new(&repos, &config);
+    let full = c.concretize(&Spec::parse("ares").unwrap()).unwrap();
+    let lite = c.concretize(&Spec::parse("ares+lite").unwrap()).unwrap();
+    assert!(
+        lite.len() < full.len(),
+        "lite ({}) must drop dependencies vs full ({})",
+        lite.len(),
+        full.len()
+    );
+    assert!(lite.by_name("laser").is_none());
+    assert!(lite.by_name("py-scipy").is_none());
+}
+
+#[test]
+fn ares_develop_tracks_newer_dependencies() {
+    let repos = repo_stack();
+    let config = site_config();
+    let c = Concretizer::new(&repos, &config);
+    let dev = c.concretize(&Spec::parse("ares@develop").unwrap()).unwrap();
+    let cur = c.concretize(&Spec::parse("ares@2015.06").unwrap()).unwrap();
+    let samrai_dev = dev.node(dev.by_name("samrai").unwrap());
+    let samrai_cur = cur.node(cur.by_name("samrai").unwrap());
+    assert_eq!(samrai_dev.version.to_string(), "3.10.0");
+    assert_eq!(samrai_cur.version.to_string(), "3.9.1");
+}
+
+#[test]
+fn mpileaks_fig7_shape_from_builtin_repo() {
+    let repos = repo_stack();
+    let config = site_config();
+    let dag = Concretizer::new(&repos, &config)
+        .concretize(&Spec::parse("mpileaks ^mpich@3.0.4").unwrap())
+        .unwrap();
+    for pkg in ["mpileaks", "callpath", "dyninst", "libdwarf", "libelf", "mpich"] {
+        assert!(dag.by_name(pkg).is_some(), "missing {pkg}");
+    }
+    let mpich = dag.node(dag.by_name("mpich").unwrap());
+    assert_eq!(mpich.version.to_string(), "3.0.4");
+}
+
+#[test]
+fn openspeedshop_is_a_large_dag() {
+    // One of the biggest DAGs in 2015 Spack — the right-hand tail of
+    // Fig. 8.
+    let repos = repo_stack();
+    let config = site_config();
+    let dag = Concretizer::new(&repos, &config)
+        .concretize(&Spec::parse("openspeedshop").unwrap())
+        .unwrap();
+    assert!(dag.len() >= 18, "openspeedshop DAG has {} nodes", dag.len());
+}

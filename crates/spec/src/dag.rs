@@ -1,0 +1,571 @@
+//! Concrete build DAGs: the output of concretization (SC'15 Fig. 7).
+//!
+//! A [`ConcreteDag`] is a directed acyclic graph of fully-resolved package
+//! nodes. Per §3.2.1, a DAG contains at most one configuration of each
+//! package, so nodes are indexable by package name. Dependency edges point
+//! from dependent to dependency, and installation proceeds bottom-up in
+//! topological order.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::SpecError;
+use crate::spec::{CompilerSpec, Spec};
+use crate::version::{Version, VersionList};
+
+/// Index of a node within its [`ConcreteDag`].
+pub type NodeId = usize;
+
+/// A fully pinned compiler: name and exact version.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConcreteCompiler {
+    /// Toolchain name (`gcc`, `intel`, ...).
+    pub name: String,
+    /// Exact toolchain version.
+    pub version: Version,
+}
+
+impl fmt::Display for ConcreteCompiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.name, self.version)
+    }
+}
+
+/// One fully-resolved package configuration in a concrete DAG.
+///
+/// All five configuration parameters of §3.2.1 are pinned: version,
+/// compiler (+ version), variants, and target architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcreteNode {
+    /// Package name.
+    pub name: String,
+    /// Exact package version.
+    pub version: Version,
+    /// Exact compiler.
+    pub compiler: ConcreteCompiler,
+    /// All variants of the package, each resolved to on/off.
+    pub variants: BTreeMap<String, bool>,
+    /// Target architecture, e.g. `linux-x86_64` or `bgq`.
+    pub architecture: String,
+    /// Repository namespace that provided the package recipe (§4.3.2),
+    /// e.g. `builtin` or a site namespace. Tracked for reproducibility.
+    pub namespace: String,
+    /// Direct dependencies, as indices into the owning DAG, sorted by the
+    /// dependency's package name.
+    pub deps: Vec<NodeId>,
+}
+
+impl ConcreteNode {
+    /// Render just this node's parameters in spec syntax.
+    pub fn format_node(&self) -> String {
+        let mut s = format!("{}@{}%{}", self.name, self.version, self.compiler);
+        for (var, on) in &self.variants {
+            s.push(if *on { '+' } else { '~' });
+            s.push_str(var);
+        }
+        s.push('=');
+        s.push_str(&self.architecture);
+        s
+    }
+
+    /// This node's parameters as a concrete [`Spec`] (no dependencies).
+    pub fn as_node_spec(&self) -> Spec {
+        Spec {
+            name: Some(self.name.clone()),
+            versions: VersionList::exact(self.version.clone()),
+            compiler: Some(CompilerSpec {
+                name: self.compiler.name.clone(),
+                versions: VersionList::exact(self.compiler.version.clone()),
+            }),
+            variants: self.variants.clone(),
+            architecture: Some(self.architecture.clone()),
+            dependencies: BTreeMap::new(),
+        }
+    }
+}
+
+/// A validated concrete DAG with a designated root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcreteDag {
+    nodes: Vec<ConcreteNode>,
+    root: NodeId,
+    by_name: BTreeMap<String, NodeId>,
+}
+
+impl ConcreteDag {
+    /// Build and validate a DAG from nodes and a root index.
+    ///
+    /// Validation enforces the paper's invariants: package names are unique
+    /// within the DAG, every node is reachable from the root, edges are in
+    /// bounds, and the graph is acyclic.
+    pub fn new(nodes: Vec<ConcreteNode>, root: NodeId) -> Result<ConcreteDag, SpecError> {
+        if root >= nodes.len() {
+            return Err(SpecError::conflict("root index out of bounds"));
+        }
+        let mut by_name = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            if by_name.insert(n.name.clone(), i).is_some() {
+                return Err(SpecError::conflict(format!(
+                    "two configurations of `{}` in one DAG",
+                    n.name
+                )));
+            }
+            for &d in &n.deps {
+                if d >= nodes.len() {
+                    return Err(SpecError::conflict(format!(
+                        "dependency edge out of bounds on `{}`",
+                        n.name
+                    )));
+                }
+            }
+        }
+        let dag = ConcreteDag {
+            nodes,
+            root,
+            by_name,
+        };
+        dag.check_acyclic_and_reachable()?;
+        Ok(dag)
+    }
+
+    fn check_acyclic_and_reachable(&self) -> Result<(), SpecError> {
+        // Iterative DFS with colors: 0 unvisited, 1 on stack, 2 done.
+        let mut color = vec![0u8; self.nodes.len()];
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.root, 0)];
+        color[self.root] = 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < self.nodes[node].deps.len() {
+                let dep = self.nodes[node].deps[*next];
+                *next += 1;
+                match color[dep] {
+                    0 => {
+                        color[dep] = 1;
+                        stack.push((dep, 0));
+                    }
+                    1 => {
+                        return Err(SpecError::conflict(format!(
+                            "circular dependency through `{}`",
+                            self.nodes[dep].name
+                        )));
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = 2;
+                stack.pop();
+            }
+        }
+        if let Some(unreached) = color.iter().position(|&c| c != 2) {
+            return Err(SpecError::conflict(format!(
+                "node `{}` unreachable from root",
+                self.nodes[unreached].name
+            )));
+        }
+        Ok(())
+    }
+
+    /// The root node's index.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The root node.
+    pub fn root_node(&self) -> &ConcreteNode {
+        &self.nodes[self.root]
+    }
+
+    /// All nodes, indexable by [`NodeId`].
+    pub fn nodes(&self) -> &[ConcreteNode] {
+        &self.nodes
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: NodeId) -> &ConcreteNode {
+        &self.nodes[id]
+    }
+
+    /// Number of packages in the DAG.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a single-node DAG? Never — a DAG always has a root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.deps.len()).sum()
+    }
+
+    /// Find a package's node by name (§3.2.3: "each dependency can be
+    /// uniquely identified by its package name alone").
+    pub fn by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Bottom-up topological order: every node appears after all of its
+    /// dependencies. This is the install order (§3.4: "traverses the DAG
+    /// in a bottom-up fashion"). Deterministic for a given DAG.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut done = vec![false; self.nodes.len()];
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.root, 0)];
+        let mut on_stack = vec![false; self.nodes.len()];
+        on_stack[self.root] = true;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < self.nodes[node].deps.len() {
+                let dep = self.nodes[node].deps[*next];
+                *next += 1;
+                if !done[dep] && !on_stack[dep] {
+                    on_stack[dep] = true;
+                    stack.push((dep, 0));
+                }
+            } else {
+                done[node] = true;
+                on_stack[node] = false;
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order
+    }
+
+    /// All package names in the DAG, sorted.
+    pub fn package_names(&self) -> Vec<&str> {
+        self.by_name.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Extract the sub-DAG rooted at `id` as its own [`ConcreteDag`].
+    /// This is the `spec` value passed to a package's `install` method
+    /// (§3.4: "a sub-DAG rooted at the current node").
+    pub fn subdag(&self, id: NodeId) -> ConcreteDag {
+        // Collect reachable nodes.
+        let mut reachable = Vec::new();
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![id];
+        seen[id] = true;
+        while let Some(n) = stack.pop() {
+            reachable.push(n);
+            for &d in &self.nodes[n].deps {
+                if !seen[d] {
+                    seen[d] = true;
+                    stack.push(d);
+                }
+            }
+        }
+        reachable.sort_unstable();
+        let mut remap = vec![usize::MAX; self.nodes.len()];
+        for (new, &old) in reachable.iter().enumerate() {
+            remap[old] = new;
+        }
+        let nodes = reachable
+            .iter()
+            .map(|&old| {
+                let mut n = self.nodes[old].clone();
+                for d in &mut n.deps {
+                    *d = remap[*d];
+                }
+                n
+            })
+            .collect();
+        ConcreteDag::new(nodes, remap[id]).expect("subdag of a valid DAG is valid")
+    }
+
+    /// The whole DAG as an abstract [`Spec`]: root node constraints plus a
+    /// flat map of every package in the DAG as a fully-pinned dependency
+    /// constraint. Useful for `satisfies` queries against user specs.
+    pub fn as_spec(&self) -> Spec {
+        let mut spec = self.root_node().as_node_spec();
+        for (name, &id) in &self.by_name {
+            if id != self.root {
+                spec.dependencies
+                    .insert(name.clone(), self.nodes[id].as_node_spec());
+            }
+        }
+        spec
+    }
+
+    /// Does this concrete build satisfy an abstract request?
+    ///
+    /// The root must satisfy the root constraints, and each `^name`
+    /// constraint must be satisfied by the same-named package anywhere in
+    /// the DAG.
+    pub fn satisfies(&self, request: &Spec) -> bool {
+        if !self.root_node().as_node_spec().node_satisfies(request) {
+            return false;
+        }
+        for (name, constraint) in &request.dependencies {
+            match self.by_name(name) {
+                Some(id) => {
+                    if !self.nodes[id].as_node_spec().node_satisfies(constraint) {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// GraphViz rendering (used by the Fig. 13 harness).
+    pub fn to_dot(&self, classify: impl Fn(&ConcreteNode) -> &'static str) -> String {
+        let mut out = String::from("digraph spec {\n  rankdir=TB;\n");
+        for n in &self.nodes {
+            out.push_str(&format!(
+                "  \"{}\" [label=\"{}\" group=\"{}\"];\n",
+                n.name,
+                n.name,
+                classify(n)
+            ));
+        }
+        for n in &self.nodes {
+            for &d in &n.deps {
+                out.push_str(&format!("  \"{}\" -> \"{}\";\n", n.name, self.nodes[d].name));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for ConcreteDag {
+    /// Tree rendering in the style of `spack spec`: root first, children
+    /// indented, each node in full concrete spec syntax. Shared nodes are
+    /// printed at first encounter only.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn walk(
+            dag: &ConcreteDag,
+            id: NodeId,
+            depth: usize,
+            seen: &mut Vec<bool>,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            writeln!(
+                f,
+                "{:indent$}{}{}",
+                "",
+                if depth == 0 { "" } else { "^" },
+                dag.nodes[id].format_node(),
+                indent = depth * 4
+            )?;
+            if seen[id] {
+                return Ok(());
+            }
+            seen[id] = true;
+            for &d in &dag.nodes[id].deps {
+                walk(dag, d, depth + 1, seen, f)?;
+            }
+            Ok(())
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        walk(self, self.root, 0, &mut seen, f)
+    }
+}
+
+/// Convenience builder for concrete DAGs, used by the concretizer and by
+/// tests.
+#[derive(Debug, Default)]
+pub struct DagBuilder {
+    nodes: Vec<ConcreteNode>,
+    names: BTreeMap<String, NodeId>,
+}
+
+impl DagBuilder {
+    /// An empty builder.
+    pub fn new() -> DagBuilder {
+        DagBuilder::default()
+    }
+
+    /// Add a node without dependencies; returns its id. Errors if the name
+    /// was already added.
+    pub fn add_node(&mut self, node: ConcreteNode) -> Result<NodeId, SpecError> {
+        if self.names.contains_key(&node.name) {
+            return Err(SpecError::conflict(format!(
+                "two configurations of `{}` in one DAG",
+                node.name
+            )));
+        }
+        let id = self.nodes.len();
+        self.names.insert(node.name.clone(), id);
+        self.nodes.push(node);
+        Ok(id)
+    }
+
+    /// Look up a previously added node by name.
+    pub fn id_of(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// Add a dependency edge from `from` to `to`, keeping edges sorted by
+    /// dependency name and ignoring duplicates.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.nodes[from].deps.contains(&to) {
+            let mut deps = std::mem::take(&mut self.nodes[from].deps);
+            deps.push(to);
+            deps.sort_by(|&a, &b| self.nodes[a].name.cmp(&self.nodes[b].name));
+            self.nodes[from].deps = deps;
+        }
+    }
+
+    /// Finalize into a validated DAG rooted at `root`.
+    pub fn build(self, root: NodeId) -> Result<ConcreteDag, SpecError> {
+        ConcreteDag::new(self.nodes, root)
+    }
+}
+
+/// Construct a concrete node quickly (testing and workload generation).
+pub fn node(
+    name: &str,
+    version: &str,
+    compiler: (&str, &str),
+    arch: &str,
+) -> ConcreteNode {
+    ConcreteNode {
+        name: name.to_string(),
+        version: Version::new(version).expect("valid version"),
+        compiler: ConcreteCompiler {
+            name: compiler.0.to_string(),
+            version: Version::new(compiler.1).expect("valid compiler version"),
+        },
+        variants: BTreeMap::new(),
+        architecture: arch.to_string(),
+        namespace: "builtin".to_string(),
+        deps: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The mpileaks DAG of Fig. 2/7: mpileaks -> {mpich, callpath},
+    /// callpath -> {mpich, dyninst}, dyninst -> {libdwarf, libelf},
+    /// libdwarf -> libelf.
+    pub fn mpileaks_dag() -> ConcreteDag {
+        let mut b = DagBuilder::new();
+        let mpileaks = b.add_node(node("mpileaks", "2.3", ("gcc", "4.7.3"), "linux-ppc64")).unwrap();
+        let mpich = b.add_node(node("mpich", "3.0.4", ("gcc", "4.7.3"), "linux-ppc64")).unwrap();
+        let callpath = b.add_node(node("callpath", "1.0.2", ("gcc", "4.7.3"), "linux-ppc64")).unwrap();
+        let dyninst = b.add_node(node("dyninst", "8.1.2", ("gcc", "4.7.3"), "linux-ppc64")).unwrap();
+        let libdwarf = b.add_node(node("libdwarf", "20130729", ("gcc", "4.7.3"), "linux-ppc64")).unwrap();
+        let libelf = b.add_node(node("libelf", "0.8.11", ("gcc", "4.7.3"), "linux-ppc64")).unwrap();
+        b.add_edge(mpileaks, mpich);
+        b.add_edge(mpileaks, callpath);
+        b.add_edge(callpath, mpich);
+        b.add_edge(callpath, dyninst);
+        b.add_edge(dyninst, libdwarf);
+        b.add_edge(dyninst, libelf);
+        b.add_edge(libdwarf, libelf);
+        b.build(mpileaks).unwrap()
+    }
+
+    #[test]
+    fn builds_and_indexes() {
+        let dag = mpileaks_dag();
+        assert_eq!(dag.len(), 6);
+        assert_eq!(dag.edge_count(), 7);
+        assert_eq!(dag.root_node().name, "mpileaks");
+        assert!(dag.by_name("libelf").is_some());
+        assert!(dag.by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn rejects_duplicate_package() {
+        let mut b = DagBuilder::new();
+        b.add_node(node("libelf", "0.8.11", ("gcc", "4.7.3"), "x")).unwrap();
+        assert!(b.add_node(node("libelf", "0.8.13", ("gcc", "4.7.3"), "x")).is_err());
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut nodes = vec![
+            node("a", "1", ("gcc", "4"), "x"),
+            node("b", "1", ("gcc", "4"), "x"),
+        ];
+        nodes[0].deps = vec![1];
+        nodes[1].deps = vec![0];
+        assert!(ConcreteDag::new(nodes, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_unreachable() {
+        let nodes = vec![
+            node("a", "1", ("gcc", "4"), "x"),
+            node("b", "1", ("gcc", "4"), "x"),
+        ];
+        assert!(ConcreteDag::new(nodes, 0).is_err());
+    }
+
+    #[test]
+    fn topo_order_is_bottom_up() {
+        let dag = mpileaks_dag();
+        let order = dag.topo_order();
+        assert_eq!(order.len(), dag.len());
+        let position: BTreeMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for (id, n) in dag.nodes().iter().enumerate() {
+            for &d in &n.deps {
+                assert!(
+                    position[&d] < position[&id],
+                    "{} must install before {}",
+                    dag.node(d).name,
+                    n.name
+                );
+            }
+        }
+        assert_eq!(order.last().copied(), Some(dag.root()));
+    }
+
+    #[test]
+    fn subdag_extraction() {
+        let dag = mpileaks_dag();
+        let dyninst = dag.by_name("dyninst").unwrap();
+        let sub = dag.subdag(dyninst);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.root_node().name, "dyninst");
+        assert!(sub.by_name("libelf").is_some());
+        assert!(sub.by_name("mpileaks").is_none());
+    }
+
+    #[test]
+    fn satisfies_constraints_by_name() {
+        let dag = mpileaks_dag();
+        assert!(dag.satisfies(&Spec::parse("mpileaks").unwrap()));
+        assert!(dag.satisfies(&Spec::parse("mpileaks@2.3").unwrap()));
+        assert!(dag.satisfies(&Spec::parse("mpileaks@2:").unwrap()));
+        assert!(dag.satisfies(&Spec::parse("mpileaks%gcc").unwrap()));
+        // Transitive deps addressed by name.
+        assert!(dag.satisfies(&Spec::parse("mpileaks^mpich@3.0.4").unwrap()));
+        assert!(dag.satisfies(&Spec::parse("mpileaks^libelf@:0.9").unwrap()));
+        assert!(!dag.satisfies(&Spec::parse("mpileaks^libelf@0.9:").unwrap()));
+        assert!(!dag.satisfies(&Spec::parse("mpileaks^openmpi").unwrap()));
+        assert!(!dag.satisfies(&Spec::parse("mpileaks%intel").unwrap()));
+    }
+
+    #[test]
+    fn display_shows_tree() {
+        let dag = mpileaks_dag();
+        let text = dag.to_string();
+        assert!(text.starts_with("mpileaks@2.3%gcc@4.7.3=linux-ppc64"));
+        assert!(text.contains("^callpath@1.0.2"));
+        assert!(text.contains("^libelf@0.8.11"));
+    }
+
+    #[test]
+    fn as_spec_roundtrip_satisfies() {
+        let dag = mpileaks_dag();
+        let spec = dag.as_spec();
+        assert!(spec.satisfies(&Spec::parse("mpileaks^dyninst@8.1.2").unwrap()));
+        assert_eq!(spec.dependencies.len(), 5);
+    }
+
+    #[test]
+    fn dot_export_mentions_all_edges() {
+        let dag = mpileaks_dag();
+        let dot = dag.to_dot(|_| "external");
+        assert!(dot.contains("\"mpileaks\" -> \"callpath\""));
+        assert!(dot.contains("\"libdwarf\" -> \"libelf\""));
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type shared by the spec layer.
+
+use std::fmt;
+
+/// Errors raised while parsing or combining specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec text did not match the grammar (SC'15 Fig. 3).
+    Parse(String),
+    /// Two constraints were mutually inconsistent (the paper's
+    /// concretization "inconsistency" error: user vs. package conflicts).
+    Conflict(String),
+    /// An operation required a concrete spec but got an abstract one.
+    NotConcrete(String),
+}
+
+impl SpecError {
+    /// A parse error with the given message.
+    pub fn parse(msg: impl Into<String>) -> SpecError {
+        SpecError::Parse(msg.into())
+    }
+
+    /// A constraint-conflict error with the given message.
+    pub fn conflict(msg: impl Into<String>) -> SpecError {
+        SpecError::Conflict(msg.into())
+    }
+
+    /// A not-concrete error with the given message.
+    pub fn not_concrete(msg: impl Into<String>) -> SpecError {
+        SpecError::NotConcrete(msg.into())
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse(m) => write!(f, "spec parse error: {m}"),
+            SpecError::Conflict(m) => write!(f, "constraint conflict: {m}"),
+            SpecError::NotConcrete(m) => write!(f, "spec not concrete: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}

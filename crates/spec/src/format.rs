@@ -1,0 +1,94 @@
+//! Canonical textual rendering of specs.
+//!
+//! The canonical form is compact (no spaces inside a node's constraints),
+//! with variants sorted by name and dependencies sorted by package name:
+//!
+//! ```text
+//! mpileaks@1.2%gcc@4.7.3+debug~qt=bgq ^callpath@1.1 ^openmpi@1.4.7
+//! ```
+//!
+//! Rendering round-trips: parsing the canonical form yields an equal
+//! [`Spec`] (property-tested in `tests/`).
+
+use std::fmt;
+
+use crate::spec::Spec;
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_node(self, f)?;
+        for dep in self.dependencies.values() {
+            write!(f, " ^")?;
+            write_node(dep, f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Write one node's constraints (no dependency clauses).
+fn write_node(spec: &Spec, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if let Some(name) = &spec.name {
+        write!(f, "{name}")?;
+    }
+    if !spec.versions.is_any() {
+        write!(f, "@{}", spec.versions)?;
+    }
+    if let Some(c) = &spec.compiler {
+        write!(f, "%{c}")?;
+    }
+    for (var, on) in &spec.variants {
+        write!(f, "{}{var}", if *on { '+' } else { '~' })?;
+    }
+    if let Some(arch) = &spec.architecture {
+        write!(f, "={arch}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canon(text: &str) -> String {
+        Spec::parse(text).unwrap().to_string()
+    }
+
+    #[test]
+    fn canonical_ordering() {
+        assert_eq!(
+            canon("mpileaks =bgq +debug %gcc@4.5 @1.2"),
+            "mpileaks@1.2%gcc@4.5+debug=bgq"
+        );
+    }
+
+    #[test]
+    fn dependencies_sorted_by_name() {
+        assert_eq!(
+            canon("mpileaks ^libelf@0.8.11 ^callpath@1.0"),
+            "mpileaks ^callpath@1.0 ^libelf@0.8.11"
+        );
+    }
+
+    #[test]
+    fn roundtrip_table2_examples() {
+        for text in [
+            "mpileaks",
+            "mpileaks@1.1.2",
+            "mpileaks@1.1.2%gcc",
+            "mpileaks@1.1.2%intel@14.1+debug",
+            "mpileaks@1.1.2=bgq",
+            "mpileaks@1.1.2 ^mvapich2@1.9",
+            "mpileaks@1.2:1.4%gcc@4.7.5~debug=bgq ^callpath@1.1%gcc@4.7.2 ^openmpi@1.4.7",
+        ] {
+            let spec = Spec::parse(text).unwrap();
+            let reparsed = Spec::parse(&spec.to_string()).unwrap();
+            assert_eq!(spec, reparsed, "round-trip failed for `{text}`");
+        }
+    }
+
+    #[test]
+    fn anonymous_spec_formats() {
+        assert_eq!(canon("%gcc@:4"), "%gcc@:4");
+        assert_eq!(canon("+mpi"), "+mpi");
+    }
+}

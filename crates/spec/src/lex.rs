@@ -1,0 +1,192 @@
+//! Tokenizer for the spec grammar (SC'15 Fig. 3).
+//!
+//! Identifiers follow `[A-Za-z0-9_][A-Za-z0-9_.-]*`: a `-` *inside* an
+//! identifier continues it (`linux-ppc64`), while a `-` at a token boundary
+//! is the variant-disable sigil (`mpileaks -debug`). Tokens record whether
+//! whitespace preceded them so the parser can tell `@1.2:1.4` (range with
+//! an upper bound) from `@1.2: other` (open range followed by another
+//! word).
+
+use crate::error::SpecError;
+
+/// Token kinds of the spec language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or version text.
+    Id(String),
+    /// `@` — version constraint follows.
+    At,
+    /// `%` — compiler constraint follows.
+    Percent,
+    /// `+` — enable variant.
+    Plus,
+    /// `~` or boundary `-` — disable variant.
+    Off,
+    /// `=` — architecture follows.
+    Eq,
+    /// `^` — dependency spec follows.
+    Caret,
+    /// `:` — version range separator.
+    Colon,
+    /// `,` — version list separator.
+    Comma,
+}
+
+/// A token plus whether whitespace separated it from the previous token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// True when at least one whitespace character preceded this token.
+    pub space_before: bool,
+    /// Byte offset in the source, for error messages.
+    pub offset: usize,
+}
+
+fn is_id_start(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn is_id_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-'
+}
+
+/// Tokenize a spec string.
+pub fn lex(input: &str) -> Result<Vec<Token>, SpecError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    let mut space_before = false;
+    while let Some(&(offset, c)) = chars.peek() {
+        if c.is_whitespace() {
+            space_before = true;
+            chars.next();
+            continue;
+        }
+        let kind = match c {
+            '@' => {
+                chars.next();
+                TokenKind::At
+            }
+            '%' => {
+                chars.next();
+                TokenKind::Percent
+            }
+            '+' => {
+                chars.next();
+                TokenKind::Plus
+            }
+            '~' | '-' => {
+                chars.next();
+                TokenKind::Off
+            }
+            '=' => {
+                chars.next();
+                TokenKind::Eq
+            }
+            '^' => {
+                chars.next();
+                TokenKind::Caret
+            }
+            ':' => {
+                chars.next();
+                TokenKind::Colon
+            }
+            ',' => {
+                chars.next();
+                TokenKind::Comma
+            }
+            c if is_id_start(c) => {
+                let mut id = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_id_continue(c) {
+                        id.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Id(id)
+            }
+            other => {
+                return Err(SpecError::parse(format!(
+                    "unexpected character `{other}` at offset {offset} in `{input}`"
+                )));
+            }
+        };
+        tokens.push(Token {
+            kind,
+            space_before,
+            offset,
+        });
+        space_before = false;
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        lex(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_spec() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("mpileaks@1.2"),
+            vec![Id("mpileaks".into()), At, Id("1.2".into())]
+        );
+    }
+
+    #[test]
+    fn dash_inside_id_vs_variant_off() {
+        use TokenKind::*;
+        // `linux-ppc64` is one identifier...
+        assert_eq!(kinds("=linux-ppc64"), vec![Eq, Id("linux-ppc64".into())]);
+        // ...but ` -debug` is a variant-disable.
+        assert_eq!(
+            kinds("mpileaks -debug"),
+            vec![Id("mpileaks".into()), Off, Id("debug".into())]
+        );
+    }
+
+    #[test]
+    fn whitespace_flag() {
+        let toks = lex("a ^b^c").unwrap();
+        assert!(!toks[0].space_before);
+        assert!(toks[1].space_before); // ^ after space
+        assert!(!toks[2].space_before); // b directly after ^
+        assert!(!toks[3].space_before); // second ^ directly after b
+    }
+
+    #[test]
+    fn full_table2_row7_lexes() {
+        let toks = lex(
+            "mpileaks @1.2:1.4 %gcc@4.7.5 -debug =bgq ^callpath @1.1 %gcc@4.7.2 ^openmpi @1.4.7",
+        )
+        .unwrap();
+        assert_eq!(toks.len(), 25);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("mpileaks!").is_err());
+        assert!(lex("a#b").is_err());
+    }
+
+    #[test]
+    fn version_range_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("@2.3:2.5.6"),
+            vec![At, Id("2.3".into()), Colon, Id("2.5.6".into())]
+        );
+        assert_eq!(kinds("@:4"), vec![At, Colon, Id("4".into())]);
+        assert_eq!(
+            kinds("@1.0,1.5:"),
+            vec![At, Id("1.0".into()), Comma, Id("1.5".into()), Colon]
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! # spack-spec
+//!
+//! The spec layer of `spack-rs`, a Rust reproduction of the Spack package
+//! manager (Gamblin et al., *The Spack Package Manager: Bringing Order to
+//! HPC Software Chaos*, SC '15).
+//!
+//! This crate implements:
+//!
+//! * the **version model** — points, ranges (`@2.5:4.4`), and lists, with
+//!   Spack's prefix-inclusive upper bounds ([`version`]);
+//! * the **recursive spec syntax** of Fig. 3 — `name @versions %compiler
+//!   +variant ~variant =arch ^dep...` — with a lexer, parser, and canonical
+//!   formatter ([`parse`], [`format`]);
+//! * **abstract specs** ([`spec::Spec`]) with the constraint algebra the
+//!   concretizer relies on: `satisfies`, `intersects`, and `constrain`;
+//! * **concrete DAGs** ([`dag::ConcreteDag`]) — validated, acyclic,
+//!   one-configuration-per-package graphs with deterministic traversal;
+//! * **Merkle spec hashing** ([`hash`]) for unique install prefixes and
+//!   sub-DAG sharing (Fig. 9), over a from-scratch SHA-256 ([`sha`]);
+//! * **provenance serialization** ([`serial`]) of concrete specs.
+//!
+//! ## Example
+//!
+//! ```
+//! use spack_spec::Spec;
+//!
+//! let spec = Spec::parse("mpileaks@1.2:1.4 %gcc@4.7 +debug ^callpath@1.1").unwrap();
+//! assert_eq!(spec.name.as_deref(), Some("mpileaks"));
+//! assert!(spec.dependencies.contains_key("callpath"));
+//!
+//! // Constraint algebra: strict satisfaction and merging.
+//! let concrete = Spec::parse("mpileaks@1.3%gcc@4.7.3+debug=bgq ^callpath@1.1").unwrap();
+//! assert!(concrete.node_satisfies(&Spec::parse("mpileaks@1.2:").unwrap()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod error;
+pub mod format;
+pub mod hash;
+pub mod lex;
+pub mod parse;
+pub mod serial;
+pub mod sha;
+pub mod spec;
+pub mod version;
+
+pub use dag::{ConcreteCompiler, ConcreteDag, ConcreteNode, DagBuilder, NodeId};
+pub use error::SpecError;
+pub use hash::{dag_hash, DagHashes};
+pub use parse::{parse_spec, parse_specs};
+pub use spec::{CompilerSpec, Spec};
+pub use version::{Version, VersionList, VersionRange};

@@ -1,0 +1,426 @@
+//! Recursive-descent parser for the spec grammar (SC'15 Fig. 3).
+//!
+//! ```text
+//! spec          ::= id [ constraints ]
+//! constraints   ::= { '@' version-list | '+' variant | '-' variant
+//!                   | '~' variant | '%' compiler | '=' architecture }
+//!                   [ dep-list ]
+//! dep-list      ::= { '^' spec }
+//! version-list  ::= version [ { ',' version } ]
+//! version       ::= id | id ':' | ':' id | id ':' id
+//! compiler      ::= id [ version-list ]
+//! variant       ::= id
+//! architecture  ::= id
+//! id            ::= [A-Za-z0-9_][A-Za-z0-9_.-]*
+//! ```
+//!
+//! Extensions beyond the figure, both present in Spack itself:
+//! * anonymous specs — constraint expressions with no leading package name
+//!   (`%gcc@4.7.3`, `+debug=bgq`) — used as `when=` predicates;
+//! * multiple whitespace-separated specs in one string via [`parse_specs`].
+//!
+//! Dependency constraints (`^`) attach to the root spec's flat dependency
+//! map: because a DAG holds at most one configuration of each package
+//! (§3.2.1), `^` constraints are addressed by name and their nesting is
+//! immaterial, so they "can appear in an arbitrary order".
+
+use std::collections::BTreeMap;
+
+use crate::error::SpecError;
+use crate::lex::{lex, Token, TokenKind};
+use crate::spec::{CompilerSpec, Spec};
+use crate::version::{Version, VersionList, VersionRange};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_token(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_id(&mut self, what: &str) -> Result<String, SpecError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Id(s),
+                ..
+            }) => Ok(s.clone()),
+            Some(t) => Err(SpecError::parse(format!(
+                "expected {what} at offset {}, found `{:?}`",
+                t.offset, t.kind
+            ))),
+            None => Err(SpecError::parse(format!(
+                "expected {what}, found end of input"
+            ))),
+        }
+    }
+
+    /// Parse one spec: optional name, constraints, and `^` dependencies.
+    fn parse_spec(&mut self) -> Result<Spec, SpecError> {
+        let mut spec = Spec::anonymous();
+        if let Some(TokenKind::Id(_)) = self.peek() {
+            let name = self.expect_id("package name")?;
+            spec.name = Some(name);
+        }
+        self.parse_constraints(&mut spec)?;
+        // Dependency list: each `^` starts a (name + constraints) node that
+        // lands in the root's flat, by-name dependency map.
+        while let Some(TokenKind::Caret) = self.peek() {
+            self.next();
+            let mut dep = Spec::anonymous();
+            dep.name = Some(self.expect_id("dependency name after `^`")?);
+            self.parse_constraints(&mut dep)?;
+            let name = dep.name.clone().unwrap();
+            match spec.dependencies.get_mut(&name) {
+                Some(existing) => {
+                    existing.constrain(&dep)?;
+                }
+                None => {
+                    spec.dependencies.insert(name, dep);
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Parse the `@ + - ~ % =` constraint clauses onto `spec`.
+    fn parse_constraints(&mut self, spec: &mut Spec) -> Result<(), SpecError> {
+        loop {
+            match self.peek() {
+                Some(TokenKind::At) => {
+                    self.next();
+                    let list = self.parse_version_list()?;
+                    spec.versions.intersect_with(&list)?;
+                }
+                Some(TokenKind::Plus) => {
+                    self.next();
+                    let var = self.expect_id("variant name after `+`")?;
+                    set_variant(&mut spec.variants, var, true, spec.name.as_deref())?;
+                }
+                Some(TokenKind::Off) => {
+                    self.next();
+                    let var = self.expect_id("variant name after `-`/`~`")?;
+                    set_variant(&mut spec.variants, var, false, spec.name.as_deref())?;
+                }
+                Some(TokenKind::Percent) => {
+                    self.next();
+                    let name = self.expect_id("compiler name after `%`")?;
+                    let versions = if let Some(TokenKind::At) = self.peek() {
+                        self.next();
+                        self.parse_version_list()?
+                    } else {
+                        VersionList::any()
+                    };
+                    let c = CompilerSpec { name, versions };
+                    match &mut spec.compiler {
+                        Some(existing) => {
+                            existing.constrain(&c)?;
+                        }
+                        None => spec.compiler = Some(c),
+                    }
+                }
+                Some(TokenKind::Eq) => {
+                    self.next();
+                    let arch = self.expect_id("architecture after `=`")?;
+                    if let Some(prev) = &spec.architecture {
+                        if *prev != arch {
+                            return Err(SpecError::conflict(format!(
+                                "architecture `={prev}` conflicts with `={arch}`"
+                            )));
+                        }
+                    }
+                    spec.architecture = Some(arch);
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Parse `version [{ ',' version }]` where each version is a point or
+    /// range. A `:`-terminated open range only swallows a following
+    /// identifier when it is *adjacent* (no whitespace), so that
+    /// `@1.2: foo` leaves `foo` for the caller.
+    fn parse_version_list(&mut self) -> Result<VersionList, SpecError> {
+        let mut ranges = Vec::new();
+        loop {
+            ranges.push(self.parse_version_range()?);
+            if let Some(TokenKind::Comma) = self.peek() {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(VersionList::from_ranges(ranges))
+    }
+
+    fn parse_version_range(&mut self) -> Result<VersionRange, SpecError> {
+        let lo = match self.peek() {
+            Some(TokenKind::Id(_)) => {
+                let id = self.expect_id("version")?;
+                Some(Version::new(&id)?)
+            }
+            _ => None,
+        };
+        let has_colon = matches!(self.peek(), Some(TokenKind::Colon));
+        if has_colon {
+            self.next();
+            let hi = match self.peek_token() {
+                Some(Token {
+                    kind: TokenKind::Id(_),
+                    space_before: false,
+                    ..
+                }) => {
+                    let id = self.expect_id("version")?;
+                    Some(Version::new(&id)?)
+                }
+                _ => None,
+            };
+            VersionRange::new(lo, hi)
+        } else {
+            match lo {
+                Some(v) => Ok(VersionRange::point(v)),
+                None => Err(SpecError::parse(
+                    "expected version after `@`".to_string(),
+                )),
+            }
+        }
+    }
+}
+
+fn set_variant(
+    variants: &mut BTreeMap<String, bool>,
+    var: String,
+    value: bool,
+    pkg: Option<&str>,
+) -> Result<(), SpecError> {
+    match variants.get(&var) {
+        Some(prev) if *prev != value => Err(SpecError::conflict(format!(
+            "variant `{var}` both enabled and disabled on `{}`",
+            pkg.unwrap_or("<anonymous>")
+        ))),
+        _ => {
+            variants.insert(var, value);
+            Ok(())
+        }
+    }
+}
+
+/// Parse a single spec expression. Trailing tokens are an error.
+pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
+    let tokens = lex(text)?;
+    if tokens.is_empty() {
+        return Err(SpecError::parse("empty spec"));
+    }
+    let mut p = Parser { tokens, pos: 0 };
+    let spec = p.parse_spec()?;
+    if let Some(t) = p.peek_token() {
+        return Err(SpecError::parse(format!(
+            "trailing input at offset {} in `{text}`",
+            t.offset
+        )));
+    }
+    Ok(spec)
+}
+
+/// Parse several whitespace-separated specs, as on a command line:
+/// `spack install mpileaks callpath@2:`.
+pub fn parse_specs(text: &str) -> Result<Vec<Spec>, SpecError> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut specs = Vec::new();
+    while p.peek().is_some() {
+        let before = p.pos;
+        let spec = p.parse_spec()?;
+        if p.pos == before {
+            // A token no spec can start with (e.g. a stray `,` or `:`):
+            // without this check the loop would never advance.
+            let t = p.peek_token().unwrap();
+            return Err(SpecError::parse(format!(
+                "unexpected `{:?}` at offset {} in `{text}`",
+                t.kind, t.offset
+            )));
+        }
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(text: &str) -> Spec {
+        parse_spec(text).unwrap()
+    }
+
+    // ------------- Table 2 of the paper, row by row -------------
+
+    #[test]
+    fn table2_row1_bare_package() {
+        let spec = s("mpileaks");
+        assert_eq!(spec.name.as_deref(), Some("mpileaks"));
+        assert!(spec.root_is_unconstrained());
+        assert!(spec.dependencies.is_empty());
+    }
+
+    #[test]
+    fn table2_row2_version() {
+        let spec = s("mpileaks@1.1.2");
+        assert_eq!(spec.versions.to_string(), "1.1.2");
+    }
+
+    #[test]
+    fn table2_row3_compiler_default_version() {
+        let spec = s("mpileaks@1.1.2 %gcc");
+        let c = spec.compiler.unwrap();
+        assert_eq!(c.name, "gcc");
+        assert!(c.versions.is_any());
+    }
+
+    #[test]
+    fn table2_row4_compiler_version_and_variant() {
+        let spec = s("mpileaks@1.1.2 %intel@14.1 +debug");
+        let c = spec.compiler.as_ref().unwrap();
+        assert_eq!(c.name, "intel");
+        assert_eq!(c.versions.to_string(), "14.1");
+        assert_eq!(spec.variants.get("debug"), Some(&true));
+    }
+
+    #[test]
+    fn table2_row5_platform() {
+        let spec = s("mpileaks@1.1.2 =bgq");
+        assert_eq!(spec.architecture.as_deref(), Some("bgq"));
+    }
+
+    #[test]
+    fn table2_row6_mpi_provider_dependency() {
+        let spec = s("mpileaks@1.1.2 ^mvapich2@1.9");
+        assert_eq!(spec.dependencies["mvapich2"].versions.to_string(), "1.9");
+    }
+
+    #[test]
+    fn table2_row7_full_expression() {
+        let spec = s("mpileaks @1.2:1.4 %gcc@4.7.5 -debug =bgq \
+                      ^callpath @1.1 %gcc@4.7.2 ^openmpi @1.4.7");
+        assert_eq!(spec.versions.to_string(), "1.2:1.4");
+        assert_eq!(spec.compiler.as_ref().unwrap().to_string(), "gcc@4.7.5");
+        assert_eq!(spec.variants.get("debug"), Some(&false));
+        assert_eq!(spec.architecture.as_deref(), Some("bgq"));
+        let callpath = &spec.dependencies["callpath"];
+        assert_eq!(callpath.versions.to_string(), "1.1");
+        assert_eq!(callpath.compiler.as_ref().unwrap().to_string(), "gcc@4.7.2");
+        assert_eq!(spec.dependencies["openmpi"].versions.to_string(), "1.4.7");
+    }
+
+    // ------------- grammar corners -------------
+
+    #[test]
+    fn anonymous_when_predicates() {
+        let spec = s("%gcc@:4");
+        assert!(spec.name.is_none());
+        assert_eq!(spec.compiler.as_ref().unwrap().versions.to_string(), ":4");
+        let spec = s("+mpi");
+        assert_eq!(spec.variants.get("mpi"), Some(&true));
+        let spec = s("=bgq%xl");
+        assert_eq!(spec.architecture.as_deref(), Some("bgq"));
+        assert_eq!(spec.compiler.as_ref().unwrap().name, "xl");
+        let spec = s("@2.4");
+        assert_eq!(spec.versions.to_string(), "2.4");
+    }
+
+    #[test]
+    fn open_range_does_not_swallow_spaced_word() {
+        // `@1.2:` followed by a space-separated identifier: that identifier
+        // is a separate spec, not the range's upper bound.
+        let specs = parse_specs("mpileaks@1.2: callpath").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].versions.to_string(), "1.2:");
+        assert_eq!(specs[1].name.as_deref(), Some("callpath"));
+        // Adjacent: it *is* the upper bound.
+        let one = s("mpileaks@1.2:1.4");
+        assert_eq!(one.versions.to_string(), "1.2:1.4");
+    }
+
+    #[test]
+    fn version_lists() {
+        let spec = s("boost@1.0,1.5:1.9,2:");
+        assert_eq!(spec.versions.ranges().len(), 3);
+    }
+
+    #[test]
+    fn tilde_and_dash_equivalent() {
+        assert_eq!(s("mpileaks~debug"), s("mpileaks -debug"));
+    }
+
+    #[test]
+    fn repeated_dependency_constraints_merge() {
+        let spec = s("mpileaks ^callpath@1.0: ^callpath%gcc");
+        let cp = &spec.dependencies["callpath"];
+        assert_eq!(cp.versions.to_string(), "1.0:");
+        assert_eq!(cp.compiler.as_ref().unwrap().name, "gcc");
+    }
+
+    #[test]
+    fn conflicting_inline_constraints_rejected() {
+        assert!(parse_spec("mpileaks+debug~debug").is_err());
+        assert!(parse_spec("mpileaks=bgq=linux-x86_64").is_err());
+        assert!(parse_spec("mpileaks@1.0@2.0").is_err());
+        assert!(parse_spec("mpileaks%gcc%intel").is_err());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_spec("").is_err());
+        assert!(parse_spec("^").is_err());
+        assert!(parse_spec("mpileaks@").is_err());
+        assert!(parse_spec("mpileaks+").is_err());
+        assert!(parse_spec("mpileaks%").is_err());
+        assert!(parse_spec("mpileaks^").is_err());
+        assert!(parse_spec("mpileaks=").is_err());
+    }
+
+    #[test]
+    fn dependency_with_variants_and_arch() {
+        let spec = s("mpileaks^callpath@1.0+debug=bgq");
+        let cp = &spec.dependencies["callpath"];
+        assert_eq!(cp.variants.get("debug"), Some(&true));
+        assert_eq!(cp.architecture.as_deref(), Some("bgq"));
+    }
+
+    #[test]
+    fn multiple_specs() {
+        let specs = parse_specs("mpileaks callpath@2: dyninst%gcc").unwrap();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[2].compiler.as_ref().unwrap().name, "gcc");
+    }
+}
+
+#[cfg(test)]
+mod parse_specs_regression {
+    use super::*;
+
+    /// Found by fuzzing: tokens no spec can start with must error, not
+    /// loop forever.
+    #[test]
+    fn stray_separators_error_instead_of_looping() {
+        for text in [",", ":", ",,,", "a ,", "a : b ,"] {
+            assert!(parse_specs(text).is_err(), "`{text}` must be rejected");
+        }
+        // Leading sigils that *do* start (anonymous) specs still work.
+        assert_eq!(parse_specs("+debug %gcc").unwrap().len(), 1);
+    }
+}

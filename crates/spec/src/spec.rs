@@ -1,0 +1,465 @@
+//! Abstract build specs: partially-constrained descriptions of a build.
+//!
+//! A [`Spec`] is what the paper calls an *abstract spec* (SC'15 §3.2): the
+//! root package's constraints plus a flat set of named constraints on
+//! dependencies, exactly as written with the `^` sigil. Because a build DAG
+//! never contains two versions of one package (§3.2.1), a dependency
+//! constraint is addressed by package name alone and applies wherever that
+//! package appears in the DAG — the user "does not need to consider DAG
+//! connectivity to add constraints".
+//!
+//! Fully resolved builds are represented separately by
+//! [`crate::dag::ConcreteDag`]; the concretizer (in the `spack-concretize`
+//! crate) turns one into the other.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::SpecError;
+use crate::version::{Version, VersionList};
+
+/// A compiler constraint: toolchain name plus optional version constraint,
+/// written `%gcc@4.7.3`. The name refers to the full toolchain (C, C++,
+/// Fortran 77/90), per §3.2.3.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompilerSpec {
+    /// Toolchain name, e.g. `gcc`, `intel`, `clang`, `xl`, `pgi`.
+    pub name: String,
+    /// Version constraint; `VersionList::any()` when only the name is given.
+    pub versions: VersionList,
+}
+
+impl CompilerSpec {
+    /// A compiler constraint with no version restriction.
+    pub fn by_name(name: impl Into<String>) -> CompilerSpec {
+        CompilerSpec {
+            name: name.into(),
+            versions: VersionList::any(),
+        }
+    }
+
+    /// A fully pinned compiler.
+    pub fn exact(name: impl Into<String>, version: &str) -> Result<CompilerSpec, SpecError> {
+        Ok(CompilerSpec {
+            name: name.into(),
+            versions: VersionList::exact(Version::new(version)?),
+        })
+    }
+
+    /// Is the version pinned to a single value?
+    pub fn is_concrete(&self) -> bool {
+        self.versions.is_concrete()
+    }
+
+    /// Does `self` (the more-constrained side) satisfy `other`?
+    pub fn satisfies(&self, other: &CompilerSpec) -> bool {
+        self.name == other.name && self.versions.is_subset_of(&other.versions)
+    }
+
+    /// Could some concrete compiler satisfy both?
+    pub fn intersects(&self, other: &CompilerSpec) -> bool {
+        self.name == other.name && self.versions.overlaps(&other.versions)
+    }
+
+    /// Merge `other`'s constraints into `self`.
+    pub fn constrain(&mut self, other: &CompilerSpec) -> Result<bool, SpecError> {
+        if self.name != other.name {
+            return Err(SpecError::conflict(format!(
+                "compiler `{}` conflicts with `{}`",
+                self.name, other.name
+            )));
+        }
+        self.versions.intersect_with(&other.versions)
+    }
+}
+
+impl fmt::Display for CompilerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.versions.is_any() {
+            write!(f, "{}", self.name)
+        } else {
+            write!(f, "{}@{}", self.name, self.versions)
+        }
+    }
+}
+
+/// An abstract (possibly partially constrained) build spec.
+///
+/// Every field is optional; a default `Spec` is fully unconstrained. The
+/// `dependencies` map holds the `^name...` clauses keyed by dependency
+/// package name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Spec {
+    /// Package name; `None` for anonymous constraint specs such as the
+    /// `when=` predicates `%gcc@5:` or `+mpi`.
+    pub name: Option<String>,
+    /// Version constraint (`@...`).
+    pub versions: VersionList,
+    /// Compiler constraint (`%...`).
+    pub compiler: Option<CompilerSpec>,
+    /// Variant settings: `+debug` → `("debug", true)`, `~debug`/`-debug` →
+    /// `("debug", false)`.
+    pub variants: BTreeMap<String, bool>,
+    /// Target architecture (`=...`), e.g. `bgq` or `linux-ppc64`.
+    pub architecture: Option<String>,
+    /// Constraints on named dependencies (`^...`), keyed by package name.
+    pub dependencies: BTreeMap<String, Spec>,
+}
+
+impl Spec {
+    /// An unconstrained spec for a named package.
+    pub fn named(name: impl Into<String>) -> Spec {
+        Spec {
+            name: Some(name.into()),
+            ..Spec::default()
+        }
+    }
+
+    /// An anonymous, fully unconstrained spec.
+    pub fn anonymous() -> Spec {
+        Spec::default()
+    }
+
+    /// Parse from the spec syntax (SC'15 Fig. 3). Equivalent to `str::parse`.
+    pub fn parse(text: &str) -> Result<Spec, SpecError> {
+        crate::parse::parse_spec(text)
+    }
+
+    /// Builder: constrain the version list.
+    pub fn with_versions(mut self, list: &str) -> Spec {
+        self.versions = VersionList::parse(list).expect("invalid version list literal");
+        self
+    }
+
+    /// Builder: set the compiler constraint.
+    pub fn with_compiler(mut self, c: CompilerSpec) -> Spec {
+        self.compiler = Some(c);
+        self
+    }
+
+    /// Builder: set a variant flag.
+    pub fn with_variant(mut self, name: impl Into<String>, enabled: bool) -> Spec {
+        self.variants.insert(name.into(), enabled);
+        self
+    }
+
+    /// Builder: set the architecture.
+    pub fn with_arch(mut self, arch: impl Into<String>) -> Spec {
+        self.architecture = Some(arch.into());
+        self
+    }
+
+    /// Builder: add a dependency constraint.
+    pub fn with_dependency(mut self, dep: Spec) -> Spec {
+        let name = dep
+            .name
+            .clone()
+            .expect("dependency constraint must be named");
+        self.dependencies.insert(name, dep);
+        self
+    }
+
+    /// True when no constraint at all has been applied to the root node.
+    pub fn root_is_unconstrained(&self) -> bool {
+        self.versions.is_any()
+            && self.compiler.is_none()
+            && self.variants.is_empty()
+            && self.architecture.is_none()
+    }
+
+    /// Node-level concreteness: name, version, compiler (with version), and
+    /// architecture are all pinned. (Whether *all* variants are set can
+    /// only be judged against the package definition, which lives a layer
+    /// up; the concretizer performs that check.)
+    pub fn node_is_concrete(&self) -> bool {
+        self.name.is_some()
+            && self.versions.is_concrete()
+            && self.compiler.as_ref().is_some_and(|c| c.is_concrete())
+            && self.architecture.is_some()
+    }
+
+    /// Does this spec's *root node* satisfy the root-node constraints of
+    /// `other`? Strict reading: every constraint `other` imposes must be
+    /// implied by `self`. Dependencies are not consulted.
+    pub fn node_satisfies(&self, other: &Spec) -> bool {
+        if let Some(n) = &other.name {
+            if self.name.as_ref() != Some(n) {
+                return false;
+            }
+        }
+        if !self.versions.is_subset_of(&other.versions) {
+            return false;
+        }
+        if let Some(oc) = &other.compiler {
+            match &self.compiler {
+                Some(sc) if sc.satisfies(oc) => {}
+                _ => return false,
+            }
+        }
+        for (var, val) in &other.variants {
+            if self.variants.get(var) != Some(val) {
+                return false;
+            }
+        }
+        if let Some(a) = &other.architecture {
+            if self.architecture.as_ref() != Some(a) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Full strict satisfaction: the root node satisfies `other`'s root
+    /// constraints and, for every named dependency constraint in `other`,
+    /// this spec carries a same-named dependency constraint that satisfies
+    /// it.
+    pub fn satisfies(&self, other: &Spec) -> bool {
+        if !self.node_satisfies(other) {
+            return false;
+        }
+        for (name, constraint) in &other.dependencies {
+            match self.dependencies.get(name) {
+                Some(dep) if dep.satisfies(constraint) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Could any concrete build satisfy both `self` and `other`?
+    /// (Loose compatibility, used to detect conflicts early.)
+    pub fn intersects(&self, other: &Spec) -> bool {
+        if let (Some(a), Some(b)) = (&self.name, &other.name) {
+            if a != b {
+                return false;
+            }
+        }
+        if !self.versions.overlaps(&other.versions) {
+            return false;
+        }
+        if let (Some(a), Some(b)) = (&self.compiler, &other.compiler) {
+            if !a.intersects(b) {
+                return false;
+            }
+        }
+        for (var, val) in &other.variants {
+            if let Some(mine) = self.variants.get(var) {
+                if mine != val {
+                    return false;
+                }
+            }
+        }
+        if let (Some(a), Some(b)) = (&self.architecture, &other.architecture) {
+            if a != b {
+                return false;
+            }
+        }
+        for (name, theirs) in &other.dependencies {
+            if let Some(mine) = self.dependencies.get(name) {
+                if !mine.intersects(theirs) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Merge all constraints of `other` into `self` — the paper's
+    /// constraint-intersection step (Fig. 6, "Intersect Constraints").
+    ///
+    /// Returns `Ok(true)` when `self` changed, `Ok(false)` when `other`
+    /// added nothing new, and `Err` on any inconsistency (e.g. two
+    /// different compilers or non-overlapping version ranges), mirroring
+    /// how "Spack will stop and notify the user of the conflict".
+    pub fn constrain(&mut self, other: &Spec) -> Result<bool, SpecError> {
+        let mut changed = false;
+        match (&self.name, &other.name) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(SpecError::conflict(format!(
+                    "cannot constrain `{a}` with spec for `{b}`"
+                )));
+            }
+            (None, Some(b)) => {
+                self.name = Some(b.clone());
+                changed = true;
+            }
+            _ => {}
+        }
+        changed |= self.versions.intersect_with(&other.versions)?;
+        if let Some(oc) = &other.compiler {
+            match &mut self.compiler {
+                Some(sc) => changed |= sc.constrain(oc)?,
+                None => {
+                    self.compiler = Some(oc.clone());
+                    changed = true;
+                }
+            }
+        }
+        for (var, val) in &other.variants {
+            match self.variants.get(var) {
+                Some(mine) if mine != val => {
+                    return Err(SpecError::conflict(format!(
+                        "variant `{}{var}` conflicts with `{}{var}` on {}",
+                        if *val { '+' } else { '~' },
+                        if *mine { '+' } else { '~' },
+                        self.name.as_deref().unwrap_or("<anonymous>"),
+                    )));
+                }
+                Some(_) => {}
+                None => {
+                    self.variants.insert(var.clone(), *val);
+                    changed = true;
+                }
+            }
+        }
+        if let Some(a) = &other.architecture {
+            match &self.architecture {
+                Some(mine) if mine != a => {
+                    return Err(SpecError::conflict(format!(
+                        "architecture `={mine}` conflicts with `={a}`"
+                    )));
+                }
+                Some(_) => {}
+                None => {
+                    self.architecture = Some(a.clone());
+                    changed = true;
+                }
+            }
+        }
+        for (name, dep) in &other.dependencies {
+            match self.dependencies.get_mut(name) {
+                Some(mine) => changed |= mine.constrain(dep)?,
+                None => {
+                    self.dependencies.insert(name.clone(), dep.clone());
+                    changed = true;
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// The root-node constraints without any dependency clauses.
+    pub fn root_only(&self) -> Spec {
+        Spec {
+            name: self.name.clone(),
+            versions: self.versions.clone(),
+            compiler: self.compiler.clone(),
+            variants: self.variants.clone(),
+            architecture: self.architecture.clone(),
+            dependencies: BTreeMap::new(),
+        }
+    }
+
+    /// The constraint spec for a named dependency, if present.
+    pub fn dependency(&self, name: &str) -> Option<&Spec> {
+        self.dependencies.get(name)
+    }
+}
+
+impl FromStr for Spec {
+    type Err = SpecError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Spec::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(s: &str) -> Spec {
+        Spec::parse(s).unwrap()
+    }
+
+    #[test]
+    fn node_satisfies_versions() {
+        assert!(spec("mpileaks@1.3").node_satisfies(&spec("mpileaks@1.2:1.4")));
+        assert!(!spec("mpileaks@1.5").node_satisfies(&spec("mpileaks@1.2:1.4")));
+        assert!(!spec("mpileaks").node_satisfies(&spec("mpileaks@1.2:")));
+    }
+
+    #[test]
+    fn node_satisfies_compiler_variant_arch() {
+        let s = spec("mpileaks@1.1.2 %gcc@4.7.3 +debug =bgq");
+        assert!(s.node_satisfies(&spec("mpileaks%gcc")));
+        assert!(s.node_satisfies(&spec("mpileaks%gcc@4:")));
+        assert!(s.node_satisfies(&spec("mpileaks+debug")));
+        assert!(s.node_satisfies(&spec("mpileaks=bgq")));
+        assert!(!s.node_satisfies(&spec("mpileaks~debug")));
+        assert!(!s.node_satisfies(&spec("mpileaks%intel")));
+        assert!(!s.node_satisfies(&spec("mpileaks=linux-x86_64")));
+    }
+
+    #[test]
+    fn anonymous_constraints_apply_to_any_name() {
+        let s = spec("mpileaks@2.3%gcc@4.7.3=bgq");
+        assert!(s.node_satisfies(&spec("%gcc")));
+        assert!(s.node_satisfies(&spec("@2:")));
+        assert!(s.node_satisfies(&spec("=bgq")));
+        assert!(!s.node_satisfies(&spec("%xl")));
+    }
+
+    #[test]
+    fn dependency_satisfaction_is_by_name() {
+        let s = spec("mpileaks ^callpath@1.0+debug ^libelf@0.8.11");
+        assert!(s.satisfies(&spec("mpileaks^callpath@1:")));
+        assert!(s.satisfies(&spec("mpileaks^libelf@0.8:0.9")));
+        assert!(!s.satisfies(&spec("mpileaks^callpath@2.0")));
+        assert!(!s.satisfies(&spec("mpileaks^dyninst")));
+    }
+
+    #[test]
+    fn constrain_merges_and_detects_conflicts() {
+        let mut s = spec("mpileaks@1.2:");
+        let changed = s.constrain(&spec("mpileaks@:1.4 +debug")).unwrap();
+        assert!(changed);
+        assert_eq!(s.versions.to_string(), "1.2:1.4");
+        assert_eq!(s.variants.get("debug"), Some(&true));
+        // Re-applying the same constraint changes nothing.
+        assert!(!s.constrain(&spec("mpileaks+debug")).unwrap());
+        // Conflicting variant errors out.
+        assert!(s.constrain(&spec("mpileaks~debug")).is_err());
+        // Conflicting name errors out.
+        assert!(s.constrain(&spec("openmpi")).is_err());
+    }
+
+    #[test]
+    fn constrain_merges_dependencies() {
+        let mut s = spec("mpileaks ^callpath@1:");
+        s.constrain(&spec("mpileaks ^callpath@:2 ^libelf@0.8.11")).unwrap();
+        assert_eq!(s.dependencies["callpath"].versions.to_string(), "1:2");
+        assert_eq!(s.dependencies["libelf"].versions.to_string(), "0.8.11");
+        assert!(s
+            .constrain(&spec("mpileaks ^callpath@3:"))
+            .is_err());
+    }
+
+    #[test]
+    fn intersects_is_loose() {
+        assert!(spec("mpileaks@1.2:").intersects(&spec("mpileaks@:1.4")));
+        assert!(!spec("mpileaks@1.0").intersects(&spec("mpileaks@2.0")));
+        assert!(spec("mpileaks").intersects(&spec("mpileaks%gcc")));
+        assert!(!spec("mpileaks%intel").intersects(&spec("mpileaks%gcc")));
+        assert!(!spec("mpileaks^mpich@1.9").intersects(&spec("mpileaks^mpich@2:")));
+        assert!(spec("mpileaks^callpath@1.5").intersects(&spec("mpileaks^callpath@1:")));
+    }
+
+    #[test]
+    fn compiler_constrain() {
+        let mut c = CompilerSpec::by_name("gcc");
+        assert!(c
+            .constrain(&CompilerSpec::exact("gcc", "4.7.3").unwrap())
+            .unwrap());
+        assert!(c.is_concrete());
+        assert!(c.constrain(&CompilerSpec::by_name("intel")).is_err());
+    }
+
+    #[test]
+    fn node_concreteness() {
+        assert!(spec("mpileaks@1.0%gcc@4.7.3=linux-x86_64").node_is_concrete());
+        assert!(!spec("mpileaks@1.0%gcc=linux-x86_64").node_is_concrete());
+        assert!(!spec("mpileaks@1:%gcc@4.7.3=linux-x86_64").node_is_concrete());
+        assert!(!spec("mpileaks@1.0%gcc@4.7.3").node_is_concrete());
+    }
+}

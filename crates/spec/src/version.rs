@@ -1,0 +1,803 @@
+//! The version model: points, ranges, and lists.
+//!
+//! Spack version constraints (SC'15 §3.2.3) come in three shapes:
+//!
+//! * a point version, `@2.5.1`;
+//! * a range, `@2.5:4.4`, possibly open-ended (`@2.5:` or `@:4.4`);
+//! * a comma-separated list of either, `@1.0,2.3:2.5`.
+//!
+//! Versions are dotted sequences of components. Components compare
+//! numerically when both are numeric and lexicographically otherwise, with
+//! numeric components ordering after alphabetic ones at the same position
+//! (so `1.0` > `1.0rc1`-style pre-releases compare the way packagers
+//! expect). A shorter version that is a prefix of a longer one compares
+//! less (`1.2` < `1.2.1`), but an *upper range bound* includes everything
+//! with that prefix: `@:2.5` admits `2.5.6`, matching the paper's reading
+//! of `@2.3:2.5.6` as "between 2.3 and 2.5.6".
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::SpecError;
+
+/// One dot-separated component of a version identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// A numeric component, e.g. the `12` in `1.12.3`.
+    Num(u64),
+    /// An alphanumeric component, e.g. the `rc1` in `3.0.rc1`.
+    Alpha(String),
+}
+
+impl Component {
+    fn rank(&self) -> u8 {
+        match self {
+            Component::Alpha(_) => 0,
+            Component::Num(_) => 1,
+        }
+    }
+}
+
+impl PartialOrd for Component {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Component {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Component::Num(a), Component::Num(b)) => a.cmp(b),
+            (Component::Alpha(a), Component::Alpha(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Component::Num(n) => write!(f, "{n}"),
+            Component::Alpha(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A point version such as `1.4.2` or `develop`.
+///
+/// The original text is kept for display, but identity (`Eq`, `Hash`,
+/// ordering) is defined on the parsed components, so `1.0rc1` and
+/// `1.0.rc.1` are the same version rendered differently.
+#[derive(Debug, Clone)]
+pub struct Version {
+    original: String,
+    components: Vec<Component>,
+}
+
+impl PartialEq for Version {
+    fn eq(&self, other: &Self) -> bool {
+        self.components == other.components
+    }
+}
+
+impl Eq for Version {}
+
+impl std::hash::Hash for Version {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.components.hash(state);
+    }
+}
+
+impl Version {
+    /// Parse a version from its dotted string form.
+    ///
+    /// Every dot-separated piece that parses as an unsigned integer becomes
+    /// a numeric component; anything else is kept as an alphanumeric
+    /// component. Mixed pieces like `3b` are split into `3`, `b` so that
+    /// `3b` sorts between `3` and `4` the way release naming intends.
+    pub fn new(s: &str) -> Result<Version, SpecError> {
+        if s.is_empty() {
+            return Err(SpecError::parse("empty version"));
+        }
+        let mut components = Vec::new();
+        for piece in s.split('.') {
+            if piece.is_empty() {
+                return Err(SpecError::parse(format!("empty version component in `{s}`")));
+            }
+            // Split runs of digits from runs of non-digits within a piece.
+            let mut run = String::new();
+            let mut run_numeric = None::<bool>;
+            for ch in piece.chars() {
+                if !ch.is_ascii_alphanumeric() && ch != '_' && ch != '-' {
+                    return Err(SpecError::parse(format!(
+                        "invalid character `{ch}` in version `{s}`"
+                    )));
+                }
+                let numeric = ch.is_ascii_digit();
+                if run_numeric.is_some_and(|r| r != numeric) {
+                    components.push(Self::component_of(&run, run_numeric.unwrap()));
+                    run.clear();
+                }
+                run_numeric = Some(numeric);
+                run.push(ch);
+            }
+            if let Some(numeric) = run_numeric {
+                components.push(Self::component_of(&run, numeric));
+            }
+        }
+        Ok(Version {
+            original: s.to_string(),
+            components,
+        })
+    }
+
+    fn component_of(run: &str, numeric: bool) -> Component {
+        if numeric {
+            match run.parse::<u64>() {
+                Ok(n) => Component::Num(n),
+                // Overflow: keep as text so comparison stays total.
+                Err(_) => Component::Alpha(run.to_string()),
+            }
+        } else {
+            Component::Alpha(run.to_string())
+        }
+    }
+
+    /// The components of this version.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// True if `self` is a component-wise prefix of `other`
+    /// (`2.5` is a prefix of `2.5.6`). Every version is a prefix of itself.
+    pub fn is_prefix_of(&self, other: &Version) -> bool {
+        self.components.len() <= other.components.len()
+            && self.components == other.components[..self.components.len()]
+    }
+
+    /// True when this version is an "infinity" development version such as
+    /// `develop`, `main`, or `master`, which order above all numeric
+    /// releases (packagers expect `@develop` to satisfy `@3.0:`).
+    pub fn is_develop(&self) -> bool {
+        matches!(
+            self.components.first(),
+            Some(Component::Alpha(a)) if matches!(a.as_str(), "develop" | "main" | "master" | "head" | "trunk")
+        ) && self.components.len() == 1
+    }
+
+    /// Total ordering used for ranges. Develop versions sort above
+    /// everything; otherwise comparison is componentwise. When one version
+    /// is a proper prefix of the other, the longer one's first extra
+    /// component decides: a numeric extension is a *later* release
+    /// (`1.2 < 1.2.1`) while an alphabetic extension is a *pre-release*
+    /// (`1.0rc1 < 1.0`), matching packagers' expectations.
+    pub fn version_cmp(&self, other: &Version) -> Ordering {
+        match (self.is_develop(), other.is_develop()) {
+            (true, false) => return Ordering::Greater,
+            (false, true) => return Ordering::Less,
+            _ => {}
+        }
+        let common = self.components.len().min(other.components.len());
+        for i in 0..common {
+            let ord = self.components[i].cmp(&other.components[i]);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        match self.components.len().cmp(&other.components.len()) {
+            Ordering::Equal => Ordering::Equal,
+            Ordering::Less => match other.components[common] {
+                Component::Num(_) => Ordering::Less,
+                Component::Alpha(_) => Ordering::Greater,
+            },
+            Ordering::Greater => match self.components[common] {
+                Component::Num(_) => Ordering::Greater,
+                Component::Alpha(_) => Ordering::Less,
+            },
+        }
+    }
+
+    /// The version with the last component incremented, used for generating
+    /// "next" versions in workload generators.
+    pub fn bumped(&self) -> Version {
+        let mut components = self.components.clone();
+        match components.last_mut() {
+            Some(Component::Num(n)) => *n += 1,
+            Some(Component::Alpha(a)) => a.push('a'),
+            None => components.push(Component::Num(1)),
+        }
+        let original = render_components(&components);
+        Version {
+            original,
+            components,
+        }
+    }
+
+    /// Render without allocation of intermediate strings.
+    pub fn to_display_string(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl PartialOrd for Version {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.version_cmp(other))
+    }
+}
+
+impl Ord for Version {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.version_cmp(other)
+    }
+}
+
+impl FromStr for Version {
+    type Err = SpecError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Version::new(s)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.original)
+    }
+}
+
+/// Render components for versions constructed programmatically (e.g. by
+/// [`Version::bumped`]): dots between runs except when an alpha run
+/// directly follows a numeric one (`3b` style).
+fn render_components(components: &[Component]) -> String {
+    let mut out = String::new();
+    let mut prev_numeric = false;
+    for (i, c) in components.iter().enumerate() {
+        let numeric = matches!(c, Component::Num(_));
+        if i > 0 && !(prev_numeric && !numeric) {
+            out.push('.');
+        }
+        out.push_str(&c.to_string());
+        prev_numeric = numeric;
+    }
+    out
+}
+
+/// A contiguous range of versions, possibly unbounded on either side.
+///
+/// `lo` and `hi` are inclusive. `None` means unbounded. The upper bound
+/// uses prefix semantics: `:2.5` includes `2.5.6`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VersionRange {
+    lo: Option<Version>,
+    hi: Option<Version>,
+}
+
+impl VersionRange {
+    /// A range between two optional inclusive endpoints.
+    pub fn new(lo: Option<Version>, hi: Option<Version>) -> Result<VersionRange, SpecError> {
+        if let (Some(l), Some(h)) = (&lo, &hi) {
+            if l.version_cmp(h) == Ordering::Greater && !h.is_prefix_of(l) {
+                return Err(SpecError::parse(format!("backwards version range {l}:{h}")));
+            }
+        }
+        Ok(VersionRange { lo, hi })
+    }
+
+    /// The range containing exactly one version (plus its prefix-extensions
+    /// on the upper side, per Spack semantics: `@1.4` admits `1.4.2` when
+    /// used as a constraint range — point *constraints* are prefix matches).
+    pub fn point(v: Version) -> VersionRange {
+        VersionRange {
+            lo: Some(v.clone()),
+            hi: Some(v),
+        }
+    }
+
+    /// The unbounded range `:` matching any version.
+    pub fn any() -> VersionRange {
+        VersionRange { lo: None, hi: None }
+    }
+
+    /// Lower bound, if any.
+    pub fn lo(&self) -> Option<&Version> {
+        self.lo.as_ref()
+    }
+
+    /// Upper bound, if any.
+    pub fn hi(&self) -> Option<&Version> {
+        self.hi.as_ref()
+    }
+
+    /// Is this a point range (`lo == hi`)?
+    pub fn is_point(&self) -> bool {
+        self.lo.is_some() && self.lo == self.hi
+    }
+
+    /// Does a concrete version fall inside this range?
+    pub fn contains(&self, v: &Version) -> bool {
+        if let Some(lo) = &self.lo {
+            if v.version_cmp(lo) == Ordering::Less {
+                return false;
+            }
+        }
+        if let Some(hi) = &self.hi {
+            // Inclusive, with prefix semantics on the upper bound.
+            if v.version_cmp(hi) == Ordering::Greater && !hi.is_prefix_of(v) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Do the two ranges admit at least one common version?
+    pub fn overlaps(&self, other: &VersionRange) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// True when every version in `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &VersionRange) -> bool {
+        // Lower bound of self must not fall below other's.
+        match (&self.lo, &other.lo) {
+            (_, None) => {}
+            (None, Some(_)) => return false,
+            (Some(a), Some(b)) => {
+                if a.version_cmp(b) == Ordering::Less {
+                    return false;
+                }
+            }
+        }
+        match (&self.hi, &other.hi) {
+            (_, None) => {}
+            (None, Some(_)) => return false,
+            (Some(a), Some(b)) => {
+                if a.version_cmp(b) == Ordering::Greater && !b.is_prefix_of(a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The intersection of two ranges, or `None` when disjoint.
+    pub fn intersect(&self, other: &VersionRange) -> Option<VersionRange> {
+        let lo = match (&self.lo, &other.lo) {
+            (None, b) => b.clone(),
+            (a, None) => a.clone(),
+            (Some(a), Some(b)) => Some(if a.version_cmp(b) == Ordering::Less {
+                b.clone()
+            } else {
+                a.clone()
+            }),
+        };
+        let hi = match (&self.hi, &other.hi) {
+            (None, b) => b.clone(),
+            (a, None) => a.clone(),
+            (Some(a), Some(b)) => {
+                // Prefer the tighter (smaller) bound; when one is a prefix
+                // of the other, the longer one is tighter.
+                Some(if a.is_prefix_of(b) {
+                    b.clone()
+                } else if b.is_prefix_of(a) {
+                    a.clone()
+                } else if a.version_cmp(b) == Ordering::Less {
+                    a.clone()
+                } else {
+                    b.clone()
+                })
+            }
+        };
+        if let (Some(l), Some(h)) = (&lo, &hi) {
+            if l.version_cmp(h) == Ordering::Greater && !h.is_prefix_of(l) {
+                return None;
+            }
+        }
+        Some(VersionRange { lo, hi })
+    }
+}
+
+impl fmt::Display for VersionRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.lo, &self.hi) {
+            (None, None) => write!(f, ":"),
+            (Some(l), None) => write!(f, "{l}:"),
+            (None, Some(h)) => write!(f, ":{h}"),
+            (Some(l), Some(h)) if l == h => write!(f, "{l}"),
+            (Some(l), Some(h)) => write!(f, "{l}:{h}"),
+        }
+    }
+}
+
+/// An ordered list of disjoint version ranges: the value of an `@` clause.
+///
+/// An empty list means "unconstrained" (any version), mirroring how an
+/// abstract spec with no `@` clause behaves.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct VersionList {
+    ranges: Vec<VersionRange>,
+}
+
+impl VersionList {
+    /// The unconstrained list.
+    pub fn any() -> VersionList {
+        VersionList::default()
+    }
+
+    /// A list holding a single concrete version.
+    pub fn exact(v: Version) -> VersionList {
+        VersionList {
+            ranges: vec![VersionRange::point(v)],
+        }
+    }
+
+    /// Build from ranges, merging overlaps and sorting.
+    pub fn from_ranges(ranges: Vec<VersionRange>) -> VersionList {
+        let mut list = VersionList { ranges };
+        list.normalize();
+        list
+    }
+
+    /// Parse a version-list clause like `1.0,2.3:2.5,4:`.
+    pub fn parse(s: &str) -> Result<VersionList, SpecError> {
+        let mut ranges = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(SpecError::parse(format!("empty version in list `{s}`")));
+            }
+            ranges.push(parse_range(part)?);
+        }
+        Ok(VersionList::from_ranges(ranges))
+    }
+
+    fn normalize(&mut self) {
+        self.ranges.sort_by(|a, b| match (a.lo(), b.lo()) {
+            (None, None) => Ordering::Equal,
+            (None, Some(_)) => Ordering::Less,
+            (Some(_), None) => Ordering::Greater,
+            (Some(x), Some(y)) => x.version_cmp(y),
+        });
+        // Merge overlapping/adjacent ranges.
+        let mut merged: Vec<VersionRange> = Vec::with_capacity(self.ranges.len());
+        for r in self.ranges.drain(..) {
+            if let Some(last) = merged.last_mut() {
+                if last.overlaps(&r) {
+                    let lo = last.lo().cloned();
+                    let hi = match (last.hi(), r.hi()) {
+                        (None, _) | (_, None) => None,
+                        (Some(a), Some(b)) => Some(if a.version_cmp(b) == Ordering::Greater {
+                            a.clone()
+                        } else {
+                            b.clone()
+                        }),
+                    };
+                    *last = VersionRange { lo, hi };
+                    continue;
+                }
+            }
+            merged.push(r);
+        }
+        self.ranges = merged;
+    }
+
+    /// True when no `@` constraint has been applied.
+    pub fn is_any(&self) -> bool {
+        self.ranges.is_empty() || (self.ranges.len() == 1 && self.ranges[0] == VersionRange::any())
+    }
+
+    /// True when the list pins exactly one version.
+    pub fn is_concrete(&self) -> bool {
+        self.ranges.len() == 1 && self.ranges[0].is_point()
+    }
+
+    /// The single concrete version, if `is_concrete`.
+    pub fn concrete(&self) -> Option<&Version> {
+        if self.is_concrete() {
+            self.ranges[0].lo()
+        } else {
+            None
+        }
+    }
+
+    /// The ranges in this list.
+    pub fn ranges(&self) -> &[VersionRange] {
+        &self.ranges
+    }
+
+    /// Does a concrete version satisfy this constraint?
+    pub fn contains(&self, v: &Version) -> bool {
+        self.is_any() || self.ranges.iter().any(|r| r.contains(v))
+    }
+
+    /// Does any version satisfy both lists?
+    pub fn overlaps(&self, other: &VersionList) -> bool {
+        if self.is_any() || other.is_any() {
+            return true;
+        }
+        self.ranges
+            .iter()
+            .any(|a| other.ranges.iter().any(|b| a.overlaps(b)))
+    }
+
+    /// Is every version admitted by `self` also admitted by `other`?
+    pub fn is_subset_of(&self, other: &VersionList) -> bool {
+        if other.is_any() {
+            return true;
+        }
+        if self.is_any() {
+            return false;
+        }
+        self.ranges
+            .iter()
+            .all(|a| other.ranges.iter().any(|b| a.is_subset_of(b)))
+    }
+
+    /// Intersect with another list in place. Returns `Ok(changed)`; errors
+    /// when the result would be empty (the paper's "ranges do not overlap"
+    /// concretization error).
+    pub fn intersect_with(&mut self, other: &VersionList) -> Result<bool, SpecError> {
+        if other.is_any() {
+            return Ok(false);
+        }
+        if self.is_any() {
+            *self = other.clone();
+            return Ok(true);
+        }
+        let mut out = Vec::new();
+        for a in &self.ranges {
+            for b in &other.ranges {
+                if let Some(r) = a.intersect(b) {
+                    out.push(r);
+                }
+            }
+        }
+        if out.is_empty() {
+            return Err(SpecError::conflict(format!(
+                "version constraints `{self}` and `{other}` do not overlap"
+            )));
+        }
+        let next = VersionList::from_ranges(out);
+        let changed = next != *self;
+        *self = next;
+        Ok(changed)
+    }
+
+    /// The highest version among a set of candidates that satisfies this
+    /// list, preferring non-develop releases (site policy default: newest
+    /// stable release wins).
+    pub fn highest_satisfying<'a>(
+        &self,
+        candidates: impl IntoIterator<Item = &'a Version>,
+    ) -> Option<&'a Version> {
+        let mut best: Option<&Version> = None;
+        let mut best_develop: Option<&Version> = None;
+        for v in candidates {
+            if !self.contains(v) {
+                continue;
+            }
+            let slot = if v.is_develop() {
+                &mut best_develop
+            } else {
+                &mut best
+            };
+            if slot.is_none_or(|b| v.version_cmp(b) == Ordering::Greater) {
+                *slot = Some(v);
+            }
+        }
+        best.or(best_develop)
+    }
+}
+
+impl fmt::Display for VersionList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_any() {
+            return write!(f, ":");
+        }
+        for (i, r) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse a single range expression: `1.2`, `1.2:`, `:1.4`, `1.2:1.4`, `:`.
+pub fn parse_range(s: &str) -> Result<VersionRange, SpecError> {
+    if s == ":" {
+        return Ok(VersionRange::any());
+    }
+    if let Some(idx) = s.find(':') {
+        let (lo, hi) = s.split_at(idx);
+        let hi = &hi[1..];
+        if hi.contains(':') {
+            return Err(SpecError::parse(format!("multiple `:` in version range `{s}`")));
+        }
+        let lo = if lo.is_empty() {
+            None
+        } else {
+            Some(Version::new(lo)?)
+        };
+        let hi = if hi.is_empty() {
+            None
+        } else {
+            Some(Version::new(hi)?)
+        };
+        VersionRange::new(lo, hi)
+    } else {
+        Ok(VersionRange::point(Version::new(s)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Version {
+        Version::new(s).unwrap()
+    }
+
+    fn vl(s: &str) -> VersionList {
+        VersionList::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["1", "1.2.3", "0.8.11", "2.7.9", "1.4.2", "develop"] {
+            assert_eq!(v(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn mixed_alphanumeric_components() {
+        let a = v("3b");
+        assert_eq!(a.components().len(), 2);
+        assert_eq!(a.to_string(), "3b");
+        // A trailing alphabetic component is a pre-release: 3b < 3.
+        assert!(v("3b") < v("3"));
+        assert!(v("3b") < v("4"));
+    }
+
+    #[test]
+    fn numeric_ordering() {
+        assert!(v("1.2") < v("1.10"));
+        assert!(v("1.2") < v("1.2.1"));
+        assert!(v("2.9") < v("2.10"));
+        assert!(v("1.0") > v("1.0rc1"));
+    }
+
+    #[test]
+    fn develop_sorts_highest() {
+        assert!(v("develop") > v("99.9"));
+        assert!(v("main") > v("4.0.0"));
+        assert!(vl("3.0:").contains(&v("develop")));
+    }
+
+    #[test]
+    fn range_contains() {
+        let r = parse_range("2.3:2.5.6").unwrap();
+        assert!(r.contains(&v("2.3")));
+        assert!(r.contains(&v("2.4.99")));
+        assert!(r.contains(&v("2.5.6")));
+        assert!(!r.contains(&v("2.5.7")));
+        assert!(!r.contains(&v("2.2")));
+    }
+
+    #[test]
+    fn open_ranges() {
+        assert!(parse_range("2.5:").unwrap().contains(&v("99")));
+        assert!(!parse_range("2.5:").unwrap().contains(&v("2.4")));
+        assert!(parse_range(":2.5").unwrap().contains(&v("0.1")));
+        // Prefix semantics on the upper bound, per the paper's example.
+        assert!(parse_range(":2.5").unwrap().contains(&v("2.5.6")));
+        assert!(!parse_range(":2.5").unwrap().contains(&v("2.6")));
+    }
+
+    #[test]
+    fn backwards_range_rejected() {
+        assert!(parse_range("2.0:1.0").is_err());
+    }
+
+    #[test]
+    fn range_intersection() {
+        let a = parse_range("1.2:1.4").unwrap();
+        let b = parse_range("1.3:2.0").unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.to_string(), "1.3:1.4");
+        let c = parse_range("3:").unwrap();
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn point_range_intersects_prefix_extension() {
+        // @1.4 ∩ @1.4.2 should be @1.4.2 (the tighter constraint).
+        let a = parse_range("1.4").unwrap();
+        let b = parse_range("1.4.2").unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.to_string(), "1.4.2");
+    }
+
+    #[test]
+    fn list_parse_merge() {
+        let l = vl("1.0,1.0:1.5");
+        assert_eq!(l.ranges().len(), 1);
+        assert_eq!(l.to_string(), "1.0:1.5");
+        let l = vl("2.0,1.0");
+        assert_eq!(l.to_string(), "1.0,2.0");
+    }
+
+    #[test]
+    fn list_intersection_error_on_disjoint() {
+        let mut a = vl("1.0:1.5");
+        assert!(a.intersect_with(&vl("2.0:")).is_err());
+    }
+
+    #[test]
+    fn list_intersection() {
+        let mut a = vl("1.0:2.0,3.0:4.0");
+        let changed = a.intersect_with(&vl("1.5:3.5")).unwrap();
+        assert!(changed);
+        assert_eq!(a.to_string(), "1.5:2.0,3.0:3.5");
+    }
+
+    #[test]
+    fn subset_logic() {
+        assert!(vl("1.3:1.4").is_subset_of(&vl("1.0:2.0")));
+        assert!(!vl("1.3:2.5").is_subset_of(&vl("1.0:2.0")));
+        assert!(vl("1.3").is_subset_of(&vl(":")));
+        assert!(!VersionList::any().is_subset_of(&vl("1.0:")));
+        assert!(VersionList::any().is_subset_of(&VersionList::any()));
+        // Point upper bounds are prefix-inclusive.
+        assert!(vl("2.5.6").is_subset_of(&vl("2.3:2.5")));
+    }
+
+    #[test]
+    fn highest_satisfying_prefers_stable() {
+        let versions = [v("1.0"), v("2.0"), v("develop"), v("1.5")];
+        let best = vl(":").highest_satisfying(versions.iter()).unwrap();
+        assert_eq!(best.to_string(), "2.0");
+        let best = vl("1.0:1.9").highest_satisfying(versions.iter()).unwrap();
+        assert_eq!(best.to_string(), "1.5");
+    }
+
+    #[test]
+    fn bumped_versions() {
+        assert_eq!(v("1.2.3").bumped().to_string(), "1.2.4");
+        assert_eq!(v("1.2.3").bumped() > v("1.2.3"), true);
+    }
+
+    #[test]
+    fn numeric_overflow_falls_back_to_text() {
+        // A component beyond u64 stays textual; parsing must not panic
+        // and ordering must stay total.
+        let huge = v("99999999999999999999999999");
+        let small = v("1");
+        assert!(huge != small);
+        let _ = huge.version_cmp(&small);
+        assert_eq!(huge.to_string(), "99999999999999999999999999");
+    }
+
+    #[test]
+    fn non_ascii_versions_rejected() {
+        assert!(Version::new("1.2.³").is_err());
+        assert!(Version::new("v•1").is_err());
+        assert!(Version::new("1..2").is_err());
+        assert!(Version::new(".1").is_err());
+        assert!(Version::new("1.").is_err());
+    }
+
+    #[test]
+    fn underscore_and_dash_allowed_in_components() {
+        assert_eq!(v("2015.08.10").to_string(), "2015.08.10");
+        assert_eq!(v("6.0.0a").to_string(), "6.0.0a");
+        assert_eq!(v("15.8b").to_string(), "15.8b");
+    }
+
+    #[test]
+    fn concrete_detection() {
+        assert!(vl("1.2.3").is_concrete());
+        assert!(!vl("1.2:1.3").is_concrete());
+        assert!(!VersionList::any().is_concrete());
+        assert_eq!(vl("1.2.3").concrete().unwrap().to_string(), "1.2.3");
+    }
+}

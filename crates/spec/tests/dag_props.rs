@@ -1,0 +1,117 @@
+//! Property-based tests on concrete-DAG invariants: random DAGs always
+//! yield valid bottom-up topological orders, sub-DAG extraction preserves
+//! reachability and Merkle hashes, and serialization is lossless.
+
+use proptest::prelude::*;
+use spack_spec::{dag::node, serial, ConcreteDag, DagBuilder, DagHashes};
+
+/// Generate a random DAG: `n` nodes, edges only from lower to higher
+/// indices (guaranteeing acyclicity), node 0 reaching everything through
+/// a spanning chain.
+fn dag_strategy() -> impl Strategy<Value = ConcreteDag> {
+    (2usize..12).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..n * 2);
+        edges.prop_map(move |raw_edges| {
+            let mut b = DagBuilder::new();
+            for i in 0..n {
+                b.add_node(node(
+                    &format!("pkg{i}"),
+                    &format!("1.{i}"),
+                    ("gcc", "4.9.3"),
+                    "linux-x86_64",
+                ))
+                .unwrap();
+            }
+            // Spanning chain from the root.
+            for i in 1..n {
+                b.add_edge(i - 1, i);
+            }
+            // Extra random forward edges.
+            for (a, z) in raw_edges {
+                let (lo, hi) = (a.min(z), a.max(z));
+                if lo != hi {
+                    b.add_edge(lo, hi);
+                }
+            }
+            b.build(0).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn topo_order_is_valid(dag in dag_strategy()) {
+        let order = dag.topo_order();
+        prop_assert_eq!(order.len(), dag.len());
+        let mut position = vec![usize::MAX; dag.len()];
+        for (i, &id) in order.iter().enumerate() {
+            position[id] = i;
+        }
+        for (id, n) in dag.nodes().iter().enumerate() {
+            for &d in &n.deps {
+                prop_assert!(position[d] < position[id], "dep after dependent");
+            }
+        }
+        prop_assert_eq!(order.last().copied(), Some(dag.root()));
+    }
+
+    #[test]
+    fn subdag_preserves_node_hashes(dag in dag_strategy()) {
+        let hashes = DagHashes::compute(&dag);
+        for id in 0..dag.len() {
+            let sub = dag.subdag(id);
+            let sub_hashes = DagHashes::compute(&sub);
+            // The root of the extracted sub-DAG hashes identically to the
+            // node inside the parent DAG — the invariant behind Fig. 9
+            // prefix sharing.
+            let sub_hash = sub_hashes.dag_hash().to_string();
+            prop_assert_eq!(sub_hash, hashes.node_hash(id));
+        }
+    }
+
+    #[test]
+    fn specfile_roundtrip_preserves_identity(dag in dag_strategy()) {
+        let text = serial::to_specfile(&dag);
+        let back = serial::from_specfile(&text).unwrap();
+        prop_assert_eq!(back.len(), dag.len());
+        let back_hash = DagHashes::compute(&back).dag_hash().to_string();
+        let orig_hash = DagHashes::compute(&dag).dag_hash().to_string();
+        prop_assert_eq!(back_hash, orig_hash);
+        // Canonical: a second serialization is byte-identical.
+        prop_assert_eq!(serial::to_specfile(&back), text);
+    }
+
+    #[test]
+    fn as_spec_satisfies_every_node_constraint(dag in dag_strategy()) {
+        let spec = dag.as_spec();
+        for n in dag.nodes() {
+            let constraint = spack_spec::Spec::parse(
+                &format!("{}@{}", n.name, n.version)
+            ).unwrap();
+            if n.name == dag.root_node().name {
+                prop_assert!(spec.node_satisfies(&constraint));
+            } else {
+                let text = format!("{} ^{}@{}", dag.root_node().name, n.name, n.version);
+                let req = spack_spec::Spec::parse(&text).unwrap();
+                let ok = dag.satisfies(&req);
+                prop_assert!(ok, "dag must satisfy {}", text);
+            }
+        }
+    }
+
+    #[test]
+    fn dag_hash_is_injective_on_versions(
+        dag in dag_strategy(),
+        bump_idx in 0usize..12,
+    ) {
+        // Changing any single node's version must change the root hash.
+        let idx = bump_idx % dag.len();
+        let mut nodes = dag.nodes().to_vec();
+        nodes[idx].version = nodes[idx].version.bumped();
+        let changed = ConcreteDag::new(nodes, dag.root()).unwrap();
+        prop_assert_ne!(
+            DagHashes::compute(&dag).dag_hash().to_string(),
+            DagHashes::compute(&changed).dag_hash().to_string()
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Fuzz-style robustness properties: the lexer and parser must never
+//! panic, whatever bytes arrive; errors are always structured
+//! `SpecError`s. (The CLI feeds raw user input straight into these.)
+
+use proptest::prelude::*;
+use spack_spec::{lex, parse_spec, parse_specs, Spec, Version, VersionList};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics(input in "\\PC*") {
+        let _ = lex::lex(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(input in "\\PC*") {
+        let _ = parse_spec(&input);
+        let _ = parse_specs(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sigil_soup(
+        input in "[a-z0-9@%+~^=:., -]{0,40}"
+    ) {
+        // Dense in the grammar's own alphabet: much likelier to reach
+        // deep parser states than fully random text.
+        let _ = parse_spec(&input);
+    }
+
+    #[test]
+    fn version_parser_never_panics(input in "\\PC{0,30}") {
+        let _ = Version::new(&input);
+        let _ = VersionList::parse(&input);
+    }
+
+    #[test]
+    fn successful_parses_always_reformat_parseably(
+        input in "[a-z][a-z0-9]{0,6}(@[0-9.:]{1,8})?(%[a-z]{2,4})?([+~][a-z]{2,5})?(=[a-z]{2,6})?"
+    ) {
+        if let Ok(spec) = Spec::parse(&input) {
+            let text = spec.to_string();
+            prop_assert!(Spec::parse(&text).is_ok(), "canonical `{}` must re-parse", text);
+        }
+    }
+}

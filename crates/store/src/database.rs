@@ -1,0 +1,426 @@
+//! The install database: every configuration in its own prefix, shared
+//! sub-DAGs reused (SC'15 §3.4.2, Fig. 9), provenance preserved (§3.4.3),
+//! and reuse of satisfying installs (§3.2.3: "Spack will use the
+//! previously-built installation instead of building a new one").
+
+use std::collections::BTreeMap;
+
+use spack_spec::{serial, ConcreteDag, DagHashes, NodeId, Spec};
+
+use crate::error::StoreError;
+use crate::layout::NamingScheme;
+
+/// One installed package configuration.
+#[derive(Debug, Clone)]
+pub struct InstallRecord {
+    /// Full Merkle hash of the installed sub-DAG.
+    pub hash: String,
+    /// The sub-DAG rooted at this install (its complete provenance).
+    pub dag: ConcreteDag,
+    /// Unique install prefix.
+    pub prefix: String,
+    /// Serialized spec file stored in the prefix for reproducibility
+    /// (§3.4.3).
+    pub specfile: String,
+    /// Whether a user asked for this install directly (vs. pulled in as a
+    /// dependency).
+    pub explicit: bool,
+    /// Build log stored alongside the spec file in the prefix (§3.4.3:
+    /// "a build log that contains output and error messages").
+    pub build_log: Option<String>,
+    /// Hashes of installed packages that depend on this one.
+    pub dependents: Vec<String>,
+}
+
+/// Result of registering a DAG: which nodes were new and which reused.
+#[derive(Debug, Clone, Default)]
+pub struct InstallPlan {
+    /// (package name, hash) pairs that must be built, bottom-up.
+    pub to_build: Vec<(String, String)>,
+    /// (package name, hash) pairs already present (Fig. 9 sharing).
+    pub reused: Vec<(String, String)>,
+}
+
+/// The database of installed specs under one store root.
+#[derive(Debug, Clone)]
+pub struct Database {
+    root: String,
+    scheme: NamingScheme,
+    records: BTreeMap<String, InstallRecord>,
+}
+
+impl Database {
+    /// An empty database rooted at `root` using Spack's naming scheme.
+    pub fn new(root: &str) -> Database {
+        Database {
+            root: root.to_string(),
+            scheme: NamingScheme::SpackDefault,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// Compute the install plan for a concrete DAG without modifying the
+    /// database: which sub-DAGs are already present, which must be built.
+    pub fn plan(&self, dag: &ConcreteDag) -> InstallPlan {
+        let hashes = DagHashes::compute(dag);
+        let mut plan = InstallPlan::default();
+        for id in dag.topo_order() {
+            let h = hashes.node_hash(id).to_string();
+            let name = dag.node(id).name.clone();
+            if self.records.contains_key(&h) {
+                plan.reused.push((name, h));
+            } else {
+                plan.to_build.push((name, h));
+            }
+        }
+        plan
+    }
+
+    /// Register every node of a concrete DAG as installed, reusing nodes
+    /// whose sub-DAG hash is already present. Returns the plan that was
+    /// executed. The DAG root is marked explicit.
+    pub fn install_dag(&mut self, dag: &ConcreteDag) -> InstallPlan {
+        self.install_dag_as(dag, true)
+    }
+
+    /// Like [`Database::install_dag`], but the root's explicitness is
+    /// caller-controlled (the build pipeline registers sub-DAGs
+    /// incrementally and marks only the user's request explicit).
+    pub fn install_dag_as(&mut self, dag: &ConcreteDag, explicit_root: bool) -> InstallPlan {
+        let hashes = DagHashes::compute(dag);
+        let plan = self.plan(dag);
+        for id in dag.topo_order() {
+            let h = hashes.node_hash(id).to_string();
+            if !self.records.contains_key(&h) {
+                let sub = dag.subdag(id);
+                let prefix = self.scheme.prefix_for(&self.root, dag, id, &hashes);
+                self.records.insert(
+                    h.clone(),
+                    InstallRecord {
+                        hash: h.clone(),
+                        specfile: serial::to_specfile(&sub),
+                        dag: sub,
+                        prefix,
+                        explicit: explicit_root && id == dag.root(),
+                        build_log: None,
+                        dependents: Vec::new(),
+                    },
+                );
+            } else if explicit_root && id == dag.root() {
+                self.records.get_mut(&h).unwrap().explicit = true;
+            }
+            // Wire dependent edges for ref-counting.
+            for &dep in &dag.node(id).deps {
+                let dep_hash = hashes.node_hash(dep).to_string();
+                let rec = self.records.get_mut(&dep_hash).expect("topo order");
+                if !rec.dependents.contains(&h) {
+                    rec.dependents.push(h.clone());
+                }
+            }
+        }
+        plan
+    }
+
+    /// Look up a record by full or short hash prefix.
+    pub fn get(&self, hash: &str) -> Option<&InstallRecord> {
+        if let Some(r) = self.records.get(hash) {
+            return Some(r);
+        }
+        let mut matches = self.records.values().filter(|r| r.hash.starts_with(hash));
+        match (matches.next(), matches.next()) {
+            (Some(r), None) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// All installs satisfying an abstract request, newest version first —
+    /// the `spack find` query and the §3.2.3 reuse check.
+    pub fn query(&self, request: &Spec) -> Vec<&InstallRecord> {
+        let mut found: Vec<&InstallRecord> = self
+            .records
+            .values()
+            .filter(|r| r.dag.satisfies(request))
+            .collect();
+        found.sort_by(|a, b| {
+            let an = a.dag.root_node();
+            let bn = b.dag.root_node();
+            an.name
+                .cmp(&bn.name)
+                .then_with(|| bn.version.version_cmp(&an.version))
+                .then_with(|| a.hash.cmp(&b.hash))
+        });
+        found
+    }
+
+    /// Uninstall by hash. Refuses while installed dependents remain
+    /// (forced removal would break their RPATHs).
+    pub fn uninstall(&mut self, hash: &str) -> Result<InstallRecord, StoreError> {
+        let full = self
+            .get(hash)
+            .map(|r| r.hash.clone())
+            .ok_or_else(|| StoreError::NoSuchInstall(hash.to_string()))?;
+        let live_dependents: Vec<String> = self.records[&full]
+            .dependents
+            .iter()
+            .filter(|d| self.records.contains_key(*d))
+            .map(|d| self.records[d].dag.root_node().name.clone())
+            .collect();
+        if !live_dependents.is_empty() {
+            return Err(StoreError::StillNeeded {
+                hash: full,
+                dependents: live_dependents,
+            });
+        }
+        Ok(self.records.remove(&full).unwrap())
+    }
+
+    /// Attach the build log for an installed spec (called by the build
+    /// pipeline after a successful build).
+    pub fn attach_build_log(&mut self, hash: &str, log: String) -> Result<(), StoreError> {
+        let full = self
+            .get(hash)
+            .map(|r| r.hash.clone())
+            .ok_or_else(|| StoreError::NoSuchInstall(hash.to_string()))?;
+        self.records.get_mut(&full).unwrap().build_log = Some(log);
+        Ok(())
+    }
+
+    /// Override the explicit flag of one record (used when restoring a
+    /// persisted database, where explicitness is stored separately).
+    pub fn set_explicit(&mut self, hash: &str, explicit: bool) -> Result<(), StoreError> {
+        let full = self
+            .get(hash)
+            .map(|r| r.hash.clone())
+            .ok_or_else(|| StoreError::NoSuchInstall(hash.to_string()))?;
+        self.records.get_mut(&full).unwrap().explicit = explicit;
+        Ok(())
+    }
+
+    /// Garbage-collect implicit installs: remove every record that was
+    /// pulled in as a dependency and is no longer needed by any
+    /// explicitly installed spec (transitively). Returns the removed
+    /// records, leaves explicit installs and their closures untouched.
+    pub fn gc(&mut self) -> Vec<InstallRecord> {
+        // Mark: everything reachable from explicit roots via their
+        // stored sub-DAGs.
+        let mut live: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for rec in self.records.values().filter(|r| r.explicit) {
+            let hashes = DagHashes::compute(&rec.dag);
+            for id in 0..rec.dag.len() {
+                live.insert(hashes.node_hash(id).to_string());
+            }
+        }
+        // Sweep.
+        let dead: Vec<String> = self
+            .records
+            .keys()
+            .filter(|h| !live.contains(*h))
+            .cloned()
+            .collect();
+        let mut removed = Vec::with_capacity(dead.len());
+        for h in dead {
+            removed.push(self.records.remove(&h).unwrap());
+        }
+        removed
+    }
+
+    /// Number of installed configurations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate all records (sorted by hash).
+    pub fn iter(&self) -> impl Iterator<Item = &InstallRecord> {
+        self.records.values()
+    }
+
+    /// The prefix of the node `id` within an installed DAG (used by the
+    /// build environment to point wrappers at dependency installs).
+    pub fn prefix_of(&self, dag: &ConcreteDag, id: NodeId) -> Option<String> {
+        let hashes = DagHashes::compute(dag);
+        self.records
+            .get(hashes.node_hash(id))
+            .map(|r| r.prefix.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_spec::{dag::node, DagBuilder};
+
+    /// mpileaks over a configurable MPI, as in Fig. 9.
+    fn mpileaks_with(mpi: &str) -> ConcreteDag {
+        let mut b = DagBuilder::new();
+        let root = b.add_node(node("mpileaks", "1.0", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
+        let m = b.add_node(node(mpi, "3.0", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
+        let cp = b.add_node(node("callpath", "1.0.2", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
+        let dy = b.add_node(node("dyninst", "8.1.2", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
+        let ld = b.add_node(node("libdwarf", "20130729", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
+        let le = b.add_node(node("libelf", "0.8.11", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
+        b.add_edge(root, m);
+        b.add_edge(root, cp);
+        b.add_edge(cp, m);
+        b.add_edge(cp, dy);
+        b.add_edge(dy, ld);
+        b.add_edge(dy, le);
+        b.add_edge(ld, le);
+        b.build(root).unwrap()
+    }
+
+    #[test]
+    fn install_registers_all_nodes() {
+        let mut db = Database::new("/spack/opt");
+        let plan = db.install_dag(&mpileaks_with("mpich"));
+        assert_eq!(plan.to_build.len(), 6);
+        assert!(plan.reused.is_empty());
+        assert_eq!(db.len(), 6);
+    }
+
+    #[test]
+    fn fig9_subdag_sharing_across_mpi_builds() {
+        // Install mpileaks^mpich, then mpileaks^openmpi: dyninst, libdwarf
+        // and libelf are reused; mpileaks, callpath and the MPI are new.
+        let mut db = Database::new("/spack/opt");
+        db.install_dag(&mpileaks_with("mpich"));
+        let plan = db.install_dag(&mpileaks_with("openmpi"));
+        let reused: Vec<&str> = plan.reused.iter().map(|(n, _)| n.as_str()).collect();
+        let built: Vec<&str> = plan.to_build.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(reused, ["libelf", "libdwarf", "dyninst"]);
+        assert!(built.contains(&"mpileaks"));
+        assert!(built.contains(&"callpath"));
+        assert!(built.contains(&"openmpi"));
+        // 6 + 3 new = 9 records, not 12.
+        assert_eq!(db.len(), 9);
+    }
+
+    #[test]
+    fn unique_prefixes_per_configuration() {
+        let mut db = Database::new("/spack/opt");
+        db.install_dag(&mpileaks_with("mpich"));
+        db.install_dag(&mpileaks_with("openmpi"));
+        let mut prefixes: Vec<&str> = db.iter().map(|r| r.prefix.as_str()).collect();
+        let total = prefixes.len();
+        prefixes.sort();
+        prefixes.dedup();
+        assert_eq!(prefixes.len(), total, "prefix collision");
+    }
+
+    #[test]
+    fn query_satisfying_installs() {
+        let mut db = Database::new("/spack/opt");
+        db.install_dag(&mpileaks_with("mpich"));
+        db.install_dag(&mpileaks_with("openmpi"));
+        let req = Spec::parse("mpileaks").unwrap();
+        assert_eq!(db.query(&req).len(), 2);
+        let req = Spec::parse("mpileaks ^openmpi").unwrap();
+        assert_eq!(db.query(&req).len(), 1);
+        let req = Spec::parse("dyninst").unwrap();
+        assert_eq!(db.query(&req).len(), 1, "shared dyninst installed once");
+        let req = Spec::parse("mpileaks%intel").unwrap();
+        assert!(db.query(&req).is_empty());
+    }
+
+    #[test]
+    fn uninstall_respects_dependents() {
+        let mut db = Database::new("/spack/opt");
+        let dag = mpileaks_with("mpich");
+        db.install_dag(&dag);
+        let hashes = DagHashes::compute(&dag);
+        let libelf_hash = hashes.node_hash(dag.by_name("libelf").unwrap());
+        // libelf is needed by dyninst and libdwarf.
+        let err = db.uninstall(libelf_hash).unwrap_err();
+        assert!(matches!(err, StoreError::StillNeeded { .. }));
+        // The root has no dependents: removable; then progressively inward.
+        let root_hash = hashes.node_hash(dag.root());
+        db.uninstall(root_hash).unwrap();
+        assert_eq!(db.len(), 5);
+        assert!(db.uninstall("0000beef").is_err());
+    }
+
+    #[test]
+    fn short_hash_lookup() {
+        let mut db = Database::new("/spack/opt");
+        let dag = mpileaks_with("mpich");
+        db.install_dag(&dag);
+        let hashes = DagHashes::compute(&dag);
+        let full = hashes.node_hash(dag.root());
+        assert!(db.get(&full[..8]).is_some());
+        assert_eq!(db.get(&full[..8]).unwrap().hash, full);
+        // Ambiguous prefix returns none.
+        assert!(db.get("").is_none());
+    }
+
+    #[test]
+    fn specfile_roundtrips_identity() {
+        let mut db = Database::new("/spack/opt");
+        let dag = mpileaks_with("mpich");
+        db.install_dag(&dag);
+        let hashes = DagHashes::compute(&dag);
+        let rec = db.get(hashes.node_hash(dag.root())).unwrap();
+        let back = serial::from_specfile(&rec.specfile).unwrap();
+        assert_eq!(spack_spec::dag_hash(&back), rec.hash);
+    }
+
+    #[test]
+    fn gc_sweeps_orphaned_dependencies() {
+        let mut db = Database::new("/spack/opt");
+        let dag = mpileaks_with("mpich");
+        db.install_dag(&dag);
+        assert_eq!(db.len(), 6);
+        // Remove the explicit root; its dependencies become garbage.
+        let hashes = DagHashes::compute(&dag);
+        db.uninstall(hashes.node_hash(dag.root())).unwrap();
+        let removed = db.gc();
+        assert_eq!(removed.len(), 5);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn gc_keeps_closures_of_explicit_installs() {
+        let mut db = Database::new("/spack/opt");
+        db.install_dag(&mpileaks_with("mpich"));
+        db.install_dag(&mpileaks_with("openmpi"));
+        // Both roots explicit: nothing to collect.
+        assert!(db.gc().is_empty());
+        // Drop one root: only its non-shared deps go.
+        let dag = mpileaks_with("openmpi");
+        let hashes = DagHashes::compute(&dag);
+        db.uninstall(hashes.node_hash(dag.root())).unwrap();
+        let removed = db.gc();
+        let names: Vec<String> = removed
+            .iter()
+            .map(|r| r.dag.root_node().name.clone())
+            .collect();
+        // openmpi and the openmpi-flavored callpath are orphaned; the
+        // shared dyninst/libdwarf/libelf and the mpich stack stay.
+        assert!(names.contains(&"openmpi".to_string()), "{names:?}");
+        assert!(names.contains(&"callpath".to_string()));
+        assert!(!names.contains(&"dyninst".to_string()));
+        assert_eq!(db.len(), 9 - 1 - removed.len());
+        assert!(db.query(&Spec::parse("mpileaks^mpich").unwrap()).len() == 1);
+    }
+
+    #[test]
+    fn explicit_flag_tracks_user_requests() {
+        let mut db = Database::new("/spack/opt");
+        let dag = mpileaks_with("mpich");
+        db.install_dag(&dag);
+        let hashes = DagHashes::compute(&dag);
+        assert!(db.get(hashes.node_hash(dag.root())).unwrap().explicit);
+        assert!(!db
+            .get(hashes.node_hash(dag.by_name("libelf").unwrap()))
+            .unwrap()
+            .explicit);
+    }
+}

@@ -1,0 +1,42 @@
+//! Errors from the store layer.
+
+use std::fmt;
+
+/// Errors raised by the install database, views, and extensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The referenced install does not exist.
+    NoSuchInstall(String),
+    /// Uninstall refused: other installed packages depend on this one.
+    StillNeeded {
+        /// Hash of the install that was to be removed.
+        hash: String,
+        /// Names of installed dependents.
+        dependents: Vec<String>,
+    },
+    /// A filesystem-level conflict (existing path, activation collision).
+    PathConflict(String),
+    /// Extension operations applied to a non-extension or non-extendable
+    /// package.
+    NotAnExtension(String),
+    /// The extension is not activated / already activated.
+    ActivationState(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoSuchInstall(h) => write!(f, "no installed spec with hash {h}"),
+            StoreError::StillNeeded { hash, dependents } => write!(
+                f,
+                "cannot uninstall {hash}: still needed by {}",
+                dependents.join(", ")
+            ),
+            StoreError::PathConflict(p) => write!(f, "path conflict: {p}"),
+            StoreError::NotAnExtension(p) => write!(f, "`{p}` is not an extension"),
+            StoreError::ActivationState(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

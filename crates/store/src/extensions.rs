@@ -1,0 +1,226 @@
+//! Extension activation for interpreted languages (SC'15 §4.2).
+//!
+//! Python modules `extends('python')`: each extension installs into its
+//! own prefix (preserving combinatorial versioning), but can be
+//! *activated* into a Python installation — every file in the extension
+//! prefix is symbolically linked into the Python prefix "as if it were
+//! installed directly". Activation fails atomically on any file conflict;
+//! extendable packages may instead supply merge logic for known-conflicting
+//! files (Python merges easy-install registries). `deactivate` removes the
+//! links and "restores the Python installation to its pristine state".
+
+use std::collections::BTreeMap;
+
+use crate::error::StoreError;
+use crate::fstree::FsTree;
+
+/// How to handle a file that exists in both the extension and the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictPolicy {
+    /// Fail the activation (default behavior).
+    Error,
+    /// Merge the conflicting file (package-specialized activation, as the
+    /// Python package does for module-registry files).
+    Merge,
+}
+
+/// Tracks which extensions are active in which extendable installs.
+#[derive(Debug, Clone, Default)]
+pub struct ExtensionRegistry {
+    /// (target hash, extension hash) → links created in the target prefix.
+    active: BTreeMap<(String, String), Vec<String>>,
+}
+
+impl ExtensionRegistry {
+    /// An empty registry.
+    pub fn new() -> ExtensionRegistry {
+        ExtensionRegistry::default()
+    }
+
+    /// Activate an extension into a target (e.g. numpy into a python).
+    ///
+    /// Links every file under `ext_prefix` to the same relative path under
+    /// `target_prefix`. On conflict: with [`ConflictPolicy::Error`] the
+    /// whole activation rolls back and errors; with
+    /// [`ConflictPolicy::Merge`] conflicting files are replaced by merged
+    /// regular files.
+    pub fn activate(
+        &mut self,
+        fs: &mut FsTree,
+        target_hash: &str,
+        target_prefix: &str,
+        ext_hash: &str,
+        ext_prefix: &str,
+        policy: ConflictPolicy,
+    ) -> Result<usize, StoreError> {
+        let key = (target_hash.to_string(), ext_hash.to_string());
+        if self.active.contains_key(&key) {
+            return Err(StoreError::ActivationState(format!(
+                "extension {ext_hash} already active in {target_hash}"
+            )));
+        }
+        let files = fs.list(ext_prefix);
+        let mut created: Vec<String> = Vec::new();
+        let mut merged: Vec<(String, u64)> = Vec::new();
+        for rel in &files {
+            // Per-prefix metadata (spec file, build log) never activates.
+            if rel.starts_with(".spack/") || rel == ".spack" {
+                continue;
+            }
+            let link = format!("{target_prefix}/{rel}");
+            let target = format!("{ext_prefix}/{rel}");
+            if fs.exists(&link) {
+                match policy {
+                    ConflictPolicy::Error => {
+                        // Roll back everything created so far.
+                        for l in &created {
+                            let _ = fs.remove(l);
+                        }
+                        return Err(StoreError::PathConflict(link));
+                    }
+                    ConflictPolicy::Merge => {
+                        merged.push((link, 0));
+                        continue;
+                    }
+                }
+            }
+            fs.symlink(&link, &target)?;
+            created.push(link);
+        }
+        for (link, _) in merged {
+            // Replace with a merged regular file (size models combined
+            // registries; content merging is package-specific in Spack).
+            fs.write_file(&link, 1);
+            created.push(link);
+        }
+        let count = created.len();
+        self.active.insert(key, created);
+        Ok(count)
+    }
+
+    /// Deactivate an extension: remove its links from the target prefix.
+    pub fn deactivate(
+        &mut self,
+        fs: &mut FsTree,
+        target_hash: &str,
+        ext_hash: &str,
+    ) -> Result<usize, StoreError> {
+        let key = (target_hash.to_string(), ext_hash.to_string());
+        let links = self.active.remove(&key).ok_or_else(|| {
+            StoreError::ActivationState(format!(
+                "extension {ext_hash} not active in {target_hash}"
+            ))
+        })?;
+        let mut removed = 0;
+        for l in &links {
+            if fs.remove(l).is_ok() {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Extensions currently active in a target install.
+    pub fn active_in(&self, target_hash: &str) -> Vec<&str> {
+        self.active
+            .keys()
+            .filter(|(t, _)| t == target_hash)
+            .map(|(_, e)| e.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn python_world() -> (FsTree, String, String) {
+        let mut fs = FsTree::new();
+        let py = "/spack/opt/python-2.7.9".to_string();
+        let numpy = "/spack/opt/py-numpy-1.9.1".to_string();
+        fs.write_file(&format!("{py}/bin/python"), 100);
+        fs.write_file(&format!("{py}/lib/python2.7/site.py"), 10);
+        fs.write_file(&format!("{numpy}/lib/python2.7/site-packages/numpy/core.py"), 50);
+        fs.write_file(&format!("{numpy}/lib/python2.7/site-packages/numpy/fft.py"), 30);
+        (fs, py, numpy)
+    }
+
+    #[test]
+    fn activation_links_files_into_target() {
+        let (mut fs, py, numpy) = python_world();
+        let mut reg = ExtensionRegistry::new();
+        let n = reg
+            .activate(&mut fs, "pyhash", &py, "numpyhash", &numpy, ConflictPolicy::Error)
+            .unwrap();
+        assert_eq!(n, 2);
+        let linked = format!("{py}/lib/python2.7/site-packages/numpy/core.py");
+        assert!(fs.exists(&linked));
+        assert_eq!(
+            fs.resolve(&linked).unwrap(),
+            format!("{numpy}/lib/python2.7/site-packages/numpy/core.py")
+        );
+        assert_eq!(reg.active_in("pyhash"), vec!["numpyhash"]);
+    }
+
+    #[test]
+    fn deactivation_restores_pristine_state() {
+        let (mut fs, py, numpy) = python_world();
+        let before = fs.len();
+        let mut reg = ExtensionRegistry::new();
+        reg.activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error).unwrap();
+        assert!(fs.len() > before);
+        let removed = reg.deactivate(&mut fs, "py", "np").unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(fs.len(), before, "pristine state restored");
+        assert!(reg.active_in("py").is_empty());
+    }
+
+    #[test]
+    fn conflicting_activation_rolls_back_atomically() {
+        let (mut fs, py, numpy) = python_world();
+        // A second extension shipping the same file path.
+        let scipy = "/spack/opt/py-scipy-0.15";
+        fs.write_file(&format!("{scipy}/lib/python2.7/site-packages/numpy/core.py"), 7);
+        fs.write_file(&format!("{scipy}/lib/python2.7/site-packages/scipy/linalg.py"), 9);
+        let mut reg = ExtensionRegistry::new();
+        reg.activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error).unwrap();
+        let count_after_numpy = fs.len();
+        let err = reg
+            .activate(&mut fs, "py", &py, "sp", scipy, ConflictPolicy::Error)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::PathConflict(_)));
+        // Rollback: nothing from scipy remains linked.
+        assert_eq!(fs.len(), count_after_numpy);
+        assert!(!fs.exists(&format!("{py}/lib/python2.7/site-packages/scipy/linalg.py")));
+    }
+
+    #[test]
+    fn merge_policy_resolves_conflicts() {
+        let (mut fs, py, numpy) = python_world();
+        let scipy = "/spack/opt/py-scipy-0.15";
+        fs.write_file(&format!("{scipy}/lib/python2.7/site-packages/numpy/core.py"), 7);
+        let mut reg = ExtensionRegistry::new();
+        reg.activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error).unwrap();
+        let n = reg
+            .activate(&mut fs, "py", &py, "sp", scipy, ConflictPolicy::Merge)
+            .unwrap();
+        assert_eq!(n, 1);
+        // The conflicting path is now a merged regular file, not a link.
+        let merged = format!("{py}/lib/python2.7/site-packages/numpy/core.py");
+        assert!(matches!(
+            fs.get(&merged),
+            Some(crate::fstree::Entry::File { .. })
+        ));
+    }
+
+    #[test]
+    fn double_activation_is_an_error() {
+        let (mut fs, py, numpy) = python_world();
+        let mut reg = ExtensionRegistry::new();
+        reg.activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error).unwrap();
+        assert!(reg
+            .activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error)
+            .is_err());
+        assert!(reg.deactivate(&mut fs, "py", "ghost").is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! A minimal in-memory file tree.
+//!
+//! The store tracks the *logical contents* of install prefixes — regular
+//! files and symbolic links — so that views (§4.3.1) and extension
+//! activation (§4.2) can create, collide on, and remove links exactly the
+//! way Spack does on a real filesystem. (The performance-modeling
+//! filesystem used for build timing lives in `spack-buildenv`; this tree
+//! is purely about structure.)
+
+use std::collections::BTreeMap;
+
+use crate::error::StoreError;
+
+/// A node in the file tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    /// A regular file with a size in bytes.
+    File {
+        /// Size in bytes.
+        size: u64,
+    },
+    /// A symbolic link to an absolute target path.
+    Symlink {
+        /// Link target.
+        target: String,
+    },
+}
+
+/// An in-memory tree of absolute paths (directories are implicit).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsTree {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl FsTree {
+    /// An empty tree.
+    pub fn new() -> FsTree {
+        FsTree::default()
+    }
+
+    /// Create or overwrite a regular file.
+    pub fn write_file(&mut self, path: &str, size: u64) {
+        self.entries.insert(normalize(path), Entry::File { size });
+    }
+
+    /// Create a symlink; errors if anything already exists at `path`.
+    pub fn symlink(&mut self, path: &str, target: &str) -> Result<(), StoreError> {
+        let path = normalize(path);
+        if self.entries.contains_key(&path) {
+            return Err(StoreError::PathConflict(path));
+        }
+        self.entries.insert(
+            path,
+            Entry::Symlink {
+                target: normalize(target),
+            },
+        );
+        Ok(())
+    }
+
+    /// Replace or create a symlink regardless of what is there.
+    pub fn symlink_force(&mut self, path: &str, target: &str) {
+        self.entries.insert(
+            normalize(path),
+            Entry::Symlink {
+                target: normalize(target),
+            },
+        );
+    }
+
+    /// Remove one entry. Errors when absent.
+    pub fn remove(&mut self, path: &str) -> Result<(), StoreError> {
+        let path = normalize(path);
+        self.entries
+            .remove(&path)
+            .map(|_| ())
+            .ok_or(StoreError::NoSuchInstall(path))
+    }
+
+    /// Remove every entry under a prefix (recursive delete). Returns the
+    /// number of entries removed.
+    pub fn remove_tree(&mut self, prefix: &str) -> usize {
+        let prefix = normalize(prefix);
+        let keys: Vec<String> = self
+            .entries
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| under(k, &prefix))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &keys {
+            self.entries.remove(k);
+        }
+        keys.len()
+    }
+
+    /// Look up one entry.
+    pub fn get(&self, path: &str) -> Option<&Entry> {
+        self.entries.get(&normalize(path))
+    }
+
+    /// Does anything exist at this exact path?
+    pub fn exists(&self, path: &str) -> bool {
+        self.entries.contains_key(&normalize(path))
+    }
+
+    /// Resolve a path through at most 40 levels of symlinks.
+    pub fn resolve(&self, path: &str) -> Option<String> {
+        let mut current = normalize(path);
+        for _ in 0..40 {
+            match self.entries.get(&current) {
+                Some(Entry::Symlink { target }) => current = target.clone(),
+                Some(Entry::File { .. }) => return Some(current),
+                None => return None,
+            }
+        }
+        None
+    }
+
+    /// All entry paths under a prefix, relative to it, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let prefix = normalize(prefix);
+        self.entries
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| under(k, &prefix))
+            .map(|(k, _)| k[prefix.len()..].trim_start_matches('/').to_string())
+            .collect()
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn normalize(path: &str) -> String {
+    let mut out = String::with_capacity(path.len() + 1);
+    if !path.starts_with('/') {
+        out.push('/');
+    }
+    let mut last_slash = false;
+    for c in path.chars() {
+        if c == '/' {
+            if last_slash {
+                continue;
+            }
+            last_slash = true;
+        } else {
+            last_slash = false;
+        }
+        out.push(c);
+    }
+    if out.len() > 1 && out.ends_with('/') {
+        out.pop();
+    }
+    out
+}
+
+fn under(path: &str, prefix: &str) -> bool {
+    path == prefix
+        || (path.starts_with(prefix)
+            && (prefix.ends_with('/') || path.as_bytes().get(prefix.len()) == Some(&b'/')))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn files_and_links() {
+        let mut fs = FsTree::new();
+        fs.write_file("/opt/pkg/lib/libx.so", 100);
+        fs.symlink("/opt/view/libx.so", "/opt/pkg/lib/libx.so").unwrap();
+        assert!(fs.exists("/opt/view/libx.so"));
+        assert_eq!(
+            fs.resolve("/opt/view/libx.so").as_deref(),
+            Some("/opt/pkg/lib/libx.so")
+        );
+        // Symlink collision errors.
+        assert!(fs.symlink("/opt/view/libx.so", "/elsewhere").is_err());
+        // Force replaces.
+        fs.symlink_force("/opt/view/libx.so", "/opt/pkg/lib/libx.so");
+    }
+
+    #[test]
+    fn chained_symlinks_resolve() {
+        let mut fs = FsTree::new();
+        fs.write_file("/a/f", 1);
+        fs.symlink("/b", "/a/f").unwrap();
+        fs.symlink("/c", "/b").unwrap();
+        assert_eq!(fs.resolve("/c").as_deref(), Some("/a/f"));
+        // Dangling chains resolve to None.
+        let mut fs2 = FsTree::new();
+        fs2.symlink("/x", "/nowhere").unwrap();
+        assert_eq!(fs2.resolve("/x"), None);
+    }
+
+    #[test]
+    fn symlink_cycle_terminates() {
+        let mut fs = FsTree::new();
+        fs.symlink("/a", "/b").unwrap();
+        fs.symlink("/b", "/a").unwrap();
+        assert_eq!(fs.resolve("/a"), None);
+    }
+
+    #[test]
+    fn list_and_remove_tree() {
+        let mut fs = FsTree::new();
+        fs.write_file("/opt/p/bin/tool", 10);
+        fs.write_file("/opt/p/lib/lib.so", 20);
+        fs.write_file("/opt/p2/bin/other", 5);
+        assert_eq!(fs.list("/opt/p"), vec!["bin/tool", "lib/lib.so"]);
+        // `/opt/p2` must not be swept up by the `/opt/p` prefix.
+        assert_eq!(fs.remove_tree("/opt/p"), 2);
+        assert!(fs.exists("/opt/p2/bin/other"));
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut fs = FsTree::new();
+        fs.write_file("opt//x///f/", 1);
+        assert!(fs.exists("/opt/x/f"));
+    }
+}

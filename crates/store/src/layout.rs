@@ -1,0 +1,191 @@
+//! Install-prefix naming schemes (SC'15 Table 1, §3.4.2).
+//!
+//! Table 1 catalogues how HPC sites organize installed software on shared
+//! filesystems. All the manual conventions encode *some* parameters in the
+//! path — architecture, compiler, package, version, an ad-hoc build tag —
+//! but "none of these naming conventions covers the entire configuration
+//! space", so distinct configurations can collide. Spack's scheme appends
+//! a hash of the full concrete spec, making the mapping injective.
+//!
+//! Each scheme here formats a prefix for a node of a concrete DAG; the
+//! Table 1 harness measures collision rates across a configuration sweep.
+
+use spack_spec::{ConcreteDag, DagHashes, NodeId};
+
+/// Package names recognized as MPI implementations, used by schemes (like
+/// TACC's) that encode "the MPI" in the path.
+pub const MPI_PROVIDERS: &[&str] = &[
+    "mpich", "mpich2", "openmpi", "mvapich", "mvapich2", "spectrum-mpi", "cray-mpich", "bgq-mpi",
+    "intel-mpi", "strictmpi", "loosempi",
+];
+
+/// A site naming convention from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamingScheme {
+    /// Spack's default:
+    /// `$root/$arch/$compiler-$compver/$package-$version-$hash`.
+    SpackDefault,
+    /// LLNL `/usr/global/tools`: `$root/$arch/$package/$version`.
+    LlnlGlobal,
+    /// LLNL `/usr/local/tools`: `$root/$package-$compiler-$build-$version`
+    /// (the build tag is ad hoc; we use the compiler version).
+    LlnlLocal,
+    /// ORNL: `$root/$arch/$package/$version/$build` (build tag = compiler
+    /// name + version, per the CUG'08 conventions).
+    Ornl,
+    /// TACC / Lmod hierarchy:
+    /// `$root/$compiler-$compver/$mpi/$mpiver/$package/$version`.
+    Tacc,
+}
+
+impl NamingScheme {
+    /// All Table 1 schemes, in the table's order.
+    pub fn all() -> [NamingScheme; 5] {
+        [
+            NamingScheme::LlnlGlobal,
+            NamingScheme::LlnlLocal,
+            NamingScheme::Ornl,
+            NamingScheme::Tacc,
+            NamingScheme::SpackDefault,
+        ]
+    }
+
+    /// Human-readable site label.
+    pub fn site(&self) -> &'static str {
+        match self {
+            NamingScheme::SpackDefault => "Spack default",
+            NamingScheme::LlnlGlobal => "LLNL /usr/global/tools",
+            NamingScheme::LlnlLocal => "LLNL /usr/local/tools",
+            NamingScheme::Ornl => "ORNL",
+            NamingScheme::Tacc => "TACC / Lmod",
+        }
+    }
+
+    /// Format the install prefix for `id` within `dag` under this scheme.
+    pub fn prefix_for(
+        &self,
+        root: &str,
+        dag: &ConcreteDag,
+        id: NodeId,
+        hashes: &DagHashes,
+    ) -> String {
+        let n = dag.node(id);
+        let compiler = format!("{}-{}", n.compiler.name, n.compiler.version);
+        match self {
+            NamingScheme::SpackDefault => {
+                // §3.4.2: "$arch / $compiler-$comp_version /
+                //          $package-$version-$options-$hash"
+                let mut options = String::new();
+                for (var, on) in &n.variants {
+                    options.push(if *on { '+' } else { '~' });
+                    options.push_str(var);
+                }
+                format!(
+                    "{root}/{}/{compiler}/{}-{}{}-{}",
+                    n.architecture,
+                    n.name,
+                    n.version,
+                    options,
+                    hashes.short(id)
+                )
+            }
+            NamingScheme::LlnlGlobal => {
+                format!("{root}/{}/{}/{}", n.architecture, n.name, n.version)
+            }
+            NamingScheme::LlnlLocal => {
+                format!(
+                    "{root}/{}-{}-{}-{}",
+                    n.name, n.compiler.name, n.compiler.version, n.version
+                )
+            }
+            NamingScheme::Ornl => {
+                format!(
+                    "{root}/{}/{}/{}/{compiler}",
+                    n.architecture, n.name, n.version
+                )
+            }
+            NamingScheme::Tacc => {
+                let (mpi, mpi_version) = mpi_of(dag, id);
+                format!(
+                    "{root}/{compiler}/{mpi}/{mpi_version}/{}/{}",
+                    n.name, n.version
+                )
+            }
+        }
+    }
+}
+
+/// The MPI implementation in the sub-DAG of `id`, as (name, version);
+/// ("none", "0") when the package does not depend on MPI.
+pub fn mpi_of(dag: &ConcreteDag, id: NodeId) -> (String, String) {
+    let sub = dag.subdag(id);
+    for n in sub.nodes() {
+        if MPI_PROVIDERS.contains(&n.name.as_str()) {
+            return (n.name.clone(), n.version.to_string());
+        }
+    }
+    ("none".to_string(), "0".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_spec::{dag::node, DagBuilder};
+
+    fn sample() -> ConcreteDag {
+        let mut b = DagBuilder::new();
+        let root = b
+            .add_node({
+                let mut n = node("mpileaks", "1.0", ("gcc", "4.9.2"), "linux-x86_64");
+                n.variants.insert("debug".into(), true);
+                n
+            })
+            .unwrap();
+        let mpi = b
+            .add_node(node("mpich", "3.0.4", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        b.add_edge(root, mpi);
+        b.build(root).unwrap()
+    }
+
+    #[test]
+    fn spack_scheme_includes_hash_and_options() {
+        let dag = sample();
+        let hashes = DagHashes::compute(&dag);
+        let p = NamingScheme::SpackDefault.prefix_for("/spack/opt", &dag, dag.root(), &hashes);
+        assert!(p.starts_with("/spack/opt/linux-x86_64/gcc-4.9.2/mpileaks-1.0+debug-"));
+        assert!(p.ends_with(hashes.short(dag.root())));
+    }
+
+    #[test]
+    fn table1_baseline_schemes() {
+        let dag = sample();
+        let hashes = DagHashes::compute(&dag);
+        let r = dag.root();
+        assert_eq!(
+            NamingScheme::LlnlGlobal.prefix_for("/usr/global/tools", &dag, r, &hashes),
+            "/usr/global/tools/linux-x86_64/mpileaks/1.0"
+        );
+        assert_eq!(
+            NamingScheme::LlnlLocal.prefix_for("/usr/local/tools", &dag, r, &hashes),
+            "/usr/local/tools/mpileaks-gcc-4.9.2-1.0"
+        );
+        assert_eq!(
+            NamingScheme::Ornl.prefix_for("/sw", &dag, r, &hashes),
+            "/sw/linux-x86_64/mpileaks/1.0/gcc-4.9.2"
+        );
+        assert_eq!(
+            NamingScheme::Tacc.prefix_for("/apps", &dag, r, &hashes),
+            "/apps/gcc-4.9.2/mpich/3.0.4/mpileaks/1.0"
+        );
+    }
+
+    #[test]
+    fn mpi_detection() {
+        let dag = sample();
+        assert_eq!(mpi_of(&dag, dag.root()).0, "mpich");
+        // A leaf with no MPI below it.
+        let mpich = dag.by_name("mpich").unwrap();
+        assert_eq!(mpi_of(&dag, mpich).0, "mpich"); // itself an MPI
+    }
+}

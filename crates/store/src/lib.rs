@@ -1,0 +1,36 @@
+//! # spack-store
+//!
+//! The store layer of `spack-rs` (SC'15 §3.4.2–§3.5.4, §4.2, §4.3):
+//!
+//! * **install layouts** — Spack's hashed prefix scheme and the baseline
+//!   site conventions of Table 1 ([`layout`]);
+//! * the **install database** — every configuration in a unique prefix,
+//!   identical sub-DAGs shared across builds (Fig. 9), ref-counted
+//!   uninstalls, satisfying-install reuse, and stored spec files for
+//!   reproducibility ([`database`]);
+//! * **views** — policy-resolved symlink projections onto human-readable
+//!   paths ([`views`]);
+//! * **environment modules** — generated dotkit and TCL module files
+//!   ([`modules`]);
+//! * **extensions** — activate/deactivate of Python-style extension
+//!   packages with atomic rollback ([`extensions`]).
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod error;
+pub mod extensions;
+pub mod fstree;
+pub mod layout;
+pub mod lmod;
+pub mod modules;
+pub mod views;
+
+pub use database::{Database, InstallPlan, InstallRecord};
+pub use error::StoreError;
+pub use extensions::{ConflictPolicy, ExtensionRegistry};
+pub use fstree::{Entry, FsTree};
+pub use layout::{mpi_of, NamingScheme, MPI_PROVIDERS};
+pub use lmod::{generate_hierarchy, lua_module, LmodLevel, LmodModule};
+pub use modules::{dotkit, env_entries, module_name, tcl_module};
+pub use views::{View, ViewPolicy, ViewRule};

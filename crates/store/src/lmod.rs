@@ -1,0 +1,225 @@
+//! Lmod module hierarchies (SC'15 §3.5.4, the paper's stated extension:
+//! "Future versions of Spack may also allow the creation of Lmod
+//! hierarchies. Spack's rich dependency information would allow automatic
+//! generation of such hierarchies.")
+//!
+//! An Lmod hierarchy solves the "matrix problem" (§2) by nesting module
+//! trees: `Core/` holds compiler modules; loading a compiler exposes
+//! `compiler/<name>/<version>/` with the packages built by it; loading an
+//! MPI exposes `mpi/<compiler>/<mpi>/` with MPI-dependent packages. We
+//! generate the full hierarchy automatically from the install database's
+//! concrete specs — exactly the information manual conventions lack.
+
+use crate::database::InstallRecord;
+use crate::layout::mpi_of;
+
+/// Where in the Lmod tree a package's module lives.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LmodLevel {
+    /// `Core/<name>/<version>.lua` — compiler-independent tools.
+    Core,
+    /// `<compiler>/<compiler-version>/<name>/<version>.lua`.
+    Compiler {
+        /// Compiler name.
+        name: String,
+        /// Compiler version.
+        version: String,
+    },
+    /// `<mpi>/<mpi-version>/<compiler>/<compiler-version>/<name>/<version>.lua`.
+    Mpi {
+        /// MPI implementation name.
+        mpi: String,
+        /// MPI version.
+        mpi_version: String,
+        /// Compiler name.
+        compiler: String,
+        /// Compiler version.
+        compiler_version: String,
+    },
+}
+
+/// A generated Lmod module: its path in the hierarchy plus file content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LmodModule {
+    /// Level in the hierarchy.
+    pub level: LmodLevel,
+    /// Path relative to the module root, e.g.
+    /// `gcc/4.9.3/mpileaks/2.3.lua`.
+    pub path: String,
+    /// Lua module file content.
+    pub content: String,
+}
+
+/// Classify one install into its hierarchy level.
+pub fn level_of(rec: &InstallRecord, is_compiler: impl Fn(&str) -> bool) -> LmodLevel {
+    let root = rec.dag.root_node();
+    // Compilers themselves (and compiler-independent externals like
+    // environment tools) live in Core.
+    if is_compiler(&root.name) {
+        return LmodLevel::Core;
+    }
+    let (mpi, mpi_version) = mpi_of(&rec.dag, rec.dag.root());
+    if mpi != "none" {
+        LmodLevel::Mpi {
+            mpi,
+            mpi_version,
+            compiler: root.compiler.name.clone(),
+            compiler_version: root.compiler.version.to_string(),
+        }
+    } else {
+        LmodLevel::Compiler {
+            name: root.compiler.name.clone(),
+            version: root.compiler.version.to_string(),
+        }
+    }
+}
+
+/// Generate the Lua module file for one install.
+pub fn lua_module(rec: &InstallRecord, description: &str) -> String {
+    let n = rec.dag.root_node();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "-- {} (hash {})\n",
+        n.format_node(),
+        &rec.hash[..8]
+    ));
+    out.push_str(&format!("whatis(\"{description}\")\n"));
+    out.push_str(&format!("whatis(\"Version: {}\")\n\n", n.version));
+    for (var, dir) in [
+        ("PATH", "bin"),
+        ("MANPATH", "man"),
+        ("LD_LIBRARY_PATH", "lib"),
+        ("PKG_CONFIG_PATH", "lib/pkgconfig"),
+    ] {
+        out.push_str(&format!(
+            "prepend_path(\"{var}\", \"{}/{dir}\")\n",
+            rec.prefix
+        ));
+    }
+    out.push_str(&format!(
+        "prepend_path(\"CMAKE_PREFIX_PATH\", \"{}\")\n",
+        rec.prefix
+    ));
+    out
+}
+
+/// Generate the hierarchy for a set of installs.
+pub fn generate_hierarchy<'a>(
+    records: impl IntoIterator<Item = &'a InstallRecord>,
+    is_compiler: impl Fn(&str) -> bool + Copy,
+    describe: impl Fn(&str) -> String,
+) -> Vec<LmodModule> {
+    let mut modules = Vec::new();
+    for rec in records {
+        let n = rec.dag.root_node();
+        let level = level_of(rec, is_compiler);
+        let dir = match &level {
+            LmodLevel::Core => "Core".to_string(),
+            LmodLevel::Compiler { name, version } => format!("{name}/{version}"),
+            LmodLevel::Mpi {
+                mpi,
+                mpi_version,
+                compiler,
+                compiler_version,
+            } => format!("{mpi}/{mpi_version}/{compiler}/{compiler_version}"),
+        };
+        let mut content = lua_module(rec, &describe(&n.name));
+        // An MPI module at the Compiler level opens its Mpi subtree.
+        if crate::layout::MPI_PROVIDERS.contains(&n.name.as_str()) {
+            content.push_str(&format!(
+                "prepend_path(\"MODULEPATH\", \"{}/{}/{}/{}\")\nfamily(\"mpi\")\n",
+                n.name, n.version, n.compiler.name, n.compiler.version
+            ));
+        }
+        modules.push(LmodModule {
+            path: format!("{dir}/{}/{}.lua", n.name, n.version),
+            level,
+            content,
+        });
+    }
+    modules.sort_by(|a, b| a.path.cmp(&b.path));
+    modules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use spack_spec::{dag::node, DagBuilder, Spec};
+
+    fn db() -> Database {
+        let mut db = Database::new("/spack/opt");
+        // An MPI-dependent tool.
+        let mut b = DagBuilder::new();
+        let root = b.add_node(node("mpileaks", "2.3", ("gcc", "4.9.3"), "linux-x86_64")).unwrap();
+        let mpi = b.add_node(node("mpich", "3.1.4", ("gcc", "4.9.3"), "linux-x86_64")).unwrap();
+        b.add_edge(root, mpi);
+        db.install_dag(&b.build(root).unwrap());
+        // A compiler-level library.
+        let mut b = DagBuilder::new();
+        let root = b.add_node(node("libelf", "0.8.13", ("gcc", "4.9.3"), "linux-x86_64")).unwrap();
+        db.install_dag(&b.build(root).unwrap());
+        // A Core-level compiler package.
+        let mut b = DagBuilder::new();
+        let root = b.add_node(node("gcc", "4.9.3", ("gcc", "4.4.7"), "linux-x86_64")).unwrap();
+        db.install_dag(&b.build(root).unwrap());
+        db
+    }
+
+    fn hierarchy(db: &Database) -> Vec<LmodModule> {
+        generate_hierarchy(db.iter(), |n| n == "gcc", |_| "pkg".to_string())
+    }
+
+    #[test]
+    fn levels_are_classified_by_dependencies() {
+        let db = db();
+        let modules = hierarchy(&db);
+        let by_name: std::collections::BTreeMap<&str, &LmodModule> = modules
+            .iter()
+            .map(|m| {
+                let name = m.path.split('/').rev().nth(1).unwrap();
+                (name, m)
+            })
+            .collect();
+        assert_eq!(by_name["gcc"].level, LmodLevel::Core);
+        assert!(matches!(by_name["libelf"].level, LmodLevel::Compiler { .. }));
+        assert!(matches!(by_name["mpileaks"].level, LmodLevel::Mpi { .. }));
+        assert_eq!(by_name["gcc"].path, "Core/gcc/4.9.3.lua");
+        assert_eq!(by_name["libelf"].path, "gcc/4.9.3/libelf/0.8.13.lua");
+        assert_eq!(
+            by_name["mpileaks"].path,
+            "mpich/3.1.4/gcc/4.9.3/mpileaks/2.3.lua"
+        );
+        // The mpich node itself (installed as part of the mpileaks DAG)
+        // sits at the compiler level and opens the MPI subtree.
+        assert!(by_name["mpich"].content.contains("family(\"mpi\")"));
+        assert!(by_name["mpich"].content.contains("MODULEPATH"));
+    }
+
+    #[test]
+    fn lua_content_sets_paths() {
+        let db = db();
+        let rec = db.query(&Spec::parse("libelf").unwrap())[0];
+        let lua = lua_module(rec, "ELF library");
+        assert!(lua.contains("whatis(\"ELF library\")"));
+        assert!(lua.contains(&format!("prepend_path(\"PATH\", \"{}/bin\")", rec.prefix)));
+        assert!(lua.contains("LD_LIBRARY_PATH"));
+    }
+
+    #[test]
+    fn hierarchy_solves_the_matrix_problem() {
+        // Two compilers x one package -> two distinct module paths with
+        // the SAME leaf name/version: users `module load gcc; module load
+        // libelf` without combinatorial names (the 2 "matrix problem").
+        let mut db = Database::new("/spack/opt");
+        for compiler in [("gcc", "4.9.3"), ("intel", "15.0.1")] {
+            let mut b = DagBuilder::new();
+            let root = b.add_node(node("libelf", "0.8.13", compiler, "linux-x86_64")).unwrap();
+            db.install_dag(&b.build(root).unwrap());
+        }
+        let modules = hierarchy(&db);
+        let paths: Vec<&str> = modules.iter().map(|m| m.path.as_str()).collect();
+        assert!(paths.contains(&"gcc/4.9.3/libelf/0.8.13.lua"));
+        assert!(paths.contains(&"intel/15.0.1/libelf/0.8.13.lua"));
+    }
+}

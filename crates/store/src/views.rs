@@ -1,0 +1,331 @@
+//! Package views: human-readable symlink layouts (SC'15 §4.3.1).
+//!
+//! Views project points in the high-dimensional space of concrete specs
+//! onto short, legacy-friendly link names like
+//! `/opt/mpileaks-1.0-openmpi`. Several installs may map to one link;
+//! conflicts are resolved by site policy: an explicit `compiler_order`
+//! first, then newer package versions, then newer compilers — "Spack
+//! prefers newer versions of packages compiled with newer compilers".
+
+use std::collections::BTreeMap;
+
+use spack_spec::{CompilerSpec, Spec};
+
+use crate::database::InstallRecord;
+use crate::error::StoreError;
+use crate::fstree::FsTree;
+use crate::layout::mpi_of;
+
+/// One link rule: a template expanded per matching install.
+///
+/// Template variables: `${PACKAGE}`, `${VERSION}`, `${COMPILER}`,
+/// `${COMPILERVER}`, `${MPINAME}`, `${MPIVER}`, `${ARCH}`, `${HASH}`.
+///
+/// A rule links either the whole install prefix or, with `subpath`, a
+/// single file inside it — §4.3.1's "views can also be used to create
+/// symbolic links to specific executables or libraries in an install, so
+/// a Spack-built gcc@4.9 may have a view that creates links from
+/// /bin/gcc49 ... to the appropriate gcc executable".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewRule {
+    /// Link-path template, e.g. `/opt/${PACKAGE}-${VERSION}-${MPINAME}`.
+    pub template: String,
+    /// Restrict the rule to installs satisfying this spec (`None` = all).
+    pub selector: Option<Spec>,
+    /// Link to this prefix-relative file instead of the prefix itself.
+    pub subpath: Option<String>,
+}
+
+impl ViewRule {
+    /// A rule applying to every install.
+    pub fn for_all(template: &str) -> ViewRule {
+        ViewRule {
+            template: template.to_string(),
+            selector: None,
+            subpath: None,
+        }
+    }
+
+    /// A rule restricted to installs satisfying `selector`.
+    pub fn for_spec(template: &str, selector: Spec) -> ViewRule {
+        ViewRule {
+            template: template.to_string(),
+            selector: Some(selector),
+            subpath: None,
+        }
+    }
+
+    /// A rule linking one file inside matching prefixes: the `/bin/gcc49`
+    /// pattern of §4.3.1.
+    pub fn for_file(template: &str, subpath: &str, selector: Spec) -> ViewRule {
+        ViewRule {
+            template: template.to_string(),
+            selector: Some(selector),
+            subpath: Some(subpath.trim_start_matches('/').to_string()),
+        }
+    }
+
+    fn expand(&self, rec: &InstallRecord) -> String {
+        let n = rec.dag.root_node();
+        let (mpi, mpi_version) = mpi_of(&rec.dag, rec.dag.root());
+        self.template
+            .replace("${PACKAGE}", &n.name)
+            .replace("${VERSION}", &n.version.to_string())
+            .replace("${COMPILER}", &n.compiler.name)
+            .replace("${COMPILERVER}", &n.compiler.version.to_string())
+            .replace("${MPINAME}", &mpi)
+            .replace("${MPIVER}", &mpi_version)
+            .replace("${ARCH}", &n.architecture)
+            .replace("${HASH}", &rec.hash[..8])
+    }
+}
+
+/// Conflict-resolution policy for links with several candidate targets.
+#[derive(Debug, Clone, Default)]
+pub struct ViewPolicy {
+    /// Preferred compilers, best first (§4.3.1 `compiler_order`).
+    /// Compilers not listed are less preferred than every listed one.
+    pub compiler_order: Vec<CompilerSpec>,
+}
+
+impl ViewPolicy {
+    fn compiler_rank(&self, rec: &InstallRecord) -> usize {
+        let c = &rec.dag.root_node().compiler;
+        for (i, pref) in self.compiler_order.iter().enumerate() {
+            if pref.name == c.name && pref.versions.contains(&c.version) {
+                return i;
+            }
+        }
+        usize::MAX
+    }
+
+    /// Is `a` preferred over `b` as the target of one link?
+    pub fn prefers(&self, a: &InstallRecord, b: &InstallRecord) -> bool {
+        let (ra, rb) = (self.compiler_rank(a), self.compiler_rank(b));
+        if ra != rb {
+            return ra < rb;
+        }
+        let (na, nb) = (a.dag.root_node(), b.dag.root_node());
+        match nb.version.version_cmp(&na.version) {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+        match nb.compiler.version.version_cmp(&na.compiler.version) {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+        a.hash < b.hash
+    }
+}
+
+/// A computed view: link path → (target prefix, winning install hash).
+#[derive(Debug, Clone, Default)]
+pub struct View {
+    links: BTreeMap<String, (String, String)>,
+}
+
+impl View {
+    /// Compute a view over a set of installs. "On installation and
+    /// removal, links are automatically created, deleted, or updated
+    /// according to these rules" — recomputation is idempotent, so callers
+    /// rebuild after each database change.
+    pub fn compute<'a>(
+        rules: &[ViewRule],
+        records: impl IntoIterator<Item = &'a InstallRecord>,
+        policy: &ViewPolicy,
+    ) -> View {
+        let mut winners: BTreeMap<String, (&InstallRecord, &ViewRule)> = BTreeMap::new();
+        for rec in records {
+            for rule in rules {
+                if let Some(sel) = &rule.selector {
+                    if !rec.dag.satisfies(sel) {
+                        continue;
+                    }
+                }
+                let link = rule.expand(rec);
+                match winners.get(&link) {
+                    Some((current, _)) if !policy.prefers(rec, current) => {}
+                    _ => {
+                        winners.insert(link, (rec, rule));
+                    }
+                }
+            }
+        }
+        View {
+            links: winners
+                .into_iter()
+                .map(|(link, (rec, rule))| {
+                    let target = match &rule.subpath {
+                        Some(sub) => format!("{}/{sub}", rec.prefix),
+                        None => rec.prefix.clone(),
+                    };
+                    (link, (target, rec.hash.clone()))
+                })
+                .collect(),
+        }
+    }
+
+    /// The resolved links: path → (target prefix, install hash).
+    pub fn links(&self) -> &BTreeMap<String, (String, String)> {
+        &self.links
+    }
+
+    /// Target prefix of one link.
+    pub fn target_of(&self, link: &str) -> Option<&str> {
+        self.links.get(link).map(|(p, _)| p.as_str())
+    }
+
+    /// Materialize the view into a file tree, replacing stale links.
+    pub fn apply(&self, fs: &mut FsTree) -> Result<usize, StoreError> {
+        for (link, (target, _)) in &self.links {
+            fs.symlink_force(link, target);
+        }
+        Ok(self.links.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use spack_spec::{dag::node, ConcreteDag, DagBuilder, VersionList};
+
+    fn build(mpi: &str, version: &str, compiler: (&str, &str)) -> ConcreteDag {
+        let mut b = DagBuilder::new();
+        let root = b.add_node(node("mpileaks", version, compiler, "linux-x86_64")).unwrap();
+        let m = b.add_node(node(mpi, "3.0", compiler, "linux-x86_64")).unwrap();
+        b.add_edge(root, m);
+        b.build(root).unwrap()
+    }
+
+    fn db_with(dags: &[ConcreteDag]) -> Database {
+        let mut db = Database::new("/spack/opt");
+        for d in dags {
+            db.install_dag(d);
+        }
+        db
+    }
+
+    #[test]
+    fn template_expansion_paper_example() {
+        // §4.3.1: /opt/${PACKAGE}-${VERSION}-${MPINAME}
+        let db = db_with(&[build("openmpi", "1.0", ("gcc", "4.9.2"))]);
+        let rules = [ViewRule::for_spec(
+            "/opt/${PACKAGE}-${VERSION}-${MPINAME}",
+            Spec::parse("mpileaks").unwrap(),
+        )];
+        let view = View::compute(&rules, db.query(&Spec::parse("mpileaks").unwrap()), &ViewPolicy::default());
+        assert!(view.target_of("/opt/mpileaks-1.0-openmpi").is_some());
+    }
+
+    #[test]
+    fn generic_link_resolves_conflicts_by_version() {
+        // Two versions map onto /opt/mpileaks-openmpi: the newer wins.
+        let db = db_with(&[
+            build("openmpi", "1.0", ("gcc", "4.9.2")),
+            build("openmpi", "2.1", ("gcc", "4.9.2")),
+        ]);
+        let rules = [ViewRule::for_spec(
+            "/opt/${PACKAGE}-${MPINAME}",
+            Spec::parse("mpileaks").unwrap(),
+        )];
+        let view = View::compute(&rules, db.iter(), &ViewPolicy::default());
+        let target = view.target_of("/opt/mpileaks-openmpi").unwrap();
+        assert!(target.contains("mpileaks-2.1"), "{target}");
+    }
+
+    #[test]
+    fn compiler_order_overrides_version_preference() {
+        // §4.3.1: `compiler_order = icc,gcc@4.9.3` makes an older icc
+        // build beat a newer gcc build.
+        let db = db_with(&[
+            build("openmpi", "2.1", ("gcc", "4.9.3")),
+            build("openmpi", "1.0", ("icc", "14.1")),
+        ]);
+        let rules = [ViewRule::for_spec(
+            "/opt/${PACKAGE}-${MPINAME}",
+            Spec::parse("mpileaks").unwrap(),
+        )];
+        let policy = ViewPolicy {
+            compiler_order: vec![
+                CompilerSpec::by_name("icc"),
+                CompilerSpec {
+                    name: "gcc".to_string(),
+                    versions: VersionList::parse("4.9.3").unwrap(),
+                },
+            ],
+        };
+        let view = View::compute(&rules, db.iter(), &policy);
+        let target = view.target_of("/opt/mpileaks-openmpi").unwrap();
+        assert!(target.contains("icc"), "{target}");
+        // Without the policy, the newer version (gcc build) wins.
+        let view = View::compute(&rules, db.iter(), &ViewPolicy::default());
+        assert!(view.target_of("/opt/mpileaks-openmpi").unwrap().contains("2.1"));
+    }
+
+    #[test]
+    fn selector_restricts_rule() {
+        let db = db_with(&[
+            build("openmpi", "1.0", ("gcc", "4.9.2")),
+            build("mpich", "1.0", ("gcc", "4.9.2")),
+        ]);
+        let rules = [ViewRule::for_spec(
+            "/opt/${PACKAGE}-latest",
+            Spec::parse("mpileaks^openmpi").unwrap(),
+        )];
+        let view = View::compute(&rules, db.iter(), &ViewPolicy::default());
+        let target = view.target_of("/opt/mpileaks-latest").unwrap();
+        // Only the openmpi build matched the selector.
+        let rec = db.get(&view.links()["/opt/mpileaks-latest"].1).unwrap();
+        assert!(rec.dag.by_name("openmpi").is_some());
+        assert!(!target.is_empty());
+    }
+
+    #[test]
+    fn apply_materializes_symlinks() {
+        let db = db_with(&[build("openmpi", "1.0", ("gcc", "4.9.2"))]);
+        let rules = [ViewRule::for_all("/opt/${PACKAGE}-${VERSION}")];
+        let view = View::compute(&rules, db.iter(), &ViewPolicy::default());
+        let mut fs = FsTree::new();
+        let n = view.apply(&mut fs).unwrap();
+        assert_eq!(n, 2); // mpileaks and openmpi each get a link
+        assert!(fs.exists("/opt/mpileaks-1.0"));
+        assert!(fs.exists("/opt/openmpi-3.0"));
+        // Re-applying after a change just updates links.
+        view.apply(&mut fs).unwrap();
+    }
+
+    #[test]
+    fn file_level_links_the_gcc49_example() {
+        // §4.3.1: /bin/gcc49 -> the gcc executable inside the prefix.
+        let mut db = Database::new("/spack/opt");
+        let mut b = DagBuilder::new();
+        let root = b.add_node(node("gcc", "4.9.2", ("gcc", "4.4.7"), "linux-x86_64")).unwrap();
+        db.install_dag(&b.build(root).unwrap());
+        let rules = [
+            ViewRule::for_file("/bin/gcc49", "bin/gcc", Spec::parse("gcc@4.9").unwrap()),
+            ViewRule::for_file("/bin/g++49", "bin/g++", Spec::parse("gcc@4.9").unwrap()),
+        ];
+        let view = View::compute(&rules, db.iter(), &ViewPolicy::default());
+        let target = view.target_of("/bin/gcc49").unwrap();
+        assert!(target.ends_with("/bin/gcc"), "{target}");
+        assert!(target.starts_with("/spack/opt/"));
+        assert!(view.target_of("/bin/g++49").unwrap().ends_with("/bin/g++"));
+    }
+
+    #[test]
+    fn hash_template_disambiguates_fully() {
+        let db = db_with(&[
+            build("openmpi", "1.0", ("gcc", "4.9.2")),
+            build("mpich", "1.0", ("gcc", "4.9.2")),
+        ]);
+        let rules = [ViewRule::for_spec(
+            "/opt/${PACKAGE}-${HASH}",
+            Spec::parse("mpileaks").unwrap(),
+        )];
+        let view = View::compute(&rules, db.iter(), &ViewPolicy::default());
+        assert_eq!(view.links().len(), 2, "hash links never collide");
+    }
+}

@@ -1,0 +1,71 @@
+//! Use case 1: combinatorial naming for gperftools (SC'15 §4.1).
+//!
+//! gperftools is a C++ library; with no standard C++ ABI it "must be
+//! rebuilt with each compiler and compiler version used by client
+//! applications", and BG/Q builds need per-compiler patches and configure
+//! lines. One Spack package maintains the whole matrix; each build lands
+//! in its own hashed prefix.
+//!
+//! Run: `cargo run --example gperftools_matrix`
+
+use spack_rs::spec::{DagHashes, Spec};
+use spack_rs::Session;
+
+fn main() {
+    let mut session = Session::new();
+    // BG/Q toolchains for the cross-compiled builds.
+    for (name, ver) in [("gcc", "4.9.3"), ("clang", "3.6.2")] {
+        session.config_mut().register_compiler(name, ver, &["bgq"]);
+    }
+
+    println!("== central gperftools installs across compilers (4.1) ==");
+    let matrix = [
+        "gperftools@2.4 %gcc@4.9.3",
+        "gperftools@2.4 %gcc@4.7.4",
+        "gperftools@2.4 %intel@14.0.4",
+        "gperftools@2.4 %intel@15.0.1",
+        "gperftools@2.4 %clang",
+        "gperftools@2.3 %gcc@4.9.3",
+        "gperftools@2.4 %xl =bgq",
+        "gperftools@2.4 %clang =bgq",
+    ];
+    for text in matrix {
+        let report = session.install(text).expect("matrix entry installs");
+        let build = report
+            .builds
+            .iter()
+            .find(|b| b.name == "gperftools")
+            .expect("gperftools in report");
+        println!(
+            "  {text:34} -> [{}]{}",
+            &build.hash[..8],
+            if build.patches.is_empty() {
+                String::new()
+            } else {
+                format!("  patches: {}", build.patches.join(", "))
+            }
+        );
+    }
+
+    let db = session.database();
+    let installs = db.query(&Spec::parse("gperftools").unwrap());
+    println!("\n{} coexisting gperftools installs:", installs.len());
+    for rec in &installs {
+        println!("  {}", rec.prefix);
+    }
+
+    // The package file is the institutional knowledge repository: the
+    // XL-on-BG/Q build carries its patch without any user action.
+    let bgq_xl = db.query(&Spec::parse("gperftools%xl").unwrap());
+    assert_eq!(bgq_xl.len(), 1);
+    println!("\nBG/Q XL build verified: prefix {}", bgq_xl[0].prefix);
+
+    // Every prefix is unique: the combinatorial naming problem is gone.
+    let mut prefixes: Vec<&str> = installs.iter().map(|r| r.prefix.as_str()).collect();
+    let total = prefixes.len();
+    prefixes.dedup();
+    assert_eq!(prefixes.len(), total);
+    let rec = &installs[0];
+    let hashes = DagHashes::compute(&rec.dag);
+    println!("hash identity example: {}", hashes.short(rec.dag.root()));
+}

@@ -1,0 +1,86 @@
+//! Python extension management (SC'15 §4.2).
+//!
+//! Installs two Python stacks, activates numpy/scipy into an interpreter
+//! prefix, demonstrates conflict rollback, and deactivates back to a
+//! pristine interpreter.
+//!
+//! Run with: `cargo run --example python_extensions`
+
+use spack_rs::store::{ConflictPolicy, ExtensionRegistry, FsTree};
+use spack_rs::Session;
+
+fn main() {
+    let mut session = Session::new();
+
+    // Install the interpreter and two extensions.
+    println!("== installing python, py-numpy, py-scipy ==");
+    session.install("python@2.7.9").expect("python installs");
+    session.install("py-numpy ^python@2.7.9").expect("numpy installs");
+    session.install("py-scipy ^python@2.7.9").expect("scipy installs");
+
+    let (py_hash, py_prefix, np_hash, np_prefix, sp_hash, sp_prefix) = {
+        let db = session.database();
+        let q = |text: &str| {
+            let rec = db.query(&spack_rs::spec::Spec::parse(text).unwrap())[0];
+            (rec.hash.clone(), rec.prefix.clone())
+        };
+        let (a, b) = q("python");
+        let (c, d) = q("py-numpy");
+        let (e, f) = q("py-scipy");
+        (a, b, c, d, e, f)
+    };
+    println!("python prefix: {py_prefix}");
+    println!("numpy  prefix: {np_prefix}");
+
+    // Each extension lives in its own prefix; activation symlinks it into
+    // the interpreter, as if installed directly.
+    let mut fs = FsTree::new();
+    fs.write_file(&format!("{py_prefix}/bin/python"), 4096);
+    fs.write_file(&format!("{py_prefix}/lib/python2.7/site.py"), 512);
+    for (prefix, module) in [(&np_prefix, "numpy"), (&sp_prefix, "scipy")] {
+        fs.write_file(
+            &format!("{prefix}/lib/python2.7/site-packages/{module}/__init__.py"),
+            256,
+        );
+        fs.write_file(
+            &format!("{prefix}/lib/python2.7/site-packages/{module}/core.py"),
+            8192,
+        );
+    }
+
+    let mut registry = ExtensionRegistry::new();
+    println!("\n== activating extensions ==");
+    let n = registry
+        .activate(&mut fs, &py_hash, &py_prefix, &np_hash, &np_prefix, ConflictPolicy::Error)
+        .expect("numpy activates");
+    println!("activated py-numpy: {n} links");
+    let n = registry
+        .activate(&mut fs, &py_hash, &py_prefix, &sp_hash, &sp_prefix, ConflictPolicy::Error)
+        .expect("scipy activates");
+    println!("activated py-scipy: {n} links");
+    println!(
+        "python now sees: {:?}",
+        fs.list(&format!("{py_prefix}/lib/python2.7/site-packages"))
+    );
+
+    // Conflicts roll back atomically.
+    println!("\n== conflicting extension rolls back ==");
+    let rogue = "/spack/opt/rogue-numpy";
+    fs.write_file(
+        &format!("{rogue}/lib/python2.7/site-packages/numpy/__init__.py"),
+        1,
+    );
+    let err = registry
+        .activate(&mut fs, &py_hash, &py_prefix, "roguehash", rogue, ConflictPolicy::Error)
+        .unwrap_err();
+    println!("activation refused: {err}");
+
+    // Deactivation restores the pristine interpreter.
+    println!("\n== deactivating ==");
+    registry.deactivate(&mut fs, &py_hash, &sp_hash).expect("scipy deactivates");
+    registry.deactivate(&mut fs, &py_hash, &np_hash).expect("numpy deactivates");
+    println!(
+        "python sees after deactivate: {:?}",
+        fs.list(&format!("{py_prefix}/lib/python2.7/site-packages"))
+    );
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the paper's running example end to end.
+//!
+//! Parses the spec expressions of Table 2, concretizes the mpileaks DAG
+//! of Figs. 2 and 7, and installs it (simulated), printing the same views
+//! the paper shows.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use spack_rs::spec::{DagHashes, Spec};
+use spack_rs::Session;
+
+fn main() {
+    // --- Table 2: the spec syntax ----------------------------------------
+    println!("== Table 2: spec expressions ==");
+    for text in [
+        "mpileaks",
+        "mpileaks@1.1",
+        "mpileaks@1.1 %gcc",
+        "mpileaks@1.1 %intel@14.1 +debug",
+        "mpileaks@1.1 =bgq",
+        "mpileaks@1.1 ^mvapich2@1.9",
+        "mpileaks @1.2:1.4 %gcc@4.7.4 -debug =bgq ^callpath @1.1 %gcc@4.7.4 ^openmpi @1.4.7",
+    ] {
+        let spec = Spec::parse(text).expect("valid Table 2 spec");
+        println!("  {text:68} -> {spec}");
+    }
+
+    // --- Fig. 2a -> Fig. 7: abstract spec to concrete DAG ----------------
+    let mut session = Session::new();
+    println!("\n== spack install mpileaks (Figs. 2a, 7) ==");
+    let dag = session.concretize("mpileaks").expect("concretizes");
+    print!("{dag}");
+    let hashes = DagHashes::compute(&dag);
+    println!("unique install hash: {}", hashes.short(dag.root()));
+
+    // --- Fig. 2c: recursive constraints ----------------------------------
+    println!("\n== spack install mpileaks@2.3 ^callpath@1.0+debug ^libelf@0.8.11 (Fig. 2c) ==");
+    let constrained = session
+        .concretize("mpileaks@2.3 ^callpath@1.0+debug ^libelf@0.8.11")
+        .expect("concretizes");
+    print!("{constrained}");
+
+    // --- Install, bottom-up, with wrapper-based builds -------------------
+    println!("\n== installing (simulated builds) ==");
+    let report = session.install("mpileaks").expect("installs");
+    for b in &report.builds {
+        match &b.outcome {
+            Some(o) => println!(
+                "  {:12} built in {:6.1}s  ({} wrapper invocations)",
+                b.name,
+                o.total(),
+                o.compiler_invocations
+            ),
+            None => println!("  {:12} reused", b.name),
+        }
+    }
+    println!(
+        "  total: {:.1}s serial, {:.1}s on the DAG's critical path",
+        report.serial_seconds, report.critical_path_seconds
+    );
+
+    // --- Fig. 9: a second MPI shares the dyninst sub-DAG ------------------
+    println!("\n== spack install mpileaks ^mpich (Fig. 9 sharing) ==");
+    let report = session.install("mpileaks ^mpich").expect("installs");
+    println!(
+        "  built {} new packages, reused {} existing sub-DAGs",
+        report.built_count(),
+        report.reused_count()
+    );
+    for b in report.builds.iter().filter(|b| b.reused) {
+        println!("  reused {:12} [{}]", b.name, &b.hash[..8]);
+    }
+}

@@ -1,0 +1,268 @@
+//! # spack-rs
+//!
+//! A from-scratch Rust reproduction of the Spack package manager
+//! (Gamblin et al., *The Spack Package Manager: Bringing Order to HPC
+//! Software Chaos*, SC '15): parameterized package templates, the
+//! recursive spec syntax, versioned virtual dependencies, greedy
+//! fixed-point concretization, hashed install layouts with sub-DAG
+//! sharing, and an isolated build environment with RPATH-injecting
+//! compiler wrappers — plus a simulated build substrate that regenerates
+//! every table and figure of the paper's evaluation (see EXPERIMENTS.md).
+//!
+//! The crates compose bottom-up:
+//!
+//! * [`spec`] — versions, the Fig. 3 grammar, concrete DAGs, hashing;
+//! * [`package`] — the package DSL, `@when` multimethods, repositories;
+//! * [`concretize`] — provider index, policies, the Fig. 6 algorithm;
+//! * [`store`] — layouts (Table 1), install database (Fig. 9), views,
+//!   modules, extensions (§4.2);
+//! * [`buildenv`] — wrappers (§3.5.2), isolation (§3.5.1), the simulated
+//!   filesystem and build systems (Figs. 10/11), parallel installs;
+//! * [`repo`] — ~260 builtin packages including the mpileaks and ARES
+//!   stacks.
+//!
+//! [`Session`] bundles them into the two-line happy path:
+//!
+//! ```
+//! use spack_rs::Session;
+//!
+//! let mut session = Session::new();
+//! let report = session.install("libelf@0.8.12:").unwrap();
+//! assert_eq!(report.builds.len(), 1);
+//! ```
+
+pub use spack_buildenv as buildenv;
+pub use spack_concretize as concretize;
+pub use spack_package as package;
+pub use spack_repo_builtin as repo;
+pub use spack_spec as spec;
+pub use spack_store as store;
+
+use parking_lot::Mutex;
+use spack_buildenv::{install_dag, InstallOptions, InstallReport};
+use spack_concretize::{Concretizer, Config, ConcretizeError};
+use spack_package::RepoStack;
+use spack_spec::{ConcreteDag, DagHashes, Spec, SpecError};
+use spack_store::{ConflictPolicy, Database, ExtensionRegistry, FsTree, StoreError};
+
+/// Errors from the high-level session API.
+#[derive(Debug)]
+pub enum Error {
+    /// Spec text failed to parse.
+    Spec(SpecError),
+    /// Concretization failed.
+    Concretize(ConcretizeError),
+    /// The (simulated) build failed.
+    Install(spack_buildenv::InstallError),
+    /// A store operation (uninstall, view, activation) failed.
+    Store(StoreError),
+    /// The request matched no installed spec.
+    NotInstalled(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Spec(e) => write!(f, "{e}"),
+            Error::Concretize(e) => write!(f, "{e}"),
+            Error::Install(e) => write!(f, "{e}"),
+            Error::Store(e) => write!(f, "{e}"),
+            Error::NotInstalled(s) => write!(f, "`{s}` is not installed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A ready-to-use Spack instance: builtin repository, a default site
+/// configuration (gcc/intel/clang toolchains, mvapich2-first MPI policy),
+/// and an in-memory install database.
+pub struct Session {
+    repos: RepoStack,
+    config: Config,
+    db: Mutex<Database>,
+    options: InstallOptions,
+    fs: Mutex<FsTree>,
+    extensions: Mutex<ExtensionRegistry>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// A session with the builtin repository and default configuration.
+    pub fn new() -> Session {
+        Session::with_config(Session::default_config())
+    }
+
+    /// The default site configuration used by [`Session::new`].
+    pub fn default_config() -> Config {
+        let mut c = Config::new();
+        c.register_compiler("gcc", "4.9.3", &[]);
+        c.register_compiler("gcc", "4.7.4", &[]);
+        c.register_compiler("intel", "14.0.4", &[]);
+        c.register_compiler("intel", "15.0.1", &[]);
+        c.register_compiler("clang", "3.6.2", &[]);
+        c.register_compiler("pgi", "15.4", &[]);
+        c.register_compiler("xl", "12.1", &["bgq"]);
+        c.push_scope_text(
+            "defaults",
+            "arch = linux-x86_64\n\
+             compiler = gcc\n\
+             providers mpi = mvapich2,openmpi,mpich\n\
+             providers blas = netlib-blas\n\
+             providers lapack = netlib-lapack\n\
+             providers fft = fftw\n",
+        )
+        .expect("valid default config");
+        c
+    }
+
+    /// A session with a custom configuration.
+    pub fn with_config(config: Config) -> Session {
+        Session {
+            repos: spack_repo_builtin::repo_stack(),
+            config,
+            db: Mutex::new(Database::new("/spack/opt")),
+            options: InstallOptions::default(),
+            fs: Mutex::new(FsTree::new()),
+            extensions: Mutex::new(ExtensionRegistry::new()),
+        }
+    }
+
+    /// The repository stack.
+    pub fn repos(&self) -> &RepoStack {
+        &self.repos
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Mutable configuration access (add scopes, compilers).
+    pub fn config_mut(&mut self) -> &mut Config {
+        &mut self.config
+    }
+
+    /// Mutable install options (jobs, wrappers, stage filesystem).
+    pub fn options_mut(&mut self) -> &mut InstallOptions {
+        &mut self.options
+    }
+
+    /// The install database.
+    pub fn database(&self) -> parking_lot::MutexGuard<'_, Database> {
+        self.db.lock()
+    }
+
+    /// Concretize a spec string into a concrete DAG (Fig. 6/7).
+    pub fn concretize(&self, spec: &str) -> Result<ConcreteDag, Error> {
+        let request = Spec::parse(spec).map_err(Error::Spec)?;
+        Concretizer::new(&self.repos, &self.config)
+            .concretize(&request)
+            .map_err(Error::Concretize)
+    }
+
+    /// Concretize and install (simulated), reusing existing sub-DAGs.
+    pub fn install(&mut self, spec: &str) -> Result<InstallReport, Error> {
+        let dag = self.concretize(spec)?;
+        self.install_concrete(&dag)
+    }
+
+    /// Install an already-concretized DAG, materializing each new
+    /// prefix's file tree in the session store filesystem so views and
+    /// extension activation operate on real content.
+    pub fn install_concrete(&mut self, dag: &ConcreteDag) -> Result<InstallReport, Error> {
+        let report =
+            install_dag(dag, &self.repos, &self.db, &self.options).map_err(Error::Install)?;
+        let hashes = DagHashes::compute(dag);
+        let mut fs = self.fs.lock();
+        let db = self.db.lock();
+        for id in dag.topo_order() {
+            let node = dag.node(id);
+            let Some(rec) = db.get(hashes.node_hash(id)) else {
+                continue;
+            };
+            let prefix = &rec.prefix;
+            if fs.exists(&format!("{prefix}/.spack/spec")) {
+                continue; // already materialized
+            }
+            fs.write_file(&format!("{prefix}/.spack/spec"), rec.specfile.len() as u64);
+            // An executable, a library, and headers — the canonical prefix
+            // shape module files and wrappers expect.
+            fs.write_file(&format!("{prefix}/bin/{}", node.name), 64 * 1024);
+            fs.write_file(&format!("{prefix}/lib/lib{}.so", node.name), 256 * 1024);
+            fs.write_file(&format!("{prefix}/include/{}.h", node.name), 4 * 1024);
+            // Extensions install their modules under the interpreter's
+            // site-packages-relative layout (§4.2).
+            if let Some(pkg) = self.repos.get(&node.name) {
+                if pkg.extends.as_deref() == Some("python") {
+                    let module = node.name.strip_prefix("py-").unwrap_or(&node.name);
+                    fs.write_file(
+                        &format!("{prefix}/lib/python2.7/site-packages/{module}/__init__.py"),
+                        8 * 1024,
+                    );
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// The session store filesystem (prefix contents, views, activations).
+    pub fn filesystem(&self) -> parking_lot::MutexGuard<'_, FsTree> {
+        self.fs.lock()
+    }
+
+    fn find_installed(&self, spec: &str) -> Result<(String, String, String), Error> {
+        let request = Spec::parse(spec).map_err(Error::Spec)?;
+        let db = self.db.lock();
+        let rec = db
+            .query(&request)
+            .first()
+            .copied()
+            .ok_or_else(|| Error::NotInstalled(spec.to_string()))?;
+        Ok((
+            rec.hash.clone(),
+            rec.prefix.clone(),
+            rec.dag.root_node().name.clone(),
+        ))
+    }
+
+    /// Activate an installed extension into an installed extendable
+    /// package (§4.2): `session.activate("py-numpy", "python")`.
+    pub fn activate(&mut self, extension: &str, target: &str) -> Result<usize, Error> {
+        let (ext_hash, ext_prefix, ext_name) = self.find_installed(extension)?;
+        let (tgt_hash, tgt_prefix, _) = self.find_installed(target)?;
+        let pkg = self
+            .repos
+            .get(&ext_name)
+            .ok_or_else(|| Error::NotInstalled(ext_name.clone()))?;
+        if pkg.extends.is_none() {
+            return Err(Error::Store(StoreError::NotAnExtension(ext_name)));
+        }
+        self.extensions
+            .lock()
+            .activate(
+                &mut self.fs.lock(),
+                &tgt_hash,
+                &tgt_prefix,
+                &ext_hash,
+                &ext_prefix,
+                ConflictPolicy::Error,
+            )
+            .map_err(Error::Store)
+    }
+
+    /// Deactivate a previously activated extension.
+    pub fn deactivate(&mut self, extension: &str, target: &str) -> Result<usize, Error> {
+        let (ext_hash, _, _) = self.find_installed(extension)?;
+        let (tgt_hash, _, _) = self.find_installed(target)?;
+        self.extensions
+            .lock()
+            .deactivate(&mut self.fs.lock(), &tgt_hash, &ext_hash)
+            .map_err(Error::Store)
+    }
+}

@@ -1,0 +1,254 @@
+//! Cross-crate integration: the full pipeline from spec text through
+//! concretization, simulated building, the install database, views,
+//! modules, and extensions — exercised through the `Session` façade.
+
+use spack_rs::spec::{DagHashes, Spec};
+use spack_rs::store::{dotkit, module_name, tcl_module, NamingScheme, View, ViewPolicy, ViewRule};
+use spack_rs::Session;
+
+#[test]
+fn install_queries_and_reuse() {
+    let mut session = Session::new();
+    let report = session.install("mpileaks ^mpich").unwrap();
+    assert!(report.built_count() >= 6);
+    assert_eq!(report.reused_count(), 0);
+
+    // Installing the same spec reuses everything.
+    let report = session.install("mpileaks ^mpich").unwrap();
+    assert_eq!(report.built_count(), 0);
+
+    // A different MPI shares the dyninst sub-DAG (Fig. 9).
+    let report = session.install("mpileaks ^openmpi").unwrap();
+    assert!(report.reused_count() >= 3, "reused {}", report.reused_count());
+
+    let db = session.database();
+    assert_eq!(db.query(&Spec::parse("mpileaks").unwrap()).len(), 2);
+    assert_eq!(db.query(&Spec::parse("dyninst").unwrap()).len(), 1);
+    assert_eq!(db.query(&Spec::parse("mpileaks^openmpi").unwrap()).len(), 1);
+}
+
+#[test]
+fn provenance_specfiles_reproduce_installs() {
+    let mut session = Session::new();
+    session.install("libdwarf").unwrap();
+    let db = session.database();
+    let rec = db.query(&Spec::parse("libdwarf").unwrap())[0];
+    // §3.4.3: the stored spec file reproduces the exact build.
+    let dag = spack_rs::spec::serial::from_specfile(&rec.specfile).unwrap();
+    assert_eq!(spack_rs::spec::dag_hash(&dag), rec.hash);
+    assert!(dag.by_name("libelf").is_some());
+}
+
+#[test]
+fn views_and_modules_from_real_installs() {
+    let mut session = Session::new();
+    session.install("mpileaks ^mpich").unwrap();
+    session.install("mpileaks ^openmpi").unwrap();
+    let db = session.database();
+
+    let rules = [ViewRule::for_spec(
+        "/opt/${PACKAGE}-${VERSION}-${MPINAME}",
+        Spec::parse("mpileaks").unwrap(),
+    )];
+    let view = View::compute(&rules, db.iter(), &ViewPolicy::default());
+    assert_eq!(view.links().len(), 2, "one link per MPI");
+    assert!(view
+        .links()
+        .keys()
+        .any(|k| k.contains("mpich") && !k.contains("openmpi")));
+
+    let rec = db.query(&Spec::parse("mpileaks^mpich").unwrap())[0];
+    let dk = dotkit(rec, "tools", "leak detector");
+    assert!(dk.contains(&rec.prefix));
+    let tcl = tcl_module(rec, "leak detector");
+    assert!(tcl.contains("prepend-path PATH"));
+    assert!(module_name(rec).starts_with("mpileaks/"));
+}
+
+#[test]
+fn naming_schemes_agree_with_database_prefixes() {
+    let mut session = Session::new();
+    session.install("libelf").unwrap();
+    let db = session.database();
+    let rec = db.query(&Spec::parse("libelf").unwrap())[0];
+    let hashes = DagHashes::compute(&rec.dag);
+    let expected = NamingScheme::SpackDefault.prefix_for(
+        "/spack/opt",
+        &rec.dag,
+        rec.dag.root(),
+        &hashes,
+    );
+    assert_eq!(rec.prefix, expected);
+    assert!(rec.prefix.contains("linux-x86_64"));
+    assert!(rec.prefix.ends_with(hashes.short(rec.dag.root())));
+}
+
+#[test]
+fn corrupted_downloads_abort_install() {
+    let mut session = Session::new();
+    session.options_mut().mirror = spack_rs::buildenv::Mirror::corrupting();
+    let err = session.install("zlib").unwrap_err();
+    assert!(err.to_string().contains("md5 mismatch"), "{err}");
+    assert_eq!(session.database().len(), 0);
+}
+
+#[test]
+fn bgq_python_gets_platform_patches() {
+    // §3.2.4/§4.4: Python on BG/Q with XL needs platform patches.
+    let mut session = Session::new();
+    session
+        .config_mut()
+        .register_compiler("gcc", "4.9.3", &["bgq"]);
+    let dag = session.concretize("python@2.7.9 %xl =bgq").unwrap();
+    assert_eq!(dag.root_node().architecture, "bgq");
+    let report = session.install_concrete(&dag).unwrap();
+    let python = report
+        .builds
+        .iter()
+        .find(|b| b.name == "python")
+        .expect("python built");
+    assert_eq!(python.patches, vec!["python-bgq-xlc.patch".to_string()]);
+}
+
+#[test]
+fn uninstall_protects_dependents() {
+    let mut session = Session::new();
+    session.install("libdwarf").unwrap();
+    let (libelf_hash, libdwarf_hash) = {
+        let db = session.database();
+        (
+            db.query(&Spec::parse("libelf").unwrap())[0].hash.clone(),
+            db.query(&Spec::parse("libdwarf").unwrap())[0].hash.clone(),
+        )
+    };
+    let mut db = session.database();
+    assert!(db.uninstall(&libelf_hash).is_err(), "libdwarf still needs it");
+    db.uninstall(&libdwarf_hash).unwrap();
+    db.uninstall(&libelf_hash).unwrap();
+    assert!(db.is_empty());
+}
+
+#[test]
+fn parallel_installs_are_deterministic_in_virtual_time() {
+    let mut one = Session::new();
+    one.options_mut().jobs = 1;
+    let mut many = Session::new();
+    many.options_mut().jobs = 8;
+    let a = one.install("openspeedshop").unwrap();
+    let b = many.install("openspeedshop").unwrap();
+    assert_eq!(a.builds.len(), b.builds.len());
+    assert!((a.serial_seconds - b.serial_seconds).abs() < 1e-9);
+    assert!((a.critical_path_seconds - b.critical_path_seconds).abs() < 1e-9);
+}
+
+#[test]
+fn build_logs_are_stored_for_provenance() {
+    // §3.4.3: the prefix keeps the build log alongside the spec file.
+    let mut session = Session::new();
+    session.install("libdwarf").unwrap();
+    let db = session.database();
+    let rec = db.query(&Spec::parse("libdwarf").unwrap())[0];
+    let log = rec.build_log.as_ref().expect("log attached");
+    assert!(log.contains("==> building libdwarf@"));
+    assert!(log.contains("verified"));
+    assert!(log.contains("==> dependency libelf at /spack/opt/"));
+    assert!(log.contains("installed successfully"));
+    // Dependencies get their own logs too.
+    let libelf = db.query(&Spec::parse("libelf").unwrap())[0];
+    assert!(libelf.build_log.is_some());
+}
+
+#[test]
+fn bgq_builds_carry_platform_flags_in_wrapper() {
+    // §4.5 platform descriptions + Fig. 12: XL on BG/Q links dynamically.
+    use spack_rs::buildenv::PlatformRegistry;
+    let mut session = Session::new();
+    session.config_mut().register_compiler("gcc", "4.9.3", &["bgq"]);
+    let dag = session.concretize("libelf %xl =bgq").unwrap();
+    let wrapper = PlatformRegistry::with_defaults().wrapper_for(dag.root_node(), &[]);
+    let argv = wrapper.rewrite(
+        spack_rs::buildenv::Language::C,
+        &["-o".to_string(), "x".to_string(), "x.c".to_string()],
+    );
+    assert!(argv.contains(&"-qnostaticlink".to_string()));
+}
+
+#[test]
+fn session_materializes_prefixes_and_activates_extensions() {
+    // §4.2 through the façade: install python + numpy, activate, inspect
+    // the interpreter's site-packages, deactivate back to pristine.
+    let mut session = Session::new();
+    session.install("python@2.7.9").unwrap();
+    session.install("py-numpy ^python@2.7.9").unwrap();
+
+    let py_prefix = {
+        let db = session.database();
+        db.query(&Spec::parse("python").unwrap())[0].prefix.clone()
+    };
+    // The install materialized canonical prefix content.
+    {
+        let fs = session.filesystem();
+        assert!(fs.exists(&format!("{py_prefix}/bin/python")));
+        assert!(fs.exists(&format!("{py_prefix}/.spack/spec")));
+    }
+
+    let linked = session.activate("py-numpy", "python").unwrap();
+    assert!(linked >= 1);
+    {
+        let fs = session.filesystem();
+        let site = format!("{py_prefix}/lib/python2.7/site-packages");
+        assert!(
+            fs.list(&site).iter().any(|f| f.contains("numpy")),
+            "numpy visible in the interpreter: {:?}",
+            fs.list(&site)
+        );
+    }
+
+    // Double activation fails; deactivation restores pristine state.
+    assert!(session.activate("py-numpy", "python").is_err());
+    let removed = session.deactivate("py-numpy", "python").unwrap();
+    assert_eq!(removed, linked);
+    let fs = session.filesystem();
+    let site = format!("{py_prefix}/lib/python2.7/site-packages");
+    assert!(fs.list(&site).is_empty());
+}
+
+#[test]
+fn activating_a_non_extension_is_refused() {
+    let mut session = Session::new();
+    session.install("libelf").unwrap();
+    session.install("python@2.7.9").unwrap();
+    let err = session.activate("libelf", "python").unwrap_err();
+    assert!(err.to_string().contains("not an extension"), "{err}");
+    let err = session.activate("py-numpy", "python").unwrap_err();
+    assert!(err.to_string().contains("not installed"), "{err}");
+}
+
+#[test]
+fn detected_toolchains_feed_the_concretizer() {
+    // §3.2.3: "Spack can auto-detect compiler toolchains in the user's
+    // PATH" — detection output plugs straight into the configuration.
+    use spack_rs::buildenv::detect_toolchains;
+    use spack_rs::concretize::{Concretizer, Config};
+    let exes = [
+        "/opt/compilers/bin/gcc-5.2.0".to_string(),
+        "/opt/compilers/bin/g++-5.2.0".to_string(),
+        "/opt/compilers/bin/gfortran-5.2.0".to_string(),
+    ];
+    let toolchains = detect_toolchains(&exes, |_| None);
+    assert_eq!(toolchains.len(), 1);
+
+    let mut config = Config::new();
+    for tc in toolchains {
+        config.register_concrete_compiler(tc.compiler, &[]);
+    }
+    config
+        .push_scope_text("site", "arch = linux-x86_64\ncompiler = gcc\n")
+        .unwrap();
+    let session = Session::new();
+    let repos = session.repos().clone();
+    let dag = Concretizer::new(&repos, &config)
+        .concretize(&Spec::parse("libelf").unwrap())
+        .unwrap();
+    assert_eq!(dag.root_node().compiler.to_string(), "gcc@5.2.0");
+}

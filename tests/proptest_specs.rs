@@ -1,0 +1,233 @@
+//! Property-based tests (proptest) on the spec layer's core invariants:
+//! the grammar round-trips, version ordering is a total order consistent
+//! with range semantics, and the constraint algebra (satisfies /
+//! intersects / constrain) is internally coherent.
+
+use proptest::prelude::*;
+use spack_rs::spec::version::parse_range;
+use spack_rs::spec::{Spec, Version, VersionList};
+
+// ---------- generators ------------------------------------------------------
+
+fn version_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..30, 1..4).prop_map(|parts| {
+        parts
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    })
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,8}(-[a-z0-9]{1,4})?".prop_map(|s| s)
+}
+
+prop_compose! {
+    fn spec_strategy()(
+        name in name_strategy(),
+        version in proptest::option::of(version_strategy()),
+        compiler in proptest::option::of(("[a-z]{2,5}", proptest::option::of(version_strategy()))),
+        variants in proptest::collection::btree_map("[a-z]{2,6}", any::<bool>(), 0..3),
+        arch in proptest::option::of("[a-z]{3,6}(-[a-z0-9]{2,6})?"),
+        deps in proptest::collection::vec(
+            (name_strategy(), proptest::option::of(version_strategy())),
+            0..3
+        ),
+    ) -> String {
+        let mut s = name;
+        if let Some(v) = version {
+            s.push('@');
+            s.push_str(&v);
+        }
+        if let Some((c, cv)) = compiler {
+            s.push('%');
+            s.push_str(&c);
+            if let Some(cv) = cv {
+                s.push('@');
+                s.push_str(&cv);
+            }
+        }
+        for (var, on) in variants {
+            s.push(if on { '+' } else { '~' });
+            s.push_str(&var);
+        }
+        if let Some(a) = arch {
+            s.push('=');
+            s.push_str(&a);
+        }
+        for (dep, dv) in deps {
+            s.push_str(" ^");
+            s.push_str(&dep);
+            if let Some(dv) = dv {
+                s.push('@');
+                s.push_str(&dv);
+            }
+        }
+        s
+    }
+}
+
+// ---------- grammar properties ----------------------------------------------
+
+proptest! {
+    #[test]
+    fn parse_format_roundtrip(text in spec_strategy()) {
+        // Generated specs can carry duplicate variant/dep names that the
+        // parser legitimately rejects as conflicts; only successful parses
+        // must round-trip.
+        if let Ok(spec) = Spec::parse(&text) {
+            let formatted = spec.to_string();
+            let reparsed = Spec::parse(&formatted)
+                .expect("canonical form must re-parse");
+            prop_assert_eq!(&spec, &reparsed, "text: {} formatted: {}", text, formatted);
+            // Formatting is a fixpoint.
+            prop_assert_eq!(formatted.clone(), reparsed.to_string());
+        }
+    }
+
+    #[test]
+    fn version_roundtrip_and_identity(a in version_strategy()) {
+        let v = Version::new(&a).unwrap();
+        prop_assert_eq!(v.to_string(), a);
+        let again = Version::new(&v.to_string()).unwrap();
+        prop_assert_eq!(v, again);
+    }
+
+    #[test]
+    fn version_ordering_is_total_and_antisymmetric(
+        a in version_strategy(),
+        b in version_strategy(),
+    ) {
+        let (va, vb) = (Version::new(&a).unwrap(), Version::new(&b).unwrap());
+        let ab = va.version_cmp(&vb);
+        let ba = vb.version_cmp(&va);
+        prop_assert_eq!(ab, ba.reverse());
+        prop_assert_eq!(ab == std::cmp::Ordering::Equal, va == vb);
+    }
+
+    #[test]
+    fn version_ordering_transitive(
+        a in version_strategy(),
+        b in version_strategy(),
+        c in version_strategy(),
+    ) {
+        let mut vs = [
+            Version::new(&a).unwrap(),
+            Version::new(&b).unwrap(),
+            Version::new(&c).unwrap(),
+        ];
+        vs.sort();
+        prop_assert!(vs[0] <= vs[1] && vs[1] <= vs[2] && vs[0] <= vs[2]);
+    }
+
+    // ---------- range semantics ----------
+
+    #[test]
+    fn point_version_within_its_own_range(v in version_strategy()) {
+        let version = Version::new(&v).unwrap();
+        let range = parse_range(&v).unwrap();
+        prop_assert!(range.contains(&version));
+        let open_up = parse_range(&format!("{v}:")).unwrap();
+        prop_assert!(open_up.contains(&version));
+        let open_down = parse_range(&format!(":{v}")).unwrap();
+        prop_assert!(open_down.contains(&version));
+    }
+
+    #[test]
+    fn range_intersection_soundness(
+        a in version_strategy(),
+        b in version_strategy(),
+        probe in version_strategy(),
+    ) {
+        let (lo, hi) = {
+            let va = Version::new(&a).unwrap();
+            let vb = Version::new(&b).unwrap();
+            if va <= vb { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) }
+        };
+        let r1 = parse_range(&format!("{lo}:")).unwrap();
+        let r2 = parse_range(&format!(":{hi}")).unwrap();
+        let p = Version::new(&probe).unwrap();
+        match r1.intersect(&r2) {
+            Some(meet) => {
+                // Membership in the intersection == membership in both.
+                prop_assert_eq!(meet.contains(&p), r1.contains(&p) && r2.contains(&p));
+            }
+            None => {
+                prop_assert!(!(r1.contains(&p) && r2.contains(&p)));
+            }
+        }
+    }
+
+    #[test]
+    fn version_list_intersection_agrees_with_membership(
+        xs in proptest::collection::vec(version_strategy(), 1..4),
+        ys in proptest::collection::vec(version_strategy(), 1..4),
+        probe in version_strategy(),
+    ) {
+        let la = VersionList::parse(&xs.join(",")).unwrap();
+        let lb = VersionList::parse(&ys.join(",")).unwrap();
+        let p = Version::new(&probe).unwrap();
+        let mut meet = la.clone();
+        match meet.intersect_with(&lb) {
+            Ok(_) => {
+                // The intersection accepts exactly the common versions,
+                // modulo prefix-inclusive upper bounds which can only
+                // widen point matches consistently in both lists.
+                if meet.contains(&p) {
+                    prop_assert!(la.contains(&p) && lb.contains(&p));
+                }
+            }
+            Err(_) => {
+                prop_assert!(!(la.contains(&p) && lb.contains(&p)));
+            }
+        }
+    }
+
+    // ---------- constraint algebra ----------
+
+    #[test]
+    fn satisfies_implies_intersects(a in spec_strategy(), b in spec_strategy()) {
+        if let (Ok(sa), Ok(sb)) = (Spec::parse(&a), Spec::parse(&b)) {
+            if sa.satisfies(&sb) {
+                prop_assert!(sa.intersects(&sb), "{} satisfies but not intersects {}", sa, sb);
+            }
+        }
+    }
+
+    #[test]
+    fn constrain_result_satisfies_inputs_versionwise(
+        name in name_strategy(),
+        v1 in version_strategy(),
+        v2 in version_strategy(),
+    ) {
+        let a = Spec::parse(&format!("{name}@{v1}:")).unwrap();
+        let b = Spec::parse(&format!("{name}@:{v2}")).unwrap();
+        let mut merged = a.clone();
+        if merged.constrain(&b).is_ok() {
+            prop_assert!(merged.versions.is_subset_of(&a.versions));
+            prop_assert!(merged.versions.is_subset_of(&b.versions));
+        }
+    }
+
+    #[test]
+    fn constrain_is_idempotent(a in spec_strategy(), b in spec_strategy()) {
+        if let (Ok(sa), Ok(sb)) = (Spec::parse(&a), Spec::parse(&b)) {
+            let mut once = sa.clone();
+            if once.constrain(&sb).is_ok() {
+                let mut twice = once.clone();
+                let changed = twice.constrain(&sb).expect("second apply cannot conflict");
+                prop_assert!(!changed, "constrain not idempotent for {} + {}", sa, sb);
+                prop_assert_eq!(once, twice);
+            }
+        }
+    }
+
+    #[test]
+    fn self_satisfaction(a in spec_strategy()) {
+        if let Ok(spec) = Spec::parse(&a) {
+            prop_assert!(spec.satisfies(&spec));
+            prop_assert!(spec.intersects(&spec));
+        }
+    }
+}
