@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate for spack-rs. Run locally before pushing; the GitHub workflow
+# in .github/workflows/ci.yml runs the same steps.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release
+run cargo test -q --workspace
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo fmt --check
+# The repository must stay audit-clean: exit code is the error count.
+run cargo run -q -p spack-cli --bin spack-rs -- audit
+
+echo "==> CI green"

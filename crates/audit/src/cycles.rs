@@ -1,0 +1,226 @@
+//! Cycle detection over the name-level dependency graph.
+//!
+//! Concrete DAGs are acyclic by construction, but the *package-level*
+//! graph — "libdwarf's recipe mentions libelf" — can contain cycles the
+//! concretizer would only discover at solve time, deep in a user's
+//! session. The auditor finds them statically. A cycle composed entirely
+//! of unconditional `depends_on` edges can never concretize; a cycle
+//! broken by `when=` predicates may be fine (the conditions may be
+//! mutually exclusive), so it is reported at a lower severity.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Name-level adjacency: package → (dependency, edge-is-conditional).
+/// Only real (non-virtual) packages appear on either side.
+pub(crate) type DepGraph = BTreeMap<String, Vec<(String, bool)>>;
+
+/// One representative cycle through the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Cycle {
+    /// Package names in order; the last element depends back on the first.
+    pub path: Vec<String>,
+    /// True when at least one edge on the cycle has a `when=` predicate.
+    pub conditional: bool,
+}
+
+impl Cycle {
+    /// `a -> b -> c -> a` rendering.
+    pub fn render(&self) -> String {
+        let mut out = self.path.join(" -> ");
+        out.push_str(" -> ");
+        out.push_str(&self.path[0]);
+        out
+    }
+}
+
+/// Nodes that lie on at least one cycle, found by Kahn's algorithm:
+/// repeatedly strip nodes with no remaining incoming edges; whatever
+/// survives is cyclic (or downstream-of-cyclic within the core).
+fn cyclic_core(graph: &DepGraph) -> BTreeSet<&str> {
+    let mut indegree: BTreeMap<&str, usize> = graph.keys().map(|k| (k.as_str(), 0)).collect();
+    for edges in graph.values() {
+        for (to, _) in edges {
+            if let Some(d) = indegree.get_mut(to.as_str()) {
+                *d += 1;
+            }
+        }
+    }
+    let mut queue: Vec<&str> = indegree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    let mut remaining: BTreeSet<&str> = graph.keys().map(|k| k.as_str()).collect();
+    while let Some(n) = queue.pop() {
+        remaining.remove(n);
+        for (to, _) in &graph[n] {
+            if let Some(d) = indegree.get_mut(to.as_str()) {
+                if *d > 0 {
+                    *d -= 1;
+                    if *d == 0 && remaining.contains(to.as_str()) {
+                        queue.push(to.as_str());
+                    }
+                }
+            }
+        }
+    }
+    // Strip the other direction too: nodes in `remaining` that have no
+    // outgoing edge into `remaining` are tails hanging off the core.
+    loop {
+        let dead: Vec<&str> = remaining
+            .iter()
+            .filter(|&&n| {
+                !graph[n]
+                    .iter()
+                    .any(|(to, _)| remaining.contains(to.as_str()))
+            })
+            .copied()
+            .collect();
+        if dead.is_empty() {
+            break;
+        }
+        for n in dead {
+            remaining.remove(n);
+        }
+    }
+    remaining
+}
+
+/// Extract one representative cycle per cyclic region of the graph.
+/// Deterministic: starts are visited in name order and unconditional
+/// edges are preferred, so a fully-unconditional cycle is reported as
+/// such whenever one exists through the start node.
+pub(crate) fn find_cycles(graph: &DepGraph) -> Vec<Cycle> {
+    let core = cyclic_core(graph);
+    let mut cycles = Vec::new();
+    let mut claimed: BTreeSet<&str> = BTreeSet::new();
+    for &start in &core {
+        if claimed.contains(start) {
+            continue;
+        }
+        // Iterative DFS restricted to the cyclic core. The path records
+        // (node, conditional-flag-of-edge-into-node).
+        let mut path: Vec<(&str, bool)> = vec![(start, false)];
+        let mut on_path: BTreeSet<&str> = [start].into();
+        // Per-path-frame iterator position over sorted neighbors.
+        let mut neighbors: Vec<Vec<(&str, bool)>> = vec![sorted_neighbors(graph, &core, start)];
+        let mut found: Option<Cycle> = None;
+        while let Some(frame) = neighbors.last_mut() {
+            let Some((next, cond)) = frame.pop() else {
+                let (left, _) = path.pop().unwrap();
+                on_path.remove(left);
+                neighbors.pop();
+                continue;
+            };
+            if let Some(pos) = path.iter().position(|&(n, _)| n == next) {
+                // Closed a loop: the cycle is path[pos..] with the closing
+                // edge's conditionality folded in.
+                let slice = &path[pos..];
+                let conditional = cond || slice.iter().skip(1).any(|&(_, c)| c);
+                found = Some(Cycle {
+                    path: slice.iter().map(|&(n, _)| n.to_string()).collect(),
+                    conditional,
+                });
+                break;
+            }
+            path.push((next, cond));
+            on_path.insert(next);
+            neighbors.push(sorted_neighbors(graph, &core, next));
+        }
+        if let Some(cycle) = found {
+            for name in &cycle.path {
+                // Borrow from the graph's keys so lifetimes line up.
+                if let Some((k, _)) = graph.get_key_value(name.as_str()) {
+                    claimed.insert(k.as_str());
+                }
+            }
+            cycles.push(cycle);
+        }
+    }
+    cycles
+}
+
+/// Neighbors of `n` inside the cyclic core, ordered so that unconditional
+/// edges are tried first (popped last → pushed last). `pop()` takes from
+/// the back, so sort conditional-first / name-descending.
+fn sorted_neighbors<'g>(
+    graph: &'g DepGraph,
+    core: &BTreeSet<&'g str>,
+    n: &str,
+) -> Vec<(&'g str, bool)> {
+    let mut out: Vec<(&str, bool)> = graph[n]
+        .iter()
+        .filter(|(to, _)| core.contains(to.as_str()))
+        .map(|(to, c)| (to.as_str(), *c))
+        .collect();
+    out.sort_by(|a, b| (b.1, b.0).cmp(&(a.1, a.0)));
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(edges: &[(&str, &str, bool)]) -> DepGraph {
+        let mut g = DepGraph::new();
+        for &(from, to, cond) in edges {
+            g.entry(from.to_string()).or_default();
+            g.entry(to.to_string()).or_default();
+            g.get_mut(from).unwrap().push((to.to_string(), cond));
+        }
+        g
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let g = graph(&[("a", "b", false), ("b", "c", false), ("a", "c", false)]);
+        assert!(find_cycles(&g).is_empty());
+    }
+
+    #[test]
+    fn simple_unconditional_cycle() {
+        let g = graph(&[("a", "b", false), ("b", "a", false)]);
+        let cycles = find_cycles(&g);
+        assert_eq!(cycles.len(), 1);
+        assert!(!cycles[0].conditional);
+        assert_eq!(cycles[0].render(), "a -> b -> a");
+    }
+
+    #[test]
+    fn conditional_edge_marks_cycle_conditional() {
+        let g = graph(&[("a", "b", false), ("b", "c", true), ("c", "a", false)]);
+        let cycles = find_cycles(&g);
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].conditional);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = graph(&[("a", "a", false), ("a", "b", false)]);
+        let cycles = find_cycles(&g);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].path, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn disjoint_cycles_are_each_reported() {
+        let g = graph(&[
+            ("a", "b", false),
+            ("b", "a", false),
+            ("x", "y", true),
+            ("y", "x", false),
+        ]);
+        let cycles = find_cycles(&g);
+        assert_eq!(cycles.len(), 2);
+    }
+
+    #[test]
+    fn tails_into_a_cycle_are_not_part_of_it() {
+        // d -> a -> b -> a; d is upstream of the cycle, not on it.
+        let g = graph(&[("d", "a", false), ("a", "b", false), ("b", "a", false)]);
+        let cycles = find_cycles(&g);
+        assert_eq!(cycles.len(), 1);
+        assert!(!cycles[0].path.contains(&"d".to_string()));
+    }
+}

@@ -1,0 +1,335 @@
+//! # spack-audit
+//!
+//! Static analysis over package repositories: a multi-pass auditor that
+//! walks every visible [`spack_package::PackageDef`] in a
+//! [`spack_package::RepoStack`] — plus the cross-package dependency
+//! graph — and reports recipe defects *before* any user hits them at
+//! concretization or install time.
+//!
+//! The SC'15 paper's position is that package recipes are code; code
+//! deserves linting. A repository accumulates hundreds of recipes
+//! written by many hands (§6 reports 480+ packages across Spack's early
+//! forks), and the directive DSL makes it easy to declare conditions
+//! that can never fire, dependencies that can never resolve, or version
+//! ranges that no release satisfies. Each such defect is invisible until
+//! someone asks for exactly the wrong spec. The auditor finds them all
+//! at once, statically.
+//!
+//! Every finding carries a stable code (`AUD001`..`AUD010`), a severity,
+//! the package and directive at fault, and a human-readable message; the
+//! report renders as text or JSON. See [`passes`] for the code table.
+//!
+//! ```
+//! use spack_audit::audit_repo;
+//! use spack_package::{PackageBuilder, Repository, RepoStack};
+//!
+//! let mut repo = Repository::new("site");
+//! repo.register(
+//!     PackageBuilder::new("broken")
+//!         .version_unchecked("1.0")
+//!         .depends_on("no-such-package")
+//!         .build()
+//!         .unwrap(),
+//! ).unwrap();
+//! let report = audit_repo(&RepoStack::with_builtin(repo));
+//! assert!(!report.is_clean());
+//! assert_eq!(report.with_code("AUD001").len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cycles;
+pub mod passes;
+pub mod report;
+
+pub use passes::{Auditor, CONVENTIONAL_VIRTUALS};
+pub use report::{AuditReport, Diagnostic, Severity};
+
+use spack_package::RepoStack;
+
+/// Run every audit pass over the visible packages of `repos` and return
+/// the finalized report.
+pub fn audit_repo(repos: &RepoStack) -> AuditReport {
+    Auditor::new(repos).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_package::{PackageBuilder, PackageDef, Repository};
+
+    /// A repo stack holding exactly the given fixture packages.
+    fn stack(pkgs: Vec<PackageDef>) -> RepoStack {
+        let mut repo = Repository::new("fixture");
+        for p in pkgs {
+            repo.register(p).unwrap();
+        }
+        RepoStack::with_builtin(repo)
+    }
+
+    fn pkg(name: &str) -> PackageBuilder {
+        PackageBuilder::new(name).version_unchecked("1.0")
+    }
+
+    #[test]
+    fn aud001_unknown_dependency_name() {
+        let repos = stack(vec![pkg("a").depends_on("no-such-thing").build().unwrap()]);
+        let report = audit_repo(&repos);
+        let hits = report.with_code("AUD001");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Error);
+        assert_eq!(hits[0].package, "a");
+        assert!(hits[0].message.contains("no-such-thing"));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn aud001_not_raised_for_provided_virtuals() {
+        // `fastio` is no conventional virtual, but a provider makes it one.
+        let repos = stack(vec![
+            pkg("a").depends_on("fastio").build().unwrap(),
+            pkg("iolib").provides("fastio").build().unwrap(),
+        ]);
+        let report = audit_repo(&repos);
+        assert!(report.with_code("AUD001").is_empty());
+    }
+
+    #[test]
+    fn aud002_virtual_with_no_provider() {
+        let repos = stack(vec![pkg("a").depends_on("mpi").build().unwrap()]);
+        let report = audit_repo(&repos);
+        let hits = report.with_code("AUD002");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Error);
+        assert!(hits[0]
+            .message
+            .contains("no package in the repository provides"));
+        // It is a *known* virtual, so AUD001 must not also fire.
+        assert!(report.with_code("AUD001").is_empty());
+    }
+
+    #[test]
+    fn aud002_suppressed_once_a_provider_exists() {
+        let repos = stack(vec![
+            pkg("a").depends_on("mpi").build().unwrap(),
+            pkg("mpich").provides("mpi").build().unwrap(),
+        ]);
+        assert!(audit_repo(&repos).with_code("AUD002").is_empty());
+    }
+
+    #[test]
+    fn aud003_dep_version_range_matches_nothing() {
+        let repos = stack(vec![
+            pkg("a").depends_on("b@3:").build().unwrap(),
+            PackageBuilder::new("b")
+                .version_unchecked("1.0")
+                .version_unchecked("2.0")
+                .build()
+                .unwrap(),
+        ]);
+        let report = audit_repo(&repos);
+        let hits = report.with_code("AUD003");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Error);
+        assert!(
+            hits[0].message.contains("declared versions (2.0, 1.0)")
+                || hits[0].message.contains("declared versions (1.0, 2.0)")
+        );
+    }
+
+    #[test]
+    fn aud003_virtual_interface_versions_checked_against_providers() {
+        let repos = stack(vec![
+            pkg("a").depends_on("mpi@3:").build().unwrap(),
+            pkg("mpich").provides("mpi@:2.2").build().unwrap(),
+        ]);
+        let report = audit_repo(&repos);
+        assert_eq!(report.with_code("AUD003").len(), 1);
+
+        // A provider covering MPI 3 silences it.
+        let repos = stack(vec![
+            pkg("a").depends_on("mpi@3:").build().unwrap(),
+            pkg("mpich").provides("mpi@:2.2").build().unwrap(),
+            pkg("openmpi").provides("mpi@:3.1").build().unwrap(),
+        ]);
+        assert!(audit_repo(&repos).with_code("AUD003").is_empty());
+    }
+
+    #[test]
+    fn aud004_when_condition_on_undeclared_variant() {
+        let repos = stack(vec![
+            pkg("a")
+                .variant("debug", false, "debug build")
+                .depends_on_when("b", "+fast")
+                .build()
+                .unwrap(),
+            pkg("b").build().unwrap(),
+        ]);
+        let report = audit_repo(&repos);
+        let hits = report.with_code("AUD004");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Error);
+        assert!(hits[0].message.contains("`fast`"));
+    }
+
+    #[test]
+    fn aud004_covers_patch_provides_conflicts_and_install_rules() {
+        let repos = stack(vec![pkg("a")
+            .patch_when("fix.patch", "+p1")
+            .provides_when("mpi", "+p2")
+            .conflicts("+p3", "never builds")
+            .install_when("+p4", spack_package::BuildRecipe::autotools())
+            .build()
+            .unwrap()]);
+        let report = audit_repo(&repos);
+        assert_eq!(report.with_code("AUD004").len(), 4);
+    }
+
+    #[test]
+    fn aud005_default_variants_trip_own_conflict() {
+        let repos = stack(vec![pkg("a")
+            .variant("debug", true, "debug build")
+            .conflicts("+debug", "debug builds are broken on this release")
+            .build()
+            .unwrap()]);
+        let report = audit_repo(&repos);
+        let hits = report.with_code("AUD005");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Warn);
+        assert!(hits[0].message.contains("default configuration"));
+
+        // Flip the default: conflict no longer triggered by default config.
+        let repos = stack(vec![pkg("a")
+            .variant("debug", false, "debug build")
+            .conflicts("+debug", "debug builds are broken on this release")
+            .build()
+            .unwrap()]);
+        assert!(audit_repo(&repos).with_code("AUD005").is_empty());
+    }
+
+    #[test]
+    fn aud006_unconditional_cycle_is_an_error() {
+        let repos = stack(vec![
+            pkg("a").depends_on("b").build().unwrap(),
+            pkg("b").depends_on("a").build().unwrap(),
+        ]);
+        let report = audit_repo(&repos);
+        let hits = report.with_code("AUD006");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Error);
+        assert!(hits[0].message.contains("a -> b -> a"));
+    }
+
+    #[test]
+    fn aud006_conditional_cycle_is_a_warning() {
+        let repos = stack(vec![
+            pkg("a")
+                .variant("withb", false, "pull in b")
+                .depends_on_when("b", "+withb")
+                .build()
+                .unwrap(),
+            pkg("b").depends_on("a").build().unwrap(),
+        ]);
+        let report = audit_repo(&repos);
+        let hits = report.with_code("AUD006");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn aud007_exact_duplicate_is_a_warning() {
+        let repos = stack(vec![
+            pkg("a").depends_on("b").depends_on("b").build().unwrap(),
+            pkg("b").build().unwrap(),
+        ]);
+        let report = audit_repo(&repos);
+        let hits = report.with_code("AUD007");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn aud007_contradictory_duplicates_are_an_error() {
+        let repos = stack(vec![
+            pkg("a")
+                .depends_on("b@1.0")
+                .depends_on("b@2.0")
+                .build()
+                .unwrap(),
+            PackageBuilder::new("b")
+                .version_unchecked("1.0")
+                .version_unchecked("2.0")
+                .build()
+                .unwrap(),
+        ]);
+        let report = audit_repo(&repos);
+        let hits = report.with_code("AUD007");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Error);
+        assert!(hits[0].message.contains("cannot both hold"));
+    }
+
+    #[test]
+    fn aud008_dead_version_guard() {
+        let repos = stack(vec![pkg("a")
+            .patch_when("old-compilers.patch", "@2:")
+            .build()
+            .unwrap()]);
+        let report = audit_repo(&repos);
+        let hits = report.with_code("AUD008");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Warn);
+        assert!(hits[0].message.contains("dead"));
+    }
+
+    #[test]
+    fn aud008_live_version_guard_is_silent() {
+        let repos = stack(vec![pkg("a")
+            .version_unchecked("2.1")
+            .patch_when("old-compilers.patch", "@2:")
+            .build()
+            .unwrap()]);
+        assert!(audit_repo(&repos).with_code("AUD008").is_empty());
+    }
+
+    #[test]
+    fn aud009_dep_sets_variant_target_lacks() {
+        let repos = stack(vec![
+            pkg("a").depends_on("b+shared").build().unwrap(),
+            pkg("b").build().unwrap(),
+        ]);
+        let report = audit_repo(&repos);
+        let hits = report.with_code("AUD009");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Warn);
+        assert!(hits[0].message.contains("`shared`"));
+    }
+
+    #[test]
+    fn aud010_provided_but_unused_virtual() {
+        let repos = stack(vec![pkg("mpich").provides("mpi").build().unwrap()]);
+        let report = audit_repo(&repos);
+        let hits = report.with_code("AUD010");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Info);
+        assert_eq!(hits[0].package, "mpich");
+        // Info findings do not make the repository dirty.
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn healthy_repo_is_fully_quiet() {
+        let repos = stack(vec![
+            pkg("app")
+                .variant("fast", true, "optimized build")
+                .depends_on("lib@1:")
+                .depends_on("mpi")
+                .build()
+                .unwrap(),
+            pkg("lib").build().unwrap(),
+            pkg("mpich").provides("mpi@:3").build().unwrap(),
+        ]);
+        let report = audit_repo(&repos);
+        assert!(report.is_empty(), "{}", report.render_text());
+    }
+}

@@ -1,0 +1,567 @@
+//! The audit passes: each walks the package set (and, for AUD006, the
+//! cross-package dependency graph) and appends diagnostics to a report.
+//!
+//! | Code   | Severity | Finding |
+//! |--------|----------|---------|
+//! | AUD001 | error    | dependency names neither a package nor a provided virtual |
+//! | AUD002 | error    | known virtual depended on but no package provides it |
+//! | AUD003 | error    | dependency version constraint admits none of the target's versions |
+//! | AUD004 | error    | `when=` condition references a variant the package never declares |
+//! | AUD005 | warn     | default-variant configuration trips the package's own `conflicts()` |
+//! | AUD006 | error/warn | dependency cycle in the package graph (warn when `when=`-broken) |
+//! | AUD007 | warn/error | duplicate directives (error when their constraints conflict) |
+//! | AUD008 | warn     | self-referential version constraint matches no declared version |
+//! | AUD009 | warn     | dependency spec sets a variant the target never declares |
+//! | AUD010 | info     | virtual is provided but nothing in the repository depends on it |
+
+use crate::cycles::{find_cycles, DepGraph};
+use crate::report::{AuditReport, Diagnostic, Severity};
+use spack_package::{DepKind, DependencyDirective, PackageDef, RepoStack};
+use spack_spec::{Spec, Version, VersionList};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Virtual names that are conventionally virtual interfaces in HPC stacks
+/// (SC'15 §3.3). A dependency on one of these with no registered provider
+/// is reported as a missing provider (AUD002) rather than an unknown
+/// package (AUD001).
+pub const CONVENTIONAL_VIRTUALS: &[&str] = &["blas", "fft", "lapack", "mpi"];
+
+/// The multi-pass repository auditor. Construct with [`Auditor::new`],
+/// run every pass with [`Auditor::run`], or call individual `pass_*`
+/// methods to scope the analysis.
+pub struct Auditor<'a> {
+    packages: Vec<&'a Arc<PackageDef>>,
+    /// Real package names visible in the stack.
+    names: BTreeSet<&'a str>,
+    /// Virtual name → providers (packages with a `provides()` for it).
+    providers: BTreeMap<&'a str, Vec<&'a str>>,
+}
+
+impl<'a> Auditor<'a> {
+    /// Index the visible packages of a repository stack (shadowed
+    /// packages in lower repos are not audited — site overrides replace
+    /// them, exactly as concretization would see it).
+    pub fn new(repos: &'a RepoStack) -> Auditor<'a> {
+        let mut packages = repos.visible_packages();
+        packages.sort_by(|a, b| a.name.cmp(&b.name));
+        let names = packages.iter().map(|p| p.name.as_str()).collect();
+        let mut providers: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for pkg in &packages {
+            for p in &pkg.provides {
+                if let Some(v) = p.vspec.name.as_deref() {
+                    providers.entry(v).or_default().push(pkg.name.as_str());
+                }
+            }
+        }
+        Auditor {
+            packages,
+            names,
+            providers,
+        }
+    }
+
+    /// Run every pass and return the finalized report.
+    pub fn run(&self) -> AuditReport {
+        let mut report = AuditReport::new();
+        self.pass_unknown_dependencies(&mut report);
+        self.pass_unprovided_virtuals(&mut report);
+        self.pass_unsatisfiable_dep_versions(&mut report);
+        self.pass_undeclared_when_variants(&mut report);
+        self.pass_default_conflicts(&mut report);
+        self.pass_dependency_cycles(&mut report);
+        self.pass_duplicate_directives(&mut report);
+        self.pass_dead_self_versions(&mut report);
+        self.pass_undeclared_dep_variants(&mut report);
+        self.pass_unused_virtuals(&mut report);
+        report.finalize();
+        report
+    }
+
+    /// Is `name` a virtual as far as this repository is concerned: either
+    /// some package provides it, or it is a conventional HPC interface.
+    fn is_virtual(&self, name: &str) -> bool {
+        self.providers.contains_key(name) || CONVENTIONAL_VIRTUALS.contains(&name)
+    }
+
+    /// AUD001: `depends_on` naming something that is neither a package in
+    /// the repository nor a virtual anything provides (or could).
+    pub fn pass_unknown_dependencies(&self, report: &mut AuditReport) {
+        for pkg in &self.packages {
+            for dep in &pkg.dependencies {
+                let Some(name) = dep.spec.name.as_deref() else {
+                    continue;
+                };
+                if !self.names.contains(name) && !self.is_virtual(name) {
+                    report.push(Diagnostic {
+                        code: "AUD001",
+                        severity: Severity::Error,
+                        package: pkg.name.clone(),
+                        directive: Some(render_depends_on(dep)),
+                        message: format!(
+                            "depends on `{name}`, which is neither a package in the \
+                             repository nor a provided virtual"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// AUD002: a known virtual is depended on, but zero packages provide
+    /// it — every spec requiring it would fail to concretize.
+    pub fn pass_unprovided_virtuals(&self, report: &mut AuditReport) {
+        for pkg in &self.packages {
+            for dep in &pkg.dependencies {
+                let Some(name) = dep.spec.name.as_deref() else {
+                    continue;
+                };
+                if self.names.contains(name) {
+                    continue;
+                }
+                if CONVENTIONAL_VIRTUALS.contains(&name)
+                    && self.providers.get(name).is_none_or(|p| p.is_empty())
+                {
+                    report.push(Diagnostic {
+                        code: "AUD002",
+                        severity: Severity::Error,
+                        package: pkg.name.clone(),
+                        directive: Some(render_depends_on(dep)),
+                        message: format!(
+                            "depends on virtual `{name}`, but no package in the \
+                             repository provides it"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// AUD003: a dependency's version constraint is disjoint from every
+    /// version the target declares (or, for a virtual, from every
+    /// provider's provided interface versions).
+    pub fn pass_unsatisfiable_dep_versions(&self, report: &mut AuditReport) {
+        for pkg in &self.packages {
+            for dep in &pkg.dependencies {
+                let Some(name) = dep.spec.name.as_deref() else {
+                    continue;
+                };
+                let constraint = &dep.spec.versions;
+                if constraint.is_any() {
+                    continue;
+                }
+                if let Some(target) = self.package(name) {
+                    let declared = target.known_versions();
+                    if declared.is_empty() {
+                        continue;
+                    }
+                    if !declared.iter().any(|v| constraint.contains(v)) {
+                        report.push(Diagnostic {
+                            code: "AUD003",
+                            severity: Severity::Error,
+                            package: pkg.name.clone(),
+                            directive: Some(render_depends_on(dep)),
+                            message: format!(
+                                "version constraint `@{constraint}` admits none of \
+                                 `{name}`'s declared versions ({})",
+                                render_versions(&declared)
+                            ),
+                        });
+                    }
+                } else if let Some(providers) = self.providers.get(name) {
+                    // Virtual: some provider's provides() interface
+                    // versions must intersect the constraint.
+                    let satisfiable = providers.iter().any(|p| {
+                        self.package(p).is_some_and(|prov| {
+                            prov.provides.iter().any(|d| {
+                                d.vspec.name.as_deref() == Some(name)
+                                    && d.vspec.versions.intersection(constraint).is_some()
+                            })
+                        })
+                    });
+                    if !satisfiable {
+                        report.push(Diagnostic {
+                            code: "AUD003",
+                            severity: Severity::Error,
+                            package: pkg.name.clone(),
+                            directive: Some(render_depends_on(dep)),
+                            message: format!(
+                                "no provider of virtual `{name}` provides a version \
+                                 satisfying `@{constraint}`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// AUD004: a `when=` predicate (on `depends_on`, `patch`, `provides`,
+    /// `conflicts`, or an `@when` install rule) tests a variant the
+    /// package never declares — the condition can never hold.
+    pub fn pass_undeclared_when_variants(&self, report: &mut AuditReport) {
+        for pkg in &self.packages {
+            let declared = pkg.variant_names();
+            let check = |when: &Spec, context: String, report: &mut AuditReport| {
+                // Only self-referential conditions: a named condition on a
+                // different package is judged against that package.
+                if when.name.as_deref().is_some_and(|n| n != pkg.name) {
+                    return;
+                }
+                for var in when.variants.keys() {
+                    if !declared.contains(var.as_str()) {
+                        report.push(Diagnostic {
+                            code: "AUD004",
+                            severity: Severity::Error,
+                            package: pkg.name.clone(),
+                            directive: Some(context.clone()),
+                            message: format!(
+                                "condition references variant `{var}`, which \
+                                 `{}` does not declare",
+                                pkg.name
+                            ),
+                        });
+                    }
+                }
+            };
+            for dep in &pkg.dependencies {
+                if let Some(w) = &dep.when {
+                    check(w, render_depends_on(dep), report);
+                }
+            }
+            for patch in &pkg.patches {
+                if let Some(w) = &patch.when {
+                    check(
+                        w,
+                        format!("patch(\"{}\", when=\"{w}\")", patch.name),
+                        report,
+                    );
+                }
+            }
+            for prov in &pkg.provides {
+                if let Some(w) = &prov.when {
+                    check(
+                        w,
+                        format!("provides(\"{}\", when=\"{w}\")", prov.vspec),
+                        report,
+                    );
+                }
+            }
+            for conflict in &pkg.conflicts {
+                check(
+                    &conflict.spec,
+                    format!("conflicts(\"{}\")", conflict.spec),
+                    report,
+                );
+                if let Some(w) = &conflict.when {
+                    check(
+                        w,
+                        format!("conflicts(\"{}\", when=\"{w}\")", conflict.spec),
+                        report,
+                    );
+                }
+            }
+            for (when, _) in pkg.install_rules.cases() {
+                check(when, format!("@when(\"{when}\") install"), report);
+            }
+        }
+    }
+
+    /// AUD005: the package's *default* configuration — preferred (or
+    /// newest) version, every variant at its default — satisfies one of
+    /// its own `conflicts()` directives, so a bare `spack install <name>`
+    /// would be refused.
+    pub fn pass_default_conflicts(&self, report: &mut AuditReport) {
+        for pkg in &self.packages {
+            if pkg.conflicts.is_empty() {
+                continue;
+            }
+            let mut spec = Spec::named(&pkg.name);
+            if let Some(v) = default_version(pkg) {
+                spec.versions = VersionList::exact(v.clone());
+            }
+            for var in &pkg.variants {
+                spec.variants.insert(var.name.clone(), var.default);
+            }
+            if let Some(c) = pkg.conflict_for(&spec) {
+                report.push(Diagnostic {
+                    code: "AUD005",
+                    severity: Severity::Warn,
+                    package: pkg.name.clone(),
+                    directive: Some(format!("conflicts(\"{}\")", c.spec)),
+                    message: format!(
+                        "default configuration `{spec}` trips this conflict: {}",
+                        c.message
+                    ),
+                });
+            }
+        }
+    }
+
+    /// AUD006: cycles in the cross-package dependency graph. A cycle of
+    /// unconditional edges can never concretize (error); one involving a
+    /// `when=` edge may be satisfiable, but deserves a look (warn).
+    pub fn pass_dependency_cycles(&self, report: &mut AuditReport) {
+        let mut graph = DepGraph::new();
+        for pkg in &self.packages {
+            let entry = graph.entry(pkg.name.clone()).or_default();
+            for dep in &pkg.dependencies {
+                if let Some(name) = dep.spec.name.as_deref() {
+                    if self.names.contains(name) {
+                        entry.push((name.to_string(), dep.when.is_some()));
+                    }
+                }
+            }
+        }
+        for cycle in find_cycles(&graph) {
+            let (severity, qualifier) = if cycle.conditional {
+                (Severity::Warn, "conditional on `when=` predicates")
+            } else {
+                (Severity::Error, "unconditional, so it can never concretize")
+            };
+            report.push(Diagnostic {
+                code: "AUD006",
+                severity,
+                package: cycle.path[0].clone(),
+                directive: None,
+                message: format!("dependency cycle {} ({qualifier})", cycle.render()),
+            });
+        }
+    }
+
+    /// AUD007: duplicate or shadowed directives. Two `depends_on` for the
+    /// same target under the same condition are redundant (warn) — unless
+    /// their constraints cannot be merged, in which case concretization of
+    /// any spec reaching both is doomed (error). Duplicate `version()` and
+    /// `variant()` declarations are also flagged.
+    pub fn pass_duplicate_directives(&self, report: &mut AuditReport) {
+        for pkg in &self.packages {
+            // depends_on pairs on the same target with the same when=.
+            for (i, a) in pkg.dependencies.iter().enumerate() {
+                for b in pkg.dependencies.iter().skip(i + 1) {
+                    if a.spec.name != b.spec.name || a.when != b.when {
+                        continue;
+                    }
+                    if a.spec == b.spec && a.kind == b.kind {
+                        report.push(Diagnostic {
+                            code: "AUD007",
+                            severity: Severity::Warn,
+                            package: pkg.name.clone(),
+                            directive: Some(render_depends_on(a)),
+                            message: "duplicate depends_on directive".to_string(),
+                        });
+                    } else if a.spec.clone().constrain(&b.spec).is_err() {
+                        report.push(Diagnostic {
+                            code: "AUD007",
+                            severity: Severity::Error,
+                            package: pkg.name.clone(),
+                            directive: Some(render_depends_on(a)),
+                            message: format!(
+                                "conflicts with sibling directive {}: the \
+                                 constraints cannot both hold",
+                                render_depends_on(b)
+                            ),
+                        });
+                    }
+                }
+            }
+            // Duplicate version() declarations.
+            let mut seen_versions: BTreeSet<&Version> = BTreeSet::new();
+            for v in &pkg.versions {
+                if !seen_versions.insert(&v.version) {
+                    report.push(Diagnostic {
+                        code: "AUD007",
+                        severity: Severity::Warn,
+                        package: pkg.name.clone(),
+                        directive: Some(format!("version(\"{}\")", v.version)),
+                        message: "version declared more than once".to_string(),
+                    });
+                }
+            }
+            // Duplicate variant() declarations.
+            let mut seen_variants: BTreeSet<&str> = BTreeSet::new();
+            for var in &pkg.variants {
+                if !seen_variants.insert(var.name.as_str()) {
+                    report.push(Diagnostic {
+                        code: "AUD007",
+                        severity: Severity::Warn,
+                        package: pkg.name.clone(),
+                        directive: Some(format!("variant(\"{}\")", var.name)),
+                        message: "variant declared more than once".to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// AUD008: a self-referential version constraint (in a `when=`, a
+    /// `conflicts()`, or an `@when` install guard) admits none of the
+    /// package's declared versions — the rule is dead as written. Warn
+    /// rather than error: URL-extrapolated versions outside the declared
+    /// set could still trigger it.
+    pub fn pass_dead_self_versions(&self, report: &mut AuditReport) {
+        for pkg in &self.packages {
+            let declared = pkg.known_versions();
+            if declared.is_empty() {
+                continue;
+            }
+            let check = |cond: &Spec, context: String, report: &mut AuditReport| {
+                if cond.name.as_deref().is_some_and(|n| n != pkg.name) {
+                    return;
+                }
+                let vl = &cond.versions;
+                if vl.is_any() || declared.iter().any(|v| vl.contains(v)) {
+                    return;
+                }
+                report.push(Diagnostic {
+                    code: "AUD008",
+                    severity: Severity::Warn,
+                    package: pkg.name.clone(),
+                    directive: Some(context),
+                    message: format!(
+                        "version constraint `@{vl}` matches none of the declared \
+                         versions ({}); the rule is dead as written",
+                        render_versions(&declared)
+                    ),
+                });
+            };
+            for dep in &pkg.dependencies {
+                if let Some(w) = &dep.when {
+                    check(w, render_depends_on(dep), report);
+                }
+            }
+            for patch in &pkg.patches {
+                if let Some(w) = &patch.when {
+                    check(
+                        w,
+                        format!("patch(\"{}\", when=\"{w}\")", patch.name),
+                        report,
+                    );
+                }
+            }
+            for prov in &pkg.provides {
+                if let Some(w) = &prov.when {
+                    check(
+                        w,
+                        format!("provides(\"{}\", when=\"{w}\")", prov.vspec),
+                        report,
+                    );
+                }
+            }
+            for conflict in &pkg.conflicts {
+                check(
+                    &conflict.spec,
+                    format!("conflicts(\"{}\")", conflict.spec),
+                    report,
+                );
+                if let Some(w) = &conflict.when {
+                    check(
+                        w,
+                        format!("conflicts(\"{}\", when=\"{w}\")", conflict.spec),
+                        report,
+                    );
+                }
+            }
+            for (when, _) in pkg.install_rules.cases() {
+                check(when, format!("@when(\"{when}\") install"), report);
+            }
+        }
+    }
+
+    /// AUD009: a dependency spec forces a variant (`+x`/`~x`) that the
+    /// target package never declares. The concretizer would carry the
+    /// setting nowhere; almost always a typo or a stale recipe.
+    pub fn pass_undeclared_dep_variants(&self, report: &mut AuditReport) {
+        for pkg in &self.packages {
+            for dep in &pkg.dependencies {
+                let Some(target) = dep.spec.name.as_deref().and_then(|n| self.package(n)) else {
+                    continue;
+                };
+                let declared = target.variant_names();
+                for var in dep.spec.variants.keys() {
+                    if !declared.contains(var.as_str()) {
+                        report.push(Diagnostic {
+                            code: "AUD009",
+                            severity: Severity::Warn,
+                            package: pkg.name.clone(),
+                            directive: Some(render_depends_on(dep)),
+                            message: format!(
+                                "sets variant `{var}` on `{}`, which declares no \
+                                 such variant",
+                                target.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// AUD010: a virtual interface is provided but nothing in the
+    /// repository depends on it. Harmless — external consumers may — but
+    /// worth knowing when pruning a repository.
+    pub fn pass_unused_virtuals(&self, report: &mut AuditReport) {
+        let mut depended: BTreeSet<&str> = BTreeSet::new();
+        for pkg in &self.packages {
+            for dep in &pkg.dependencies {
+                if let Some(n) = dep.spec.name.as_deref() {
+                    depended.insert(n);
+                }
+            }
+        }
+        for (virt, providers) in &self.providers {
+            if !depended.contains(virt) && !self.names.contains(virt) {
+                report.push(Diagnostic {
+                    code: "AUD010",
+                    severity: Severity::Info,
+                    package: providers[0].to_string(),
+                    directive: Some(format!("provides(\"{virt}\")")),
+                    message: format!(
+                        "virtual `{virt}` is provided (by {}) but no package \
+                         depends on it",
+                        providers.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    fn package(&self, name: &str) -> Option<&PackageDef> {
+        self.packages
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.as_ref())
+    }
+}
+
+/// The version a bare `install <name>` would pick: the preferred version
+/// if one is flagged, otherwise the highest declared.
+fn default_version(pkg: &PackageDef) -> Option<&Version> {
+    pkg.versions
+        .iter()
+        .find(|v| v.preferred)
+        .map(|v| &v.version)
+        .or_else(|| pkg.versions.iter().map(|v| &v.version).max())
+}
+
+/// Render a dependency directive roughly as it appears in a recipe.
+fn render_depends_on(dep: &DependencyDirective) -> String {
+    let mut out = format!("depends_on(\"{}\"", dep.spec);
+    if let Some(w) = &dep.when {
+        out.push_str(&format!(", when=\"{w}\""));
+    }
+    if dep.kind != DepKind::Link {
+        out.push_str(&format!(", type={:?}", dep.kind).to_lowercase());
+    }
+    out.push(')');
+    out
+}
+
+/// Comma-joined version list for messages.
+fn render_versions(versions: &[&Version]) -> String {
+    versions
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}

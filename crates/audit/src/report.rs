@@ -1,0 +1,280 @@
+//! Diagnostics and the audit report: stable codes, severities, and both
+//! human-readable and machine-readable renderings.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Ordering matters: `Error` sorts before `Warn` before `Info`, so a
+/// sorted report leads with what must be fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The recipe is wrong: concretization or install of some requested
+    /// configuration will fail, or can never succeed as written.
+    Error,
+    /// The recipe is suspicious: dead rules, shadowed directives, default
+    /// configurations that trip declared conflicts.
+    Warn,
+    /// Informational: nothing is broken, but the repository carries
+    /// vestigial declarations worth knowing about.
+    Info,
+}
+
+impl Severity {
+    /// Lowercase label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finding from one audit pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-matchable code, e.g. `AUD001`. Codes are never
+    /// reused for a different meaning once published.
+    pub code: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Package the finding is anchored to.
+    pub package: String,
+    /// The directive (rendered roughly as it appears in the recipe) that
+    /// triggered the finding, when one directive is to blame.
+    pub directive: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:5} [{}]", self.code, self.severity, self.package)?;
+        if let Some(d) = &self.directive {
+            write!(f, " {d}:")?;
+        }
+        write!(f, " {}", self.message)
+    }
+}
+
+/// The result of auditing a repository: every diagnostic from every pass,
+/// sorted by (severity, package, code) for stable output.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl AuditReport {
+    /// An empty report.
+    pub fn new() -> AuditReport {
+        AuditReport::default()
+    }
+
+    /// Record one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Sort diagnostics into canonical order: errors first, then by
+    /// package, code, and message. Called once after all passes run.
+    pub(crate) fn finalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.severity, &a.package, a.code, &a.message)
+                .cmp(&(b.severity, &b.package, b.code, &b.message))
+        });
+        self.diagnostics.dedup();
+    }
+
+    /// All diagnostics, in canonical order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Iterate over the diagnostics.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// True when there are no findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of `Error`-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of `Warn`-severity findings.
+    pub fn warn_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    /// Number of `Info`-severity findings.
+    pub fn info_count(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Clean means no errors; warnings and infos do not make a repository
+    /// dirty.
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Findings with a given code, for targeted assertions in tests.
+    pub fn with_code(&self, code: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Human-readable rendering: one line per diagnostic plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} info(s)\n",
+            self.error_count(),
+            self.warn_count(),
+            self.info_count()
+        ));
+        out
+    }
+
+    /// Machine-readable rendering. Hand-rolled (the workspace carries no
+    /// serialization dependency); the schema is:
+    ///
+    /// ```json
+    /// {"diagnostics": [{"code": "...", "severity": "...", "package": "...",
+    ///                   "directive": "..."|null, "message": "..."}],
+    ///  "errors": 0, "warnings": 0, "infos": 0}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":{},\"severity\":{},\"package\":{},\"directive\":{},\"message\":{}}}",
+                json_string(d.code),
+                json_string(d.severity.label()),
+                json_string(&d.package),
+                match &d.directive {
+                    Some(dir) => json_string(dir),
+                    None => "null".to_string(),
+                },
+                json_string(&d.message),
+            ));
+        }
+        out.push_str(&format!(
+            "],\"errors\":{},\"warnings\":{},\"infos\":{}}}",
+            self.error_count(),
+            self.warn_count(),
+            self.info_count()
+        ));
+        out
+    }
+}
+
+/// Escape and quote a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(code: &'static str, severity: Severity, package: &str) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            package: package.to_string(),
+            directive: Some(format!("depends_on(\"{package}\")")),
+            message: "something is off".to_string(),
+        }
+    }
+
+    #[test]
+    fn counts_and_cleanliness() {
+        let mut r = AuditReport::new();
+        assert!(r.is_clean() && r.is_empty());
+        r.push(diag("AUD001", Severity::Error, "b"));
+        r.push(diag("AUD005", Severity::Warn, "a"));
+        r.push(diag("AUD010", Severity::Info, "c"));
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warn_count(), 1);
+        assert_eq!(r.info_count(), 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn finalize_sorts_errors_first_and_dedups() {
+        let mut r = AuditReport::new();
+        r.push(diag("AUD010", Severity::Info, "a"));
+        r.push(diag("AUD001", Severity::Error, "z"));
+        r.push(diag("AUD001", Severity::Error, "z"));
+        r.finalize();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.diagnostics()[0].code, "AUD001");
+        assert_eq!(r.diagnostics()[1].code, "AUD010");
+    }
+
+    #[test]
+    fn text_rendering_is_one_line_per_finding() {
+        let mut r = AuditReport::new();
+        r.push(diag("AUD001", Severity::Error, "mpileaks"));
+        let text = r.render_text();
+        assert!(text.contains("AUD001 error [mpileaks] depends_on(\"mpileaks\"):"));
+        assert!(text.contains("1 error(s), 0 warning(s), 0 info(s)"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let mut r = AuditReport::new();
+        r.push(Diagnostic {
+            code: "AUD003",
+            severity: Severity::Error,
+            package: "libdwarf".to_string(),
+            directive: None,
+            message: "a \"quoted\"\nthing".to_string(),
+        });
+        let json = r.to_json();
+        assert!(json.starts_with("{\"diagnostics\":["));
+        assert!(json.contains("\"directive\":null"));
+        assert!(json.contains("a \\\"quoted\\\"\\nthing"));
+        assert!(json.ends_with("\"errors\":1,\"warnings\":0,\"infos\":0}"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration: every audit pass over the full builtin repository.
+//!
+//! The acceptance bar for the repository we ship: zero errors, zero
+//! warnings. Informational findings are allowed (the `fft` virtual is
+//! provided for site-policy and external consumers, which AUD010 cannot
+//! see), but anything stronger means a recipe regressed.
+
+use spack_audit::{audit_repo, Auditor, Severity};
+
+#[test]
+fn builtin_repo_is_audit_clean() {
+    let repos = spack_repo_builtin::repo_stack();
+    let report = audit_repo(&repos);
+    assert!(report.is_clean(), "audit errors:\n{}", report.render_text());
+    assert_eq!(
+        report.warn_count(),
+        0,
+        "audit warnings:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn every_pass_runs_over_the_builtin_repo() {
+    // Run each pass individually over all 280 builtin packages: none may
+    // panic, and none may produce an error-severity finding.
+    let repos = spack_repo_builtin::repo_stack();
+    let auditor = Auditor::new(&repos);
+    type Pass<'x> = Box<dyn Fn(&mut spack_audit::AuditReport) + 'x>;
+    let passes: Vec<(&str, Pass)> = vec![
+        (
+            "unknown_dependencies",
+            Box::new(|r| auditor.pass_unknown_dependencies(r)),
+        ),
+        (
+            "unprovided_virtuals",
+            Box::new(|r| auditor.pass_unprovided_virtuals(r)),
+        ),
+        (
+            "unsatisfiable_dep_versions",
+            Box::new(|r| auditor.pass_unsatisfiable_dep_versions(r)),
+        ),
+        (
+            "undeclared_when_variants",
+            Box::new(|r| auditor.pass_undeclared_when_variants(r)),
+        ),
+        (
+            "default_conflicts",
+            Box::new(|r| auditor.pass_default_conflicts(r)),
+        ),
+        (
+            "dependency_cycles",
+            Box::new(|r| auditor.pass_dependency_cycles(r)),
+        ),
+        (
+            "duplicate_directives",
+            Box::new(|r| auditor.pass_duplicate_directives(r)),
+        ),
+        (
+            "dead_self_versions",
+            Box::new(|r| auditor.pass_dead_self_versions(r)),
+        ),
+        (
+            "undeclared_dep_variants",
+            Box::new(|r| auditor.pass_undeclared_dep_variants(r)),
+        ),
+        (
+            "unused_virtuals",
+            Box::new(|r| auditor.pass_unused_virtuals(r)),
+        ),
+    ];
+    assert!(passes.len() >= 8, "the tentpole promises at least 8 passes");
+    for (name, pass) in passes {
+        let mut report = spack_audit::AuditReport::new();
+        pass(&mut report);
+        assert!(
+            report.iter().all(|d| d.severity != Severity::Error),
+            "pass {name} found errors:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn json_report_round_trips_the_counts() {
+    let repos = spack_repo_builtin::repo_stack();
+    let report = audit_repo(&repos);
+    let json = report.to_json();
+    assert!(json.contains("\"errors\":0"), "{json}");
+    assert!(json.contains(&format!("\"infos\":{}", report.info_count())));
+}

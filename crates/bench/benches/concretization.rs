@@ -18,7 +18,10 @@ fn bench_concretize(c: &mut Criterion) {
         ("openspeedshop_19node", "openspeedshop"),
         ("paraview_30node", "paraview"),
         ("ares_47node", "ares"),
-        ("constrained_fig2c", "mpileaks@2.3 ^callpath@1.0+debug ^libelf@0.8.11"),
+        (
+            "constrained_fig2c",
+            "mpileaks@2.3 ^callpath@1.0+debug ^libelf@0.8.11",
+        ),
     ] {
         let request = Spec::parse(text).unwrap();
         group.bench_function(label, |b| {

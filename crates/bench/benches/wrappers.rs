@@ -27,7 +27,11 @@ fn bench_wrappers(c: &mut Criterion) {
         .collect();
     let link_args: Vec<String> = (0..64)
         .map(|i| format!("obj{i}.o"))
-        .chain(["-o".to_string(), "libfoo.so".to_string(), "-lelf".to_string()])
+        .chain([
+            "-o".to_string(),
+            "libfoo.so".to_string(),
+            "-lelf".to_string(),
+        ])
         .collect();
 
     let mut group = c.benchmark_group("wrapper_rewrite");

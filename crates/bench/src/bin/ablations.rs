@@ -55,19 +55,19 @@ fn main() {
 
     // Conflict-prone requests: constraints that fight the site policy.
     let requests = [
-        "mpileaks",                       // easy: both succeed
-        "gerris",                         // needs mpi@2:, policy must adapt
-        "mpileaks ^mpi@3.0",              // only mpi-3 providers qualify
-        "stat+dysect",                    // conditional dyninst variant
-        "hwloc-app",                      // 4.5: greedy conflicts, search wins
-        "hwloc-app ^sitempi",             // genuinely unsatisfiable
+        "mpileaks",           // easy: both succeed
+        "gerris",             // needs mpi@2:, policy must adapt
+        "mpileaks ^mpi@3.0",  // only mpi-3 providers qualify
+        "stat+dysect",        // conditional dyninst variant
+        "hwloc-app",          // 4.5: greedy conflicts, search wins
+        "hwloc-app ^sitempi", // genuinely unsatisfiable
     ];
     for text in requests {
         let request = Spec::parse(text).unwrap();
         let greedy = Concretizer::new(&repos_site, &config_site).concretize(&request);
         let t = Instant::now();
-        let back = BacktrackingConcretizer::new(&repos_site, &config_site)
-            .concretize_with_stats(&request);
+        let back =
+            BacktrackingConcretizer::new(&repos_site, &config_site).concretize_with_stats(&request);
         let dt = t.elapsed().as_secs_f64() * 1e3;
         println!(
             "  {text:24} greedy: {:9} backtracking: {:9} ({} attempts, {:.2} ms)",
@@ -145,7 +145,9 @@ fn main() {
 
     // ---- 4. parallel vs serial install -----------------------------------
     println!("\n== ablation 4: ready-queue parallel vs serial install ==");
-    let dag = concretizer.concretize(&Spec::parse("ares").unwrap()).unwrap();
+    let dag = concretizer
+        .concretize(&Spec::parse("ares").unwrap())
+        .unwrap();
     let db = Mutex::new(Database::new("/spack/opt2"));
     let report = install_dag(&dag, &repos, &db, &InstallOptions::default()).unwrap();
     println!(

@@ -43,9 +43,18 @@ fn main() {
     println!("  repository: {n_packages} packages, {n_versions} (package, version) pairs");
     println!("  site build matrix: {toolchains} (compiler, MPI) toolchains\n");
     println!("  {:34} {:>9}", "model", "files");
-    println!("  {:34} {:>9}", "Spack (parameterized templates)", spack_files);
-    println!("  {:34} {:>9}", "EasyBuild-style (per toolchain)", easybuild_files);
-    println!("  {:34} {:>9}", "port-style (per configuration)", port_files);
+    println!(
+        "  {:34} {:>9}",
+        "Spack (parameterized templates)", spack_files
+    );
+    println!(
+        "  {:34} {:>9}",
+        "EasyBuild-style (per toolchain)", easybuild_files
+    );
+    println!(
+        "  {:34} {:>9}",
+        "port-style (per configuration)", port_files
+    );
     println!(
         "\n  ratio EasyBuild/Spack: {:.1}x   port/Spack: {:.1}x",
         easybuild_files as f64 / spack_files as f64,

@@ -36,7 +36,11 @@ fn main() {
         return;
     }
 
-    println!("Fig. 13: dependencies of ARES ({} packages, {} edges)\n", dag.len(), dag.edge_count());
+    println!(
+        "Fig. 13: dependencies of ARES ({} packages, {} edges)\n",
+        dag.len(),
+        dag.edge_count()
+    );
     for cat in ["root", "physics", "math", "utility", "external"] {
         let members: Vec<&str> = dag
             .package_names()

@@ -46,12 +46,14 @@ fn main() {
 
     println!("# Fig. 8: concretization running time vs package DAG size");
     println!("# {} packages, {} trials each", samples.len(), TRIALS);
-    println!("# columns: package  dag_nodes  {}",
+    println!(
+        "# columns: package  dag_nodes  {}",
         MACHINE_PROFILES
             .iter()
             .map(|(n, _)| format!("ms[{n}]"))
             .collect::<Vec<_>>()
-            .join("  "));
+            .join("  ")
+    );
     for (name, nodes, secs) in &samples {
         let cols: Vec<String> = MACHINE_PROFILES
             .iter()
@@ -62,8 +64,7 @@ fn main() {
 
     // Summary statistics in the shape the paper reports.
     let max = samples.iter().map(|s| s.1).max().unwrap();
-    let big: Vec<&(String, usize, f64)> =
-        samples.iter().filter(|s| s.1 * 10 >= max * 9).collect();
+    let big: Vec<&(String, usize, f64)> = samples.iter().filter(|s| s.1 * 10 >= max * 9).collect();
     let small_worst = samples
         .iter()
         .filter(|s| s.1 <= 10)
@@ -71,7 +72,10 @@ fn main() {
         .fold(0.0, f64::max);
     let big_worst = samples.iter().map(|s| s.2).fold(0.0, f64::max);
     println!("\n# largest DAG: {max} nodes ({})", big[0].0);
-    println!("# worst time, DAGs <= 10 nodes: {:.3} ms", small_worst * 1e3);
+    println!(
+        "# worst time, DAGs <= 10 nodes: {:.3} ms",
+        small_worst * 1e3
+    );
     println!(
         "# worst time overall (Haswell profile): {:.3} ms; Power7 profile: {:.3} ms",
         big_worst * 1e3,
@@ -86,7 +90,11 @@ fn main() {
     // Growth check: mean time of the largest quartile vs the smallest.
     let q = samples.len() / 4;
     let small_mean: f64 = samples[..q].iter().map(|s| s.2).sum::<f64>() / q as f64;
-    let large_mean: f64 = samples[samples.len() - q..].iter().map(|s| s.2).sum::<f64>() / q as f64;
+    let large_mean: f64 = samples[samples.len() - q..]
+        .iter()
+        .map(|s| s.2)
+        .sum::<f64>()
+        / q as f64;
     println!(
         "# mean time, smallest quartile: {:.4} ms; largest quartile: {:.4} ms ({}x)",
         small_mean * 1e3,

@@ -67,7 +67,9 @@ fn main() {
         // The last package's closure is the deepest.
         let root = format!("syn{:04}", n - 1);
         let request = Spec::named(&root);
-        let dag = concretizer.concretize(&request).expect("synthetic concretizes");
+        let dag = concretizer
+            .concretize(&request)
+            .expect("synthetic concretizes");
         let start = Instant::now();
         for _ in 0..5 {
             concretizer.concretize(&request).unwrap();

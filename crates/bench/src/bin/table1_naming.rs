@@ -28,8 +28,8 @@ fn main() {
         "mpileaks%gcc@4.7.4 ^mpich",
         "mpileaks%intel@15.0.1 ^mpich",
         "mpileaks+debug ^mpich",
-        "mpileaks ^mpich ^libelf@0.8.12",   // differs ONLY in libelf
-        "mpileaks ^mpich ^libelf@0.8.11",   // differs ONLY in libelf
+        "mpileaks ^mpich ^libelf@0.8.12", // differs ONLY in libelf
+        "mpileaks ^mpich ^libelf@0.8.11", // differs ONLY in libelf
         "mpileaks ^mpich ^callpath@1.0",
         "mpileaks@1.1 ^mpich",
     ];
@@ -43,7 +43,10 @@ fn main() {
         .collect();
 
     println!("Table 1: software organization of various HPC sites");
-    println!("({} distinct mpileaks configurations formatted per scheme)\n", dags.len());
+    println!(
+        "({} distinct mpileaks configurations formatted per scheme)\n",
+        dags.len()
+    );
     println!(
         "{:24} {:>8} {:>11}  example",
         "scheme", "paths", "collisions"

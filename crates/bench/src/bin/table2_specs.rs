@@ -30,5 +30,8 @@ fn main() {
         // Round-trip sanity.
         assert_eq!(spec, Spec::parse(&spec.to_string()).unwrap());
     }
-    println!("all {} rows parse and round-trip through the Fig. 3 grammar", rows.len());
+    println!(
+        "all {} rows parse and round-trip through the Fig. 3 grammar",
+        rows.len()
+    );
 }

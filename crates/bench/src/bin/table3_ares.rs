@@ -50,7 +50,10 @@ fn main() {
 
     println!("Table 3: configurations of ARES built with spack-rs");
     println!("  (C)urrent and (P)revious production, (L)ite, (D)evelopment\n");
-    println!("{:14} {:15} {:11} configs  (DAG sizes)", "arch", "compiler", "MPI");
+    println!(
+        "{:14} {:15} {:11} configs  (DAG sizes)",
+        "arch", "compiler", "MPI"
+    );
     let mut total = 0;
     let mut failures = Vec::new();
     for (arch, compiler, mpi, configs) in cells {

@@ -1,0 +1,207 @@
+//! Simulated build systems (SC'15 §3.5, Figs. 10/11).
+//!
+//! A build is replayed on a virtual clock from the package's calibrated
+//! [`BuildWorkload`]: configure probes, compiler invocations, and
+//! filesystem operations each charge simulated seconds. The wrapper's
+//! *real* argv-rewrite path is exercised for representative invocations,
+//! but its cost model is a fixed per-invocation charge — the paper's
+//! "small but noticeable" indirection overhead (~10%, Fig. 11).
+
+use crate::simfs::{FsProfile, SimFs};
+use crate::wrapper::{Language, Wrapper};
+use spack_package::{BuildRecipe, BuildWorkload};
+
+/// Simulated seconds of compile time per workload cost unit
+/// (`compile_units × unit_cost`).
+const COMPILE_SECONDS_PER_UNIT: f64 = 0.1;
+/// Simulated seconds per configure probe (fork, tiny compile, check).
+const CONFIGURE_SECONDS_PER_PROBE: f64 = 0.05;
+/// Simulated seconds of wrapper indirection per compiler invocation
+/// (argv rewrite, PATH shadowing, exec of the real compiler).
+const WRAPPER_SECONDS_PER_INVOCATION: f64 = 0.01;
+/// Filesystem operations charged per installed file (create, write,
+/// chmod, stat, manifest update).
+const OPS_PER_INSTALL_FILE: u64 = 5;
+
+/// How a simulated build is staged and wrapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildSettings {
+    /// Put Spack's compiler wrappers first in PATH (§3.5.2). Disabling
+    /// them models a "native" build for overhead comparisons (Fig. 11).
+    pub use_wrappers: bool,
+    /// Where the build stage lives (Fig. 10's NFS vs. temp FS scenarios).
+    pub stage_fs: FsProfile,
+}
+
+impl Default for BuildSettings {
+    fn default() -> Self {
+        BuildSettings {
+            use_wrappers: true,
+            stage_fs: FsProfile::TmpFs,
+        }
+    }
+}
+
+/// The cost breakdown of one simulated build.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOutcome {
+    /// Seconds spent compiling translation units.
+    pub compile_seconds: f64,
+    /// Seconds spent in the configure/probe phase.
+    pub configure_seconds: f64,
+    /// Seconds of wrapper indirection overhead (0 without wrappers).
+    pub wrapper_seconds: f64,
+    /// Seconds lost to filesystem operation latency on the stage.
+    pub fs_seconds: f64,
+    /// Filesystem operations performed.
+    pub fs_ops: u64,
+    /// Compiler invocations (configure probes + translation units).
+    pub compiler_invocations: u64,
+}
+
+impl BuildOutcome {
+    /// Total simulated build time in seconds.
+    pub fn total(&self) -> f64 {
+        self.compile_seconds + self.configure_seconds + self.wrapper_seconds + self.fs_seconds
+    }
+}
+
+/// Run one simulated build of `recipe` with the given workload, wrapper,
+/// and settings. Deterministic: the same inputs always produce the same
+/// outcome, independent of the host machine.
+pub fn run_build(
+    recipe: &BuildRecipe,
+    workload: &BuildWorkload,
+    wrapper: &Wrapper,
+    settings: BuildSettings,
+) -> BuildOutcome {
+    let mut fs = SimFs::new(settings.stage_fs);
+
+    // Configure phase: probe executions plus their filesystem churn
+    // (conftest files, PATH lookups, libtool reads). Recipes without a
+    // configure phase (Makefile, PythonSetup, Bundle) skip it entirely.
+    let probes = if recipe.has_configure_phase() {
+        workload.configure_probes as u64
+    } else {
+        0
+    };
+    let configure_seconds = probes as f64 * CONFIGURE_SECONDS_PER_PROBE;
+    fs.touch(probes * workload.ops_per_probe as u64);
+
+    // Compile phase: every translation unit stats and reads its headers.
+    let units = workload.compile_units as u64;
+    let compile_seconds =
+        (workload.compile_units * workload.unit_cost) as f64 * COMPILE_SECONDS_PER_UNIT;
+    fs.touch(units * workload.headers_per_unit as u64);
+
+    // Install phase: populate the prefix.
+    fs.touch(workload.install_files as u64 * OPS_PER_INSTALL_FILE);
+
+    let compiler_invocations = probes + units;
+    let wrapper_seconds = if settings.use_wrappers {
+        // Exercise the real rewrite path for one representative compile
+        // and one link, then charge the flat indirection cost per
+        // invocation.
+        let compile_argv = wrapper.rewrite(Language::C, &["-c".to_string(), "unit.c".to_string()]);
+        let link_argv = wrapper.rewrite(
+            Language::C,
+            &["-o".to_string(), "prog".to_string(), "unit.o".to_string()],
+        );
+        debug_assert!(compile_argv.len() <= link_argv.len());
+        compiler_invocations as f64 * WRAPPER_SECONDS_PER_INVOCATION
+    } else {
+        0.0
+    };
+
+    BuildOutcome {
+        compile_seconds,
+        configure_seconds,
+        wrapper_seconds,
+        fs_seconds: fs.elapsed_seconds(),
+        fs_ops: fs.ops(),
+        compiler_invocations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_spec::{ConcreteCompiler, Version};
+
+    fn wrapper() -> Wrapper {
+        Wrapper::new(
+            ConcreteCompiler {
+                name: "gcc".to_string(),
+                version: Version::new("4.9.3").unwrap(),
+            },
+            &[],
+        )
+    }
+
+    #[test]
+    fn wrappers_add_overhead() {
+        let recipe = BuildRecipe::autotools();
+        let wl = BuildWorkload::default();
+        let with = run_build(&recipe, &wl, &wrapper(), BuildSettings::default());
+        let without = run_build(
+            &recipe,
+            &wl,
+            &wrapper(),
+            BuildSettings {
+                use_wrappers: false,
+                stage_fs: FsProfile::TmpFs,
+            },
+        );
+        assert!(with.total() > without.total());
+        assert_eq!(with.compile_seconds, without.compile_seconds);
+        assert_eq!(without.wrapper_seconds, 0.0);
+    }
+
+    #[test]
+    fn nfs_staging_is_slower() {
+        let recipe = BuildRecipe::autotools();
+        let wl = BuildWorkload::default();
+        let tmp = run_build(&recipe, &wl, &wrapper(), BuildSettings::default());
+        let nfs = run_build(
+            &recipe,
+            &wl,
+            &wrapper(),
+            BuildSettings {
+                use_wrappers: true,
+                stage_fs: FsProfile::Nfs,
+            },
+        );
+        assert!(nfs.total() > tmp.total());
+        assert_eq!(nfs.fs_ops, tmp.fs_ops, "same ops, different latency");
+    }
+
+    #[test]
+    fn configure_phase_is_recipe_dependent() {
+        let wl = BuildWorkload::default();
+        let auto = run_build(
+            &BuildRecipe::autotools(),
+            &wl,
+            &wrapper(),
+            BuildSettings::default(),
+        );
+        let make = run_build(
+            &BuildRecipe::Makefile,
+            &wl,
+            &wrapper(),
+            BuildSettings::default(),
+        );
+        assert!(auto.configure_seconds > 0.0);
+        assert_eq!(make.configure_seconds, 0.0);
+        assert!(make.compiler_invocations < auto.compiler_invocations);
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let recipe = BuildRecipe::cmake();
+        let wl = BuildWorkload::tiny();
+        let a = run_build(&recipe, &wl, &wrapper(), BuildSettings::default());
+        let b = run_build(&recipe, &wl, &wrapper(), BuildSettings::default());
+        assert_eq!(a.total(), b.total());
+        assert_eq!(a.fs_ops, b.fs_ops);
+    }
+}

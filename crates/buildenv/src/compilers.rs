@@ -1,0 +1,155 @@
+//! Compiler toolchain detection (SC'15 §3.2.3 "Compilers").
+//!
+//! "Spack can auto-detect compiler toolchains in the user's `PATH`": it
+//! scans executables, recognizes front-end naming conventions
+//! (`gcc-5.2.0`, `icc`, `clang++-3.6`, ...), and groups the C, C++, and
+//! Fortran front-ends of one release into a single toolchain entry that
+//! plugs directly into the concretizer configuration.
+
+use spack_spec::{ConcreteCompiler, Version};
+use std::collections::BTreeMap;
+
+/// One detected toolchain: the concrete compiler plus the front-end
+/// executables found for it.
+#[derive(Debug, Clone)]
+pub struct Toolchain {
+    /// The (name, version) pair, ready for
+    /// `Config::register_concrete_compiler`.
+    pub compiler: ConcreteCompiler,
+    /// Path of the detected C front-end, if any.
+    pub cc: Option<String>,
+    /// Path of the detected C++ front-end, if any.
+    pub cxx: Option<String>,
+    /// Path of the detected Fortran front-end, if any.
+    pub fc: Option<String>,
+}
+
+/// Which toolchain family a front-end executable belongs to, and which
+/// language slot it fills.
+fn classify(stem: &str) -> Option<(&'static str, u8)> {
+    const TABLE: &[(&str, &str, u8)] = &[
+        ("gcc", "gcc", 0),
+        ("g++", "gcc", 1),
+        ("gfortran", "gcc", 2),
+        ("icc", "intel", 0),
+        ("icpc", "intel", 1),
+        ("ifort", "intel", 2),
+        ("clang", "clang", 0),
+        ("clang++", "clang", 1),
+        ("flang", "clang", 2),
+        ("xlc", "xl", 0),
+        ("xlC", "xl", 1),
+        ("xlf", "xl", 2),
+        ("pgcc", "pgi", 0),
+        ("pgc++", "pgi", 1),
+        ("pgfortran", "pgi", 2),
+    ];
+    // Longest match first so `clang++` is not classified as `clang`.
+    TABLE
+        .iter()
+        .filter(|(exe, _, _)| *exe == stem)
+        .map(|(_, fam, slot)| (*fam, *slot))
+        .next()
+}
+
+/// Detect toolchains from a PATH-style listing of executables.
+///
+/// `version_probe` stands in for running `<exe> --version`: it is
+/// consulted for executables whose file name does not carry a version
+/// suffix (plain `gcc`). Returning `None` skips the executable.
+pub fn detect_toolchains(
+    executables: &[String],
+    version_probe: impl Fn(&str) -> Option<String>,
+) -> Vec<Toolchain> {
+    let mut grouped: BTreeMap<(String, String), Toolchain> = BTreeMap::new();
+    for path in executables {
+        let base = path.rsplit('/').next().unwrap_or(path);
+        // Split a trailing `-<version>` suffix if present.
+        let (stem, version) = match base.rsplit_once('-') {
+            Some((s, v)) if v.chars().next().is_some_and(|c| c.is_ascii_digit()) => {
+                (s, Some(v.to_string()))
+            }
+            _ => (base, None),
+        };
+        let Some((family, slot)) = classify(stem) else {
+            continue;
+        };
+        let Some(version) = version.or_else(|| version_probe(path)) else {
+            continue;
+        };
+        let Ok(parsed) = Version::new(&version) else {
+            continue;
+        };
+        let entry = grouped
+            .entry((family.to_string(), version.clone()))
+            .or_insert_with(|| Toolchain {
+                compiler: ConcreteCompiler {
+                    name: family.to_string(),
+                    version: parsed,
+                },
+                cc: None,
+                cxx: None,
+                fc: None,
+            });
+        let slot_ref = match slot {
+            0 => &mut entry.cc,
+            1 => &mut entry.cxx,
+            _ => &mut entry.fc,
+        };
+        if slot_ref.is_none() {
+            *slot_ref = Some(path.clone());
+        }
+    }
+    grouped.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_front_ends_by_family_and_version() {
+        let exes: Vec<String> = [
+            "/opt/bin/gcc-5.2.0",
+            "/opt/bin/g++-5.2.0",
+            "/opt/bin/gfortran-5.2.0",
+            "/opt/bin/gcc-4.9.3",
+            "/usr/bin/icc-15.0.1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let tcs = detect_toolchains(&exes, |_| None);
+        assert_eq!(tcs.len(), 3);
+        let gcc52 = tcs
+            .iter()
+            .find(|t| t.compiler.to_string() == "gcc@5.2.0")
+            .unwrap();
+        assert!(gcc52.cc.is_some() && gcc52.cxx.is_some() && gcc52.fc.is_some());
+        let gcc49 = tcs
+            .iter()
+            .find(|t| t.compiler.to_string() == "gcc@4.9.3")
+            .unwrap();
+        assert!(gcc49.cxx.is_none());
+    }
+
+    #[test]
+    fn unversioned_executables_use_the_probe() {
+        let exes = vec!["/usr/bin/gcc".to_string(), "/usr/bin/cc".to_string()];
+        let tcs = detect_toolchains(&exes, |path| {
+            path.ends_with("gcc").then(|| "4.8.5".to_string())
+        });
+        assert_eq!(tcs.len(), 1);
+        assert_eq!(tcs[0].compiler.to_string(), "gcc@4.8.5");
+        // `cc` is not a recognized front-end name; the probe was not
+        // enough to classify it.
+        let none = detect_toolchains(&exes[1..], |_| Some("1.0".to_string()));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn unprobeable_executables_are_skipped() {
+        let exes = vec!["/usr/bin/gcc".to_string()];
+        assert!(detect_toolchains(&exes, |_| None).is_empty());
+    }
+}

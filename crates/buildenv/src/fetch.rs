@@ -1,0 +1,207 @@
+//! The simulated source mirror (SC'15 §3.5, Fig. 1 checksums).
+//!
+//! Real Spack downloads a source archive per (package, version), checks
+//! its MD5 against the `version()` directive, and refuses to build on a
+//! mismatch. This module reproduces that contract deterministically: the
+//! mirror synthesizes archive bytes from the (name, version) pair alone,
+//! so every run — and every machine — sees the same archives and the same
+//! digests. A [`Mirror::corrupting`] mirror serves tampered bytes to
+//! exercise the verification path.
+
+use spack_package::PackageDef;
+use spack_spec::sha::{md5_hex, Sha256};
+use spack_spec::Version;
+use std::fmt;
+
+/// A fetched source archive: URL, bytes, and verification outcome.
+#[derive(Debug, Clone)]
+pub struct Archive {
+    /// Where the archive "came from" — extrapolated from the package's
+    /// URL model when it has one, a synthetic mirror URL otherwise.
+    pub url: String,
+    /// The (simulated) archive contents.
+    pub bytes: Vec<u8>,
+    /// MD5 digest of `bytes`, lowercase hex.
+    pub md5: String,
+    /// Whether `md5` matches the checksum declared in the package's
+    /// `version()` directive. Versions with no declared checksum verify
+    /// trivially (there is nothing to check against).
+    pub verified: bool,
+}
+
+/// Why a fetch failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// The requested version is not declared by the package.
+    UnknownVersion {
+        /// Package whose versions were consulted.
+        package: String,
+        /// The version that was requested.
+        version: String,
+    },
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::UnknownVersion { package, version } => {
+                write!(f, "no known version {version} of {package}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// The deterministic source mirror.
+#[derive(Debug, Clone, Default)]
+pub struct Mirror {
+    corrupt: bool,
+}
+
+impl Mirror {
+    /// A mirror serving pristine archives.
+    pub fn new() -> Mirror {
+        Mirror { corrupt: false }
+    }
+
+    /// A mirror serving tampered archives: fetched bytes differ from the
+    /// canonical ones, so any version with a declared checksum fails
+    /// verification. Used to test the md5-mismatch install path.
+    pub fn corrupting() -> Mirror {
+        Mirror { corrupt: true }
+    }
+
+    /// The canonical MD5 of the archive for `name` at `version` — what
+    /// `spack checksum` would paste into the package file's `version()`
+    /// directives (Fig. 1).
+    pub fn checksum_of(name: &str, version: &Version) -> String {
+        md5_hex(&canonical_bytes(name, &version.to_string()))
+    }
+
+    /// Fetch the archive for one declared version of `pkg`, verifying it
+    /// against the checksum in the package's `version()` directive.
+    pub fn fetch(&self, pkg: &PackageDef, version: &Version) -> Result<Archive, FetchError> {
+        if !pkg.has_version(version) {
+            return Err(FetchError::UnknownVersion {
+                package: pkg.name.clone(),
+                version: version.to_string(),
+            });
+        }
+        let mut bytes = canonical_bytes(&pkg.name, &version.to_string());
+        if self.corrupt {
+            // Flip one byte: same length, different digest.
+            bytes[0] ^= 0xff;
+        }
+        let md5 = md5_hex(&bytes);
+        let verified = match pkg.checksum_for(version) {
+            Some(declared) => declared == md5,
+            None => true,
+        };
+        Ok(Archive {
+            url: url_for(pkg, version),
+            bytes,
+            md5,
+            verified,
+        })
+    }
+}
+
+/// Extrapolate the archive URL from the package's URL model (§3.2.3), or
+/// synthesize a mirror path when the package declares none.
+fn url_for(pkg: &PackageDef, version: &Version) -> String {
+    if let Some(model) = &pkg.url_model {
+        if let Some(url) = spack_package::url::extrapolate(model, &pkg.name, version) {
+            return url;
+        }
+    }
+    format!(
+        "https://mirror.spack.invalid/{0}/{0}-{1}.tar.gz",
+        pkg.name, version
+    )
+}
+
+/// Deterministic pseudo-archive contents for (name, version): a seed
+/// digest of the archive name feeds an xorshift stream whose length also
+/// depends on the seed, so sizes vary plausibly across packages.
+fn canonical_bytes(name: &str, version: &str) -> Vec<u8> {
+    let mut h = Sha256::new();
+    h.update(format!("{name}-{version}.tar.gz").as_bytes());
+    let seed = h.finalize();
+    let mut state = u64::from_be_bytes(seed[..8].try_into().unwrap()) | 1;
+    let len = 4096 + (u64::from_be_bytes(seed[8..16].try_into().unwrap()) % 60_000) as usize;
+    let mut bytes = Vec::with_capacity(len);
+    while bytes.len() < len {
+        // xorshift64
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        bytes.extend_from_slice(&state.to_le_bytes());
+    }
+    bytes.truncate(len);
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_package::PackageBuilder;
+
+    fn pkg_with_checksum() -> PackageDef {
+        let v = Version::new("1.0").unwrap();
+        let md5 = Mirror::checksum_of("demo", &v);
+        PackageBuilder::new("demo")
+            .version("1.0", &md5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_mirror_verifies_declared_checksums() {
+        let pkg = pkg_with_checksum();
+        let v = Version::new("1.0").unwrap();
+        let archive = Mirror::new().fetch(&pkg, &v).unwrap();
+        assert!(archive.verified);
+        assert_eq!(archive.md5, Mirror::checksum_of("demo", &v));
+        assert!(archive.bytes.len() >= 4096);
+    }
+
+    #[test]
+    fn corrupting_mirror_fails_verification() {
+        let pkg = pkg_with_checksum();
+        let v = Version::new("1.0").unwrap();
+        let archive = Mirror::corrupting().fetch(&pkg, &v).unwrap();
+        assert!(!archive.verified);
+    }
+
+    #[test]
+    fn fetches_are_deterministic() {
+        let pkg = pkg_with_checksum();
+        let v = Version::new("1.0").unwrap();
+        let a = Mirror::new().fetch(&pkg, &v).unwrap();
+        let b = Mirror::new().fetch(&pkg, &v).unwrap();
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.md5, b.md5);
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected() {
+        let pkg = pkg_with_checksum();
+        let v = Version::new("9.9").unwrap();
+        assert!(Mirror::new().fetch(&pkg, &v).is_err());
+    }
+
+    #[test]
+    fn url_model_is_extrapolated() {
+        let v = Version::new("2.3").unwrap();
+        let md5 = Mirror::checksum_of("mpileaks", &v);
+        let pkg = PackageBuilder::new("mpileaks")
+            .url_model("https://github.com/hpc/mpileaks/releases/download/v1.0/mpileaks-1.0.tar.gz")
+            .version("2.3", &md5)
+            .build()
+            .unwrap();
+        let archive = Mirror::new().fetch(&pkg, &v).unwrap();
+        assert!(archive.url.ends_with("mpileaks-2.3.tar.gz"));
+        assert!(archive.url.contains("/v2.3/"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # spack-buildenv
+//!
+//! The build environment of `spack-rs` (SC'15 §3.5): isolated, simulated
+//! builds on a virtual clock.
+//!
+//! * [`wrapper`] — the compiler-wrapper argv rewriter (§3.5.2):
+//!   `-I`/`-L`/`-Wl,-rpath` injection per dependency prefix, compiler
+//!   switching by language, platform flag injection (Fig. 12);
+//! * [`compilers`] — toolchain detection from PATH listings (§3.2.3);
+//! * [`fetch`] — a deterministic simulated source mirror with MD5
+//!   verification and corruption injection (§3.5, Fig. 1 checksums);
+//! * [`simfs`] — the virtual-latency staging filesystem (NFS vs. local
+//!   tmpfs, §3.5.3);
+//! * [`buildsys`] — simulated build systems replaying calibrated
+//!   per-package workloads against the wrapper and filesystem models
+//!   (Figs. 10/11);
+//! * [`platform`] — platform descriptions mapping (architecture,
+//!   compiler) to extra wrapper flags (§4.5, Fig. 12);
+//! * [`pipeline`] — the fetch→verify→patch→build→register install
+//!   pipeline over a concrete DAG, with sub-DAG reuse (Fig. 9) and
+//!   deterministic virtual-time parallelism.
+//!
+//! All timing is *virtual*: builds report simulated seconds derived from
+//! the package workload, so results are bit-identical regardless of the
+//! host machine or the `jobs` setting.
+
+#![warn(missing_docs)]
+
+pub mod buildsys;
+pub mod compilers;
+pub mod fetch;
+pub mod pipeline;
+pub mod platform;
+pub mod simfs;
+pub mod wrapper;
+
+pub use buildsys::{run_build, BuildOutcome, BuildSettings};
+pub use compilers::{detect_toolchains, Toolchain};
+pub use fetch::{Archive, Mirror};
+pub use pipeline::{install_dag, BuildRecord, InstallError, InstallOptions, InstallReport};
+pub use platform::{Platform, PlatformRegistry};
+pub use simfs::{FsProfile, SimFs};
+pub use wrapper::{Language, Wrapper};

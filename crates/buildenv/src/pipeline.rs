@@ -1,0 +1,354 @@
+//! The install pipeline (SC'15 §3.5): fetch → verify → patch → build →
+//! register, over a concrete DAG, bottom-up, with sub-DAG reuse (Fig. 9).
+//!
+//! Every node whose sub-DAG hash is already in the database is reused
+//! untouched; everything else is fetched from the mirror, checksum
+//! verified, patched per the package's `patch()` directives, built by the
+//! simulated build system, and registered with its build log. Timing is
+//! virtual, so the report is bit-identical regardless of `jobs`: the
+//! `jobs` knob models wall-clock parallelism, which the report exposes as
+//! the DAG's serial vs. critical-path seconds instead.
+
+use crate::buildsys::{run_build, BuildOutcome, BuildSettings};
+use crate::fetch::{FetchError, Mirror};
+use crate::platform::PlatformRegistry;
+use parking_lot::Mutex;
+use spack_package::RepoStack;
+use spack_spec::{ConcreteDag, DagHashes};
+use spack_store::{Database, NamingScheme};
+use std::fmt;
+
+/// Options for [`install_dag`].
+#[derive(Debug, Clone)]
+pub struct InstallOptions {
+    /// Maximum concurrent build slots. Affects only (hypothetical)
+    /// wall-clock; virtual-time results are jobs-independent by design.
+    pub jobs: usize,
+    /// Source mirror to fetch archives from.
+    pub mirror: Mirror,
+    /// Wrapper and staging-filesystem settings for every build.
+    pub settings: BuildSettings,
+}
+
+impl Default for InstallOptions {
+    fn default() -> Self {
+        InstallOptions {
+            jobs: 4,
+            mirror: Mirror::new(),
+            settings: BuildSettings::default(),
+        }
+    }
+}
+
+/// Why an install failed. No partial state is committed: the database is
+/// untouched unless every node of the DAG succeeded.
+#[derive(Debug, Clone)]
+pub enum InstallError {
+    /// A DAG node names a package absent from every repository.
+    UnknownPackage(String),
+    /// The package has no install rule matching the concrete node.
+    NoRecipe(String),
+    /// The mirror could not serve an archive.
+    Fetch(FetchError),
+    /// A fetched archive failed checksum verification (Fig. 1's md5
+    /// directives): the build is aborted before anything is registered.
+    ChecksumMismatch {
+        /// Package whose archive was corrupt.
+        package: String,
+        /// Version fetched.
+        version: String,
+        /// Digest of the bytes actually fetched.
+        actual: String,
+    },
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::UnknownPackage(name) => {
+                write!(f, "no repository provides package `{name}`")
+            }
+            InstallError::NoRecipe(name) => {
+                write!(f, "package `{name}` has no install rule for this spec")
+            }
+            InstallError::Fetch(e) => write!(f, "fetch failed: {e}"),
+            InstallError::ChecksumMismatch {
+                package,
+                version,
+                actual,
+            } => write!(
+                f,
+                "md5 mismatch for {package}@{version}: archive digests to {actual}, \
+                 which does not match the version() directive"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+impl From<FetchError> for InstallError {
+    fn from(e: FetchError) -> Self {
+        InstallError::Fetch(e)
+    }
+}
+
+/// What happened to one DAG node during an install.
+#[derive(Debug, Clone)]
+pub struct BuildRecord {
+    /// Package name.
+    pub name: String,
+    /// Sub-DAG hash identifying the exact configuration (Fig. 9).
+    pub hash: String,
+    /// True if an existing install satisfied this node untouched.
+    pub reused: bool,
+    /// Build cost breakdown; `None` for reused nodes.
+    pub outcome: Option<BuildOutcome>,
+    /// Names of the patches applied (§3.2.4 `patch()` directives).
+    pub patches: Vec<String>,
+}
+
+/// The result of installing one concrete DAG.
+#[derive(Debug, Clone)]
+pub struct InstallReport {
+    /// One record per DAG node, in bottom-up build order.
+    pub builds: Vec<BuildRecord>,
+    /// Total simulated seconds if every build ran back-to-back.
+    pub serial_seconds: f64,
+    /// Simulated seconds on the DAG's critical path: the wall-clock floor
+    /// with unlimited parallel build slots.
+    pub critical_path_seconds: f64,
+}
+
+impl InstallReport {
+    /// How many nodes were actually built.
+    pub fn built_count(&self) -> usize {
+        self.builds.iter().filter(|b| !b.reused).count()
+    }
+
+    /// How many nodes were satisfied by existing installs (Fig. 9).
+    pub fn reused_count(&self) -> usize {
+        self.builds.iter().filter(|b| b.reused).count()
+    }
+}
+
+/// Install a concrete DAG: build every missing node bottom-up, then
+/// register the DAG (root marked explicit) and attach build logs.
+///
+/// All-or-nothing: any failure leaves the database exactly as found.
+pub fn install_dag(
+    dag: &ConcreteDag,
+    repos: &RepoStack,
+    db: &Mutex<Database>,
+    options: &InstallOptions,
+) -> Result<InstallReport, InstallError> {
+    let mut db = db.lock();
+    let hashes = DagHashes::compute(dag);
+    let platforms = PlatformRegistry::with_defaults();
+    let root_dir = db.root().to_string();
+
+    let mut builds = Vec::with_capacity(dag.len());
+    let mut logs: Vec<(String, String)> = Vec::new();
+    // Per-node simulated cost (0 for reused nodes), indexed by NodeId.
+    let mut costs = vec![0.0_f64; dag.len()];
+
+    for id in dag.topo_order() {
+        let node = dag.node(id);
+        let hash = hashes.node_hash(id).to_string();
+        if db.get(&hash).is_some() {
+            builds.push(BuildRecord {
+                name: node.name.clone(),
+                hash,
+                reused: true,
+                outcome: None,
+                patches: Vec::new(),
+            });
+            continue;
+        }
+
+        let pkg = repos
+            .get(&node.name)
+            .ok_or_else(|| InstallError::UnknownPackage(node.name.clone()))?;
+
+        // Fetch and verify (Fig. 1 checksums) before anything else.
+        let archive = options.mirror.fetch(pkg, &node.version)?;
+        if !archive.verified {
+            return Err(InstallError::ChecksumMismatch {
+                package: node.name.clone(),
+                version: node.version.to_string(),
+                actual: archive.md5,
+            });
+        }
+
+        let node_spec = node.as_node_spec();
+        let patches: Vec<String> = pkg
+            .patches_for(&node_spec)
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        let recipe = pkg
+            .recipe_for(&node_spec)
+            .ok_or_else(|| InstallError::NoRecipe(node.name.clone()))?;
+
+        // Dependency prefixes feed the wrapper's -I/-L/-rpath injection.
+        let dep_prefixes: Vec<String> = node
+            .deps
+            .iter()
+            .map(|&dep| NamingScheme::SpackDefault.prefix_for(&root_dir, dag, dep, &hashes))
+            .collect();
+        let wrapper = platforms.wrapper_for(node, &dep_prefixes);
+        let outcome = run_build(recipe, &pkg.workload, &wrapper, options.settings);
+        costs[id] = outcome.total();
+
+        let mut log = String::new();
+        log.push_str(&format!("==> building {}@{}\n", node.name, node.version));
+        log.push_str(&format!(
+            "==> fetched {} ({} bytes), md5 {} verified\n",
+            archive.url,
+            archive.bytes.len(),
+            archive.md5
+        ));
+        for p in &patches {
+            log.push_str(&format!("==> applied patch {p}\n"));
+        }
+        for (&dep, prefix) in node.deps.iter().zip(&dep_prefixes) {
+            log.push_str(&format!(
+                "==> dependency {} at {prefix}\n",
+                dag.node(dep).name
+            ));
+        }
+        log.push_str(&format!(
+            "==> {} installed successfully in {:.1}s (simulated, {} compiler invocations)\n",
+            node.name,
+            outcome.total(),
+            outcome.compiler_invocations
+        ));
+        logs.push((hash.clone(), log));
+
+        builds.push(BuildRecord {
+            name: node.name.clone(),
+            hash,
+            reused: false,
+            outcome: Some(outcome),
+            patches,
+        });
+    }
+
+    // Every node succeeded: commit the DAG and its logs atomically.
+    db.install_dag_as(dag, true);
+    for (hash, log) in logs {
+        db.attach_build_log(&hash, log).expect("just registered");
+    }
+
+    let serial_seconds = costs.iter().sum();
+    // finish[id] = cost[id] + max(finish[dep]); topo order is bottom-up.
+    let mut finish = vec![0.0_f64; dag.len()];
+    for id in dag.topo_order() {
+        let slowest_dep =
+            dag.node(id).deps.iter().fold(
+                0.0_f64,
+                |acc, &d| {
+                    if finish[d] > acc {
+                        finish[d]
+                    } else {
+                        acc
+                    }
+                },
+            );
+        finish[id] = costs[id] + slowest_dep;
+    }
+    let critical_path_seconds = finish[dag.root()];
+
+    Ok(InstallReport {
+        builds,
+        serial_seconds,
+        critical_path_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_package::{PackageBuilder, Repository};
+    use spack_spec::dag::node;
+    use spack_spec::{DagBuilder, Version};
+
+    fn test_repo() -> RepoStack {
+        let mut repo = Repository::new("test");
+        for name in ["leaf", "mid", "root-pkg"] {
+            let v = Version::new("1.0").unwrap();
+            repo.register(
+                PackageBuilder::new(name)
+                    .version("1.0", &Mirror::checksum_of(name, &v))
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        }
+        RepoStack::with_builtin(repo)
+    }
+
+    fn chain_dag() -> ConcreteDag {
+        // root-pkg -> mid -> leaf
+        let mut b = DagBuilder::new();
+        let leaf = b
+            .add_node(node("leaf", "1.0", ("gcc", "4.9.3"), "linux-x86_64"))
+            .unwrap();
+        let mid = b
+            .add_node(node("mid", "1.0", ("gcc", "4.9.3"), "linux-x86_64"))
+            .unwrap();
+        let root = b
+            .add_node(node("root-pkg", "1.0", ("gcc", "4.9.3"), "linux-x86_64"))
+            .unwrap();
+        b.add_edge(mid, leaf);
+        b.add_edge(root, mid);
+        b.build(root).unwrap()
+    }
+
+    #[test]
+    fn installs_bottom_up_and_reuses_on_reinstall() {
+        let repos = test_repo();
+        let db = Mutex::new(Database::new("/spack/opt"));
+        let dag = chain_dag();
+        let report = install_dag(&dag, &repos, &db, &InstallOptions::default()).unwrap();
+        assert_eq!(report.built_count(), 3);
+        assert_eq!(report.reused_count(), 0);
+        assert!(report.serial_seconds > 0.0);
+        // A chain has no parallelism: critical path == serial time.
+        assert!((report.critical_path_seconds - report.serial_seconds).abs() < 1e-9);
+
+        let again = install_dag(&dag, &repos, &db, &InstallOptions::default()).unwrap();
+        assert_eq!(again.built_count(), 0);
+        assert_eq!(again.reused_count(), 3);
+        assert_eq!(again.serial_seconds, 0.0);
+    }
+
+    #[test]
+    fn corrupt_archives_abort_without_registering() {
+        let repos = test_repo();
+        let db = Mutex::new(Database::new("/spack/opt"));
+        let dag = chain_dag();
+        let opts = InstallOptions {
+            mirror: Mirror::corrupting(),
+            ..Default::default()
+        };
+        let err = install_dag(&dag, &repos, &db, &opts).unwrap_err();
+        assert!(err.to_string().contains("md5 mismatch"), "{err}");
+        assert_eq!(db.lock().len(), 0);
+    }
+
+    #[test]
+    fn build_logs_are_attached() {
+        let repos = test_repo();
+        let db = Mutex::new(Database::new("/spack/opt"));
+        let dag = chain_dag();
+        install_dag(&dag, &repos, &db, &InstallOptions::default()).unwrap();
+        let db = db.lock();
+        let hashes = DagHashes::compute(&dag);
+        let rec = db.get(hashes.node_hash(dag.root())).unwrap();
+        let log = rec.build_log.as_ref().unwrap();
+        assert!(log.contains("==> building root-pkg@1.0"));
+        assert!(log.contains("==> dependency mid at /spack/opt/"));
+        assert!(log.contains("installed successfully"));
+    }
+}

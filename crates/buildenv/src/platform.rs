@@ -1,0 +1,122 @@
+//! Platform descriptions (SC'15 §4.5, Fig. 12).
+//!
+//! Porting Spack to Blue Gene/Q and Cray required teaching the build
+//! environment that certain (architecture, compiler) pairs need extra
+//! flags on every compiler invocation — Fig. 12 shows `-qnostaticlink`
+//! forcing dynamic linking with XL on BG/Q. A [`PlatformRegistry`] maps a
+//! concrete node's architecture and compiler to those flags and mints the
+//! node's compiler [`Wrapper`] with them baked in.
+
+use crate::wrapper::Wrapper;
+use spack_spec::ConcreteNode;
+use std::collections::BTreeMap;
+
+/// One platform: an architecture name plus per-compiler-family flag
+/// rules. A rule keyed `"*"` applies to every compiler on the platform.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    name: String,
+    rules: Vec<(String, Vec<String>)>,
+}
+
+impl Platform {
+    /// A platform with no special flags.
+    pub fn new(name: &str) -> Platform {
+        Platform {
+            name: name.to_string(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Add a flag rule for a compiler family (`"xl"`, or `"*"` for all).
+    pub fn with_rule(mut self, compiler: &str, flags: &[&str]) -> Platform {
+        self.rules.push((
+            compiler.to_string(),
+            flags.iter().map(|s| s.to_string()).collect(),
+        ));
+        self
+    }
+
+    /// The architecture name this platform describes.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Flags mandated for the given compiler family on this platform.
+    pub fn flags_for(&self, compiler: &str) -> Vec<String> {
+        let mut flags = Vec::new();
+        for (family, f) in &self.rules {
+            if family == "*" || family == compiler {
+                flags.extend(f.iter().cloned());
+            }
+        }
+        flags
+    }
+}
+
+/// The set of known platforms, keyed by architecture string.
+#[derive(Debug, Clone, Default)]
+pub struct PlatformRegistry {
+    platforms: BTreeMap<String, Platform>,
+}
+
+impl PlatformRegistry {
+    /// An empty registry: no platform mandates any flags.
+    pub fn new() -> PlatformRegistry {
+        PlatformRegistry::default()
+    }
+
+    /// The platforms of the paper's §4.5 porting story: BG/Q (XL must
+    /// link dynamically, Fig. 12) and Cray XE6 (dynamic linking against
+    /// the wrapper-managed RPATHs instead of Cray's static default).
+    pub fn with_defaults() -> PlatformRegistry {
+        let mut r = PlatformRegistry::new();
+        r.register(Platform::new("bgq").with_rule("xl", &["-qnostaticlink"]));
+        r.register(Platform::new("cray-xe6").with_rule("*", &["-dynamic"]));
+        r
+    }
+
+    /// Add or replace a platform description.
+    pub fn register(&mut self, platform: Platform) {
+        self.platforms.insert(platform.name().to_string(), platform);
+    }
+
+    /// Flags mandated for (architecture, compiler family); empty when the
+    /// architecture has no registered platform.
+    pub fn flags_for(&self, architecture: &str, compiler: &str) -> Vec<String> {
+        self.platforms
+            .get(architecture)
+            .map(|p| p.flags_for(compiler))
+            .unwrap_or_default()
+    }
+
+    /// Mint the compiler wrapper for a concrete node: its toolchain, its
+    /// dependency prefixes, and any platform-mandated flags.
+    pub fn wrapper_for(&self, node: &ConcreteNode, dep_prefixes: &[String]) -> Wrapper {
+        let flags = self.flags_for(&node.architecture, &node.compiler.name);
+        Wrapper::with_flags(node.compiler.clone(), dep_prefixes, flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bgq_xl_forces_dynamic_linking() {
+        let r = PlatformRegistry::with_defaults();
+        assert_eq!(r.flags_for("bgq", "xl"), vec!["-qnostaticlink".to_string()]);
+        assert!(r.flags_for("bgq", "gcc").is_empty());
+        assert!(r.flags_for("linux-x86_64", "xl").is_empty());
+    }
+
+    #[test]
+    fn wildcard_rules_apply_to_every_compiler() {
+        let r = PlatformRegistry::with_defaults();
+        assert_eq!(r.flags_for("cray-xe6", "pgi"), vec!["-dynamic".to_string()]);
+        assert_eq!(
+            r.flags_for("cray-xe6", "intel"),
+            vec!["-dynamic".to_string()]
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Compiler wrappers (SC'15 §3.5.2).
+//!
+//! Spack puts wrapper scripts named `cc`, `c++`, `f77`, `f90` first in
+//! `PATH`; build systems invoke them as "the compiler" and the wrapper
+//! rewrites the argument vector before delegating to the real toolchain:
+//! it adds `-I` flags for every dependency include directory, `-L` and
+//! `-Wl,-rpath` flags for every dependency library directory, and any
+//! platform-mandated flags (Fig. 12: `-qnostaticlink` for XL on BG/Q).
+//! RPATHs mean installed binaries find their exact dependencies without
+//! `LD_LIBRARY_PATH` tricks.
+
+use spack_spec::ConcreteCompiler;
+
+/// The language front-end a wrapper impersonates (`cc`, `c++`, `f77`,
+/// `f90` in Spack's build environment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Language {
+    /// The `cc` wrapper.
+    C,
+    /// The `c++` wrapper.
+    Cxx,
+    /// The `f77` wrapper.
+    F77,
+    /// The `f90` wrapper.
+    F90,
+}
+
+/// An argv-rewriting compiler wrapper bound to one concrete toolchain and
+/// one set of dependency prefixes.
+#[derive(Debug, Clone)]
+pub struct Wrapper {
+    compiler: ConcreteCompiler,
+    dep_prefixes: Vec<String>,
+    platform_flags: Vec<String>,
+}
+
+impl Wrapper {
+    /// A wrapper for `compiler` that injects flags for `dep_prefixes`.
+    pub fn new(compiler: ConcreteCompiler, dep_prefixes: &[String]) -> Wrapper {
+        Wrapper {
+            compiler,
+            dep_prefixes: dep_prefixes.to_vec(),
+            platform_flags: Vec::new(),
+        }
+    }
+
+    /// Like [`Wrapper::new`], with platform-mandated flags appended to
+    /// every invocation (see [`crate::platform::PlatformRegistry`]).
+    pub fn with_flags(
+        compiler: ConcreteCompiler,
+        dep_prefixes: &[String],
+        platform_flags: Vec<String>,
+    ) -> Wrapper {
+        Wrapper {
+            compiler,
+            dep_prefixes: dep_prefixes.to_vec(),
+            platform_flags,
+        }
+    }
+
+    /// The toolchain this wrapper delegates to.
+    pub fn compiler(&self) -> &ConcreteCompiler {
+        &self.compiler
+    }
+
+    /// Dependency prefixes whose include/lib directories are injected.
+    pub fn dep_prefixes(&self) -> &[String] {
+        &self.dep_prefixes
+    }
+
+    /// The real compiler executable for a language front-end
+    /// (§3.2.3 toolchain model: gcc/g++/gfortran, icc/icpc/ifort, ...).
+    pub fn real_compiler(&self, lang: Language) -> String {
+        let family: [&str; 4] = match self.compiler.name.as_str() {
+            "gcc" => ["gcc", "g++", "gfortran", "gfortran"],
+            "intel" => ["icc", "icpc", "ifort", "ifort"],
+            "clang" => ["clang", "clang++", "flang", "flang"],
+            "xl" => ["xlc", "xlC", "xlf", "xlf90"],
+            "pgi" => ["pgcc", "pgc++", "pgf77", "pgf90"],
+            other => return format!("{other}-{}", self.compiler.version),
+        };
+        let exe = match lang {
+            Language::C => family[0],
+            Language::Cxx => family[1],
+            Language::F77 => family[2],
+            Language::F90 => family[3],
+        };
+        format!("{exe}-{}", self.compiler.version)
+    }
+
+    /// Rewrite one compiler invocation: the wrapper's whole job.
+    ///
+    /// Returns the delegated argv: real compiler, injected `-I` flags, the
+    /// original arguments, platform flags, and — on linking invocations —
+    /// `-L`/`-Wl,-rpath` pairs for every dependency prefix.
+    pub fn rewrite(&self, lang: Language, args: &[String]) -> Vec<String> {
+        let compile_only = args.iter().any(|a| a == "-c" || a == "-E" || a == "-S");
+        let mut argv = Vec::with_capacity(
+            1 + args.len() + self.dep_prefixes.len() * 3 + self.platform_flags.len(),
+        );
+        argv.push(self.real_compiler(lang));
+        for dep in &self.dep_prefixes {
+            argv.push(format!("-I{dep}/include"));
+        }
+        argv.extend(args.iter().cloned());
+        argv.extend(self.platform_flags.iter().cloned());
+        if !compile_only {
+            for dep in &self.dep_prefixes {
+                argv.push(format!("-L{dep}/lib"));
+                argv.push(format!("-Wl,-rpath,{dep}/lib"));
+            }
+        }
+        argv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_spec::Version;
+
+    fn wrapper(deps: &[&str]) -> Wrapper {
+        Wrapper::new(
+            ConcreteCompiler {
+                name: "gcc".to_string(),
+                version: Version::new("4.9.3").unwrap(),
+            },
+            &deps.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn compile_gets_includes_but_no_rpaths() {
+        let w = wrapper(&["/opt/libelf"]);
+        let argv = w.rewrite(
+            Language::C,
+            &["-c".into(), "x.c".into(), "-o".into(), "x.o".into()],
+        );
+        assert_eq!(argv[0], "gcc-4.9.3");
+        assert!(argv.contains(&"-I/opt/libelf/include".to_string()));
+        assert!(!argv.iter().any(|a| a.starts_with("-L")));
+        assert!(!argv.iter().any(|a| a.starts_with("-Wl,-rpath")));
+    }
+
+    #[test]
+    fn link_gets_search_paths_and_rpaths() {
+        let w = wrapper(&["/opt/a", "/opt/b"]);
+        let argv = w.rewrite(Language::C, &["-o".into(), "prog".into(), "x.o".into()]);
+        assert!(argv.contains(&"-L/opt/a/lib".to_string()));
+        assert!(argv.contains(&"-Wl,-rpath,/opt/a/lib".to_string()));
+        assert!(argv.contains(&"-Wl,-rpath,/opt/b/lib".to_string()));
+    }
+
+    #[test]
+    fn language_selects_front_end() {
+        let w = wrapper(&[]);
+        assert_eq!(w.real_compiler(Language::Cxx), "g++-4.9.3");
+        assert_eq!(w.real_compiler(Language::F90), "gfortran-4.9.3");
+    }
+
+    #[test]
+    fn platform_flags_are_appended() {
+        let w = Wrapper::with_flags(
+            ConcreteCompiler {
+                name: "xl".to_string(),
+                version: Version::new("12.1").unwrap(),
+            },
+            &[],
+            vec!["-qnostaticlink".to_string()],
+        );
+        let argv = w.rewrite(Language::C, &["-o".into(), "x".into(), "x.c".into()]);
+        assert_eq!(argv[0], "xlc-12.1");
+        assert!(argv.contains(&"-qnostaticlink".to_string()));
+    }
+}

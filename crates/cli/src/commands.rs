@@ -14,6 +14,8 @@ pub const HELP: &str = "\
 spack-rs — Rust reproduction of the Spack package manager (SC'15)
 
 commands:
+  audit [--json]         statically lint every package recipe in the
+                         repository; exit code is the number of errors
   install [--no-wrappers] [--nfs-stage] [-j N] <spec>...
   spec <spec>            show the fully concretized DAG
   find [spec]            list installed specs matching a constraint
@@ -39,6 +41,27 @@ commands:
 
 fn parse_one(text: &str) -> Result<Spec, String> {
     Spec::parse(text).map_err(|e| e.to_string())
+}
+
+/// `spack-rs audit [--json]` — run every static-analysis pass over the
+/// repository. Returns the number of error-severity findings, which the
+/// caller turns into the process exit code (0 = clean, CI-friendly).
+pub fn audit(args: &[String]) -> Result<u8, String> {
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            other => return Err(format!("audit: unknown argument `{other}`")),
+        }
+    }
+    let repos = repo_stack();
+    let report = spack_audit::audit_repo(&repos);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(report.error_count().min(u8::MAX as usize) as u8)
 }
 
 /// `spack-rs install [flags] <spec>...`
@@ -85,7 +108,10 @@ pub fn install(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("==> Concretized {request}");
         print!("{dag}");
-        let db = Mutex::new(std::mem::replace(&mut state.db, spack_store::Database::new("/spack/opt")));
+        let db = Mutex::new(std::mem::replace(
+            &mut state.db,
+            spack_store::Database::new("/spack/opt"),
+        ));
         let report = install_dag(&dag, &repos, &db, &opts).map_err(|e| e.to_string())?;
         state.db = db.into_inner();
         // Persist before printing: a broken output pipe must not lose the
@@ -168,7 +194,11 @@ pub fn uninstall(args: &[String]) -> Result<(), String> {
     let hash = args.first().ok_or("uninstall: need a hash")?;
     let mut state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
     let rec = state.db.uninstall(hash).map_err(|e| e.to_string())?;
-    println!("==> Uninstalled {} [{}]", rec.dag.root_node().format_node(), &rec.hash[..8]);
+    println!(
+        "==> Uninstalled {} [{}]",
+        rec.dag.root_node().format_node(),
+        &rec.hash[..8]
+    );
     state.save().map_err(|e| e.to_string())
 }
 
@@ -275,8 +305,8 @@ pub fn graph(args: &[String]) -> Result<(), String> {
     let dag = Concretizer::new(&repos, &config)
         .concretize(&request)
         .map_err(|e| e.to_string())?;
-    let dot = dag.to_dot(|n| {
-        match repos.get(&n.name).and_then(|p| p.category.clone()) {
+    let dot = dag.to_dot(
+        |n| match repos.get(&n.name).and_then(|p| p.category.clone()) {
             Some(c) => match c.as_str() {
                 "physics" => "physics",
                 "math" => "math",
@@ -284,8 +314,8 @@ pub fn graph(args: &[String]) -> Result<(), String> {
                 _ => "external",
             },
             None => "external",
-        }
-    });
+        },
+    );
     println!("{dot}");
     Ok(())
 }
@@ -323,7 +353,13 @@ pub fn activate(args: &[String], on: bool) -> Result<(), String> {
         .db
         .query(&ext_req)
         .first()
-        .map(|r| (r.hash.clone(), r.prefix.clone(), r.dag.root_node().name.clone()))
+        .map(|r| {
+            (
+                r.hash.clone(),
+                r.prefix.clone(),
+                r.dag.root_node().name.clone(),
+            )
+        })
         .ok_or_else(|| format!("extension `{ext_req}` is not installed"))?;
     let tgt = state
         .db
@@ -343,7 +379,10 @@ pub fn activate(args: &[String], on: bool) -> Result<(), String> {
     // file per install, then replay recorded activations.
     let mut fs = FsTree::new();
     for rec in state.db.iter() {
-        fs.write_file(&format!("{}/lib/{}.py", rec.prefix, rec.dag.root_node().name), 1);
+        fs.write_file(
+            &format!("{}/lib/{}.py", rec.prefix, rec.dag.root_node().name),
+            1,
+        );
     }
     let mut reg = ExtensionRegistry::new();
     for (t, e) in &state.activations {
@@ -358,7 +397,14 @@ pub fn activate(args: &[String], on: bool) -> Result<(), String> {
 
     if on {
         let n = reg
-            .activate(&mut fs, &tgt.0, &tgt.1, &ext.0, &ext.1, ConflictPolicy::Error)
+            .activate(
+                &mut fs,
+                &tgt.0,
+                &tgt.1,
+                &ext.0,
+                &ext.1,
+                ConflictPolicy::Error,
+            )
             .map_err(|e| e.to_string())?;
         state.activations.push((tgt.0.clone(), ext.0.clone()));
         println!("==> Activated {} into {} ({n} links)", ext.2, tgt.1);
@@ -366,8 +412,13 @@ pub fn activate(args: &[String], on: bool) -> Result<(), String> {
         let n = reg
             .deactivate(&mut fs, &tgt.0, &ext.0)
             .map_err(|e| e.to_string())?;
-        state.activations.retain(|(t, e)| !(t == &tgt.0 && e == &ext.0));
-        println!("==> Deactivated {} from {} ({n} links removed)", ext.2, tgt.1);
+        state
+            .activations
+            .retain(|(t, e)| !(t == &tgt.0 && e == &ext.0));
+        println!(
+            "==> Deactivated {} from {} ({n} links removed)",
+            ext.2, tgt.1
+        );
     }
     state.save().map_err(|e| e.to_string())
 }
@@ -527,9 +578,7 @@ pub fn test_matrix(args: &[String]) -> Result<(), String> {
     let mut ok = 0;
     let mut failed = 0;
     for text in args {
-        match parse_one(text).and_then(|s| {
-            concretizer.concretize(&s).map_err(|e| e.to_string())
-        }) {
+        match parse_one(text).and_then(|s| concretizer.concretize(&s).map_err(|e| e.to_string())) {
             Ok(dag) => {
                 ok += 1;
                 println!("PASS {text}  ({} packages)", dag.len());
@@ -553,9 +602,17 @@ pub fn gc(_args: &[String]) -> Result<(), String> {
     let mut state = State::load(&State::default_home()).map_err(|e| e.to_string())?;
     let removed = state.db.gc();
     for rec in &removed {
-        println!("==> removed {} [{}]", rec.dag.root_node().format_node(), &rec.hash[..8]);
+        println!(
+            "==> removed {} [{}]",
+            rec.dag.root_node().format_node(),
+            &rec.hash[..8]
+        );
     }
-    println!("==> {} installs removed, {} remain", removed.len(), state.db.len());
+    println!(
+        "==> {} installs removed, {} remain",
+        removed.len(),
+        state.db.len()
+    );
     state.save().map_err(|e| e.to_string())
 }
 
@@ -604,9 +661,7 @@ pub fn checksum(args: &[String]) -> Result<(), String> {
     let mirror = spack_buildenv::Mirror::new();
     println!("==> checksums for {name} (paste into the package file):");
     for v in &pkg.versions {
-        let archive = mirror
-            .fetch(&pkg, &v.version)
-            .map_err(|e| e.to_string())?;
+        let archive = mirror.fetch(pkg, &v.version).map_err(|e| e.to_string())?;
         println!("    .version(\"{}\", \"{}\")", v.version, archive.md5);
     }
     Ok(())
@@ -633,7 +688,7 @@ pub fn mirror(args: &[String]) -> Result<(), String> {
                 continue;
             }
             let pkg = repos.get(&node.name).ok_or("package vanished")?;
-            let archive = m.fetch(&pkg, &node.version).map_err(|e| e.to_string())?;
+            let archive = m.fetch(pkg, &node.version).map_err(|e| e.to_string())?;
             println!(
                 "{:24} {:12} {:8} bytes  md5 {}  {}",
                 node.name,

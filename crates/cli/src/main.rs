@@ -1,6 +1,7 @@
 //! `spack-rs` — the command-line interface of the Spack reproduction.
 //!
 //! ```text
+//! spack-rs audit [--json]      statically lint every package recipe
 //! spack-rs install <spec>      concretize, build (simulated), register
 //! spack-rs spec <spec>         show the concretized DAG (Fig. 7 view)
 //! spack-rs find [spec]         query installed specs
@@ -28,6 +29,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `audit` owns its exit code: the number of error-severity findings.
+    if cmd == "audit" {
+        return match commands::audit(rest) {
+            Ok(errors) => ExitCode::from(errors),
+            Err(e) => {
+                eprintln!("==> Error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = match cmd {
         "install" => commands::install(rest),
         "spec" => commands::spec(rest),

@@ -97,7 +97,10 @@ impl State {
         for rec in self.db.iter() {
             // Every record gets a spec file (each restores its own
             // sub-DAG); the explicit set is recorded alongside.
-            fs::write(specs_dir.join(format!("{}.spec", &rec.hash[..16])), &rec.specfile)?;
+            fs::write(
+                specs_dir.join(format!("{}.spec", &rec.hash[..16])),
+                &rec.specfile,
+            )?;
             if rec.explicit {
                 explicit.push_str(&rec.hash);
                 explicit.push('\n');
@@ -121,9 +124,11 @@ impl State {
         config.register_compiler("intel", "15.0.1", &[]);
         config.register_compiler("clang", "3.6.2", &[]);
         config.register_compiler("xl", "12.1", &["bgq"]);
-        let mut defaults = spack_concretize::Preferences::default();
-        defaults.default_arch = Some("linux-x86_64".to_string());
-        defaults.default_compiler = Some(spack_spec::CompilerSpec::by_name("gcc"));
+        let defaults = spack_concretize::Preferences {
+            default_arch: Some("linux-x86_64".to_string()),
+            default_compiler: Some(spack_spec::CompilerSpec::by_name("gcc")),
+            ..Default::default()
+        };
         config.push_scope("defaults", defaults);
         for (name, path) in [
             ("site", self.home.join("config")),
@@ -137,5 +142,4 @@ impl State {
         }
         config
     }
-
 }

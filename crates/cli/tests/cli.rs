@@ -147,7 +147,10 @@ fn versions_scrape_and_test_matrix() {
     let o = run(&h, &["versions", "libelf"]);
     let out = stdout(&o);
     assert!(out.contains("0.8.13"));
-    assert!(out.contains("(new)"), "scraped a version newer than the package file:\n{out}");
+    assert!(
+        out.contains("(new)"),
+        "scraped a version newer than the package file:\n{out}"
+    );
 
     let o = run(&h, &["test-matrix", "mpileaks", "gerris", "hdf5+mpi"]);
     assert!(o.status.success());
@@ -162,7 +165,11 @@ fn view_command_from_rules_file() {
     run(&h, &["install", "mpileaks"]);
     std::fs::create_dir_all(&h).unwrap();
     let rules = h.join("view.rules");
-    std::fs::write(&rules, "# mpileaks links\n/opt/${PACKAGE}-${VERSION}-${MPINAME} = mpileaks\n").unwrap();
+    std::fs::write(
+        &rules,
+        "# mpileaks links\n/opt/${PACKAGE}-${VERSION}-${MPINAME} = mpileaks\n",
+    )
+    .unwrap();
     let o = run(&h, &["view", rules.to_str().unwrap()]);
     let out = stdout(&o);
     assert!(out.contains("/opt/mpileaks-2.3-"), "{out}");
@@ -206,7 +213,13 @@ fn gc_after_uninstall_sweeps_orphans() {
 fn create_checksum_mirror_module_refresh() {
     let h = home("extra");
     // `create` infers name/version and emits a pkg! skeleton.
-    let o = run(&h, &["create", "http://www.mr511.de/software/libelf-0.8.13.tar.gz"]);
+    let o = run(
+        &h,
+        &[
+            "create",
+            "http://www.mr511.de/software/libelf-0.8.13.tar.gz",
+        ],
+    );
     assert!(o.status.success());
     let out = stdout(&o);
     assert!(out.contains("pkg!(r, \"libelf\", [\"0.8.13\"],"), "{out}");

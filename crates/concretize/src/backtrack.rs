@@ -18,7 +18,7 @@ use std::collections::BTreeSet;
 use spack_package::RepoStack;
 use spack_spec::{ConcreteDag, Spec};
 
-use crate::concretizer::{Concretizer, ConcretizeStats};
+use crate::concretizer::{ConcretizeStats, Concretizer};
 use crate::config::{Config, Preferences};
 use crate::error::ConcretizeError;
 use crate::providers::ProviderIndex;
@@ -67,10 +67,11 @@ impl<'a> BacktrackingConcretizer<'a> {
         &self,
         request: &Spec,
     ) -> Result<(ConcreteDag, BacktrackStats), ConcretizeError> {
-        let mut stats = BacktrackStats::default();
-
         // Attempt 1: plain greedy under the given config.
-        stats.attempts = 1;
+        let mut stats = BacktrackStats {
+            attempts: 1,
+            ..BacktrackStats::default()
+        };
         let first = Concretizer::new(self.repos, self.config).concretize_with_stats(request);
         let first_err = match first {
             Ok((dag, run)) => {

@@ -130,8 +130,10 @@ impl<'a> Concretizer<'a> {
             .clone()
             .ok_or_else(|| ConcretizeError::UnknownPackage("<anonymous>".to_string()))?;
 
-        let mut state = State::default();
-        state.user_constraints = request.dependencies.clone();
+        let mut state = State {
+            user_constraints: request.dependencies.clone(),
+            ..State::default()
+        };
 
         // The root may itself be a virtual name (`spack install mpi`).
         let root_constraint = request.root_only();
@@ -140,8 +142,7 @@ impl<'a> Concretizer<'a> {
             let node = state.add_node(&root_name);
             node.spec.constrain(&root_constraint)?;
         } else if self.providers.is_virtual(&root_name) {
-            let (provider, constraint) =
-                self.select_provider(&root_constraint, &mut state)?;
+            let (provider, constraint) = self.select_provider(&root_constraint, &mut state)?;
             state.root = provider.clone();
             let node = state.add_node(&provider);
             node.spec.constrain(&constraint)?;
@@ -185,8 +186,7 @@ impl<'a> Concretizer<'a> {
         // Every `^name` the user wrote must actually occur in the DAG
         // (virtual names count when a provider was chosen for them).
         for name in state.user_constraints.keys() {
-            let present = dag.by_name(name).is_some()
-                || state.chosen_providers.contains_key(name);
+            let present = dag.by_name(name).is_some() || state.chosen_providers.contains_key(name);
             if !present {
                 return Err(ConcretizeError::Conflict(format!(
                     "`^{name}` was requested but `{}` does not depend on it",
@@ -215,11 +215,7 @@ impl<'a> Concretizer<'a> {
     }
 
     /// Merge any user `^name` constraint into a node.
-    fn apply_user_constraints(
-        &self,
-        name: &str,
-        state: &mut State,
-    ) -> Result<(), ConcretizeError> {
+    fn apply_user_constraints(&self, name: &str, state: &mut State) -> Result<(), ConcretizeError> {
         if let Some(c) = state.user_constraints.get(name).cloned() {
             let node = state.add_node(name);
             node.spec.constrain(&c)?;
@@ -382,7 +378,10 @@ impl<'a> Concretizer<'a> {
             let entry = pick(&from_chosen).ok_or_else(|| ConcretizeError::Conflict(format!(
                 "provider `{chosen}` already selected for `{vname}` cannot satisfy `{requested}` (greedy: no backtracking)"
             )))?;
-            return Ok((entry.package.clone(), provider_constraint(requested, &entry)));
+            return Ok((
+                entry.package.clone(),
+                provider_constraint(requested, &entry),
+            ));
         }
 
         // 2. A provider the user explicitly requested (`^mvapich2`).
@@ -431,7 +430,10 @@ impl<'a> Concretizer<'a> {
             .chosen_providers
             .insert(vname.clone(), entry.package.clone());
         state.stats.virtuals_resolved += 1;
-        Ok((entry.package.clone(), provider_constraint(requested, &entry)))
+        Ok((
+            entry.package.clone(),
+            provider_constraint(requested, &entry),
+        ))
     }
 
     /// Pin all parameters of one node (§3.4 step 3 + Fig. 6
@@ -460,10 +462,7 @@ impl<'a> Concretizer<'a> {
         // Compiler: own constraint > root's > compiler_order > default,
         // restricted to toolchains providing the package's required
         // compiler features (§4.5 extension).
-        let constraint = spec
-            .compiler
-            .clone()
-            .or_else(|| root_spec.compiler.clone());
+        let constraint = spec.compiler.clone().or_else(|| root_spec.compiler.clone());
         let concrete = self.pick_compiler(constraint, &arch, name, &pkg.compiler_features)?;
         spec.compiler = Some(CompilerSpec {
             name: concrete.name.clone(),
@@ -616,7 +615,7 @@ impl<'a> Concretizer<'a> {
             return Ok((*v).clone());
         }
         // Newest satisfying known version (stable preferred over develop).
-        if let Some(v) = VersionList::any().highest_satisfying(satisfying.into_iter()) {
+        if let Some(v) = VersionList::any().highest_satisfying(satisfying) {
             return Ok(v.clone());
         }
         // Unknown but fully pinned: extrapolate (§3.2.3 "Versions").
@@ -713,10 +712,7 @@ impl<'a> Concretizer<'a> {
 /// the virtual (e.g. `^mpi%gcc+debug=bgq` carries compiler/variant/arch to
 /// the provider; the *version* constrains the interface, not the package).
 fn provider_constraint(requested: &Spec, entry: &ProviderEntry) -> Spec {
-    let mut c = entry
-        .when
-        .clone()
-        .unwrap_or_else(Spec::anonymous);
+    let mut c = entry.when.clone().unwrap_or_else(Spec::anonymous);
     c.name = Some(entry.package.clone());
     c.compiler = c.compiler.or_else(|| requested.compiler.clone());
     if c.architecture.is_none() {

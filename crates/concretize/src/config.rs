@@ -71,9 +71,11 @@ impl Config {
     pub fn with_defaults() -> Config {
         let mut c = Config::new();
         c.register_compiler("gcc", "4.9.2", &[]);
-        let mut p = Preferences::default();
-        p.default_arch = Some("linux-x86_64".to_string());
-        p.default_compiler = Some(CompilerSpec::by_name("gcc"));
+        let p = Preferences {
+            default_arch: Some("linux-x86_64".to_string()),
+            default_compiler: Some(CompilerSpec::by_name("gcc")),
+            ..Preferences::default()
+        };
         c.push_scope("defaults", p);
         c
     }
@@ -200,9 +202,7 @@ impl Config {
             if rc.compiler.name != constraint.name {
                 continue;
             }
-            if !rc.architectures.is_empty()
-                && !rc.architectures.iter().any(|a| a == arch)
-            {
+            if !rc.architectures.is_empty() && !rc.architectures.iter().any(|a| a == arch) {
                 continue;
             }
             if !constraint.versions.contains(&rc.compiler.version) {
@@ -329,8 +329,8 @@ mod tests {
         assert_eq!(prefs.compiler_order[1].to_string(), "gcc@4.9.3");
         assert_eq!(prefs.provider_order["mpi"], vec!["mvapich2", "openmpi"]);
         assert_eq!(prefs.version_prefs["python"].to_string(), "2.7");
-        assert_eq!(prefs.variant_prefs["hdf5"]["mpi"], true);
-        assert_eq!(prefs.variant_prefs["hdf5"]["debug"], false);
+        assert!(prefs.variant_prefs["hdf5"]["mpi"]);
+        assert!(!prefs.variant_prefs["hdf5"]["debug"]);
         assert_eq!(prefs.default_arch.as_deref(), Some("linux-x86_64"));
         assert_eq!(prefs.default_compiler.as_ref().unwrap().name, "gcc");
     }
@@ -370,28 +370,39 @@ mod tests {
             versions: VersionList::parse("4.7").unwrap(),
         };
         assert_eq!(
-            c.resolve_compiler(&gcc47, "linux-x86_64").unwrap().to_string(),
+            c.resolve_compiler(&gcc47, "linux-x86_64")
+                .unwrap()
+                .to_string(),
             "gcc@4.7.3"
         );
         // xl is bgq-only.
         let xl = CompilerSpec::by_name("xl");
         assert!(c.resolve_compiler(&xl, "linux-x86_64").is_err());
-        assert_eq!(c.resolve_compiler(&xl, "bgq").unwrap().to_string(), "xl@12.1");
+        assert_eq!(
+            c.resolve_compiler(&xl, "bgq").unwrap().to_string(),
+            "xl@12.1"
+        );
     }
 
     #[test]
     fn concrete_unregistered_compiler_is_trusted() {
         let c = Config::new();
         let pgi = CompilerSpec::exact("pgi", "15.1").unwrap();
-        assert_eq!(c.resolve_compiler(&pgi, "x").unwrap().to_string(), "pgi@15.1");
+        assert_eq!(
+            c.resolve_compiler(&pgi, "x").unwrap().to_string(),
+            "pgi@15.1"
+        );
         // But a vague unregistered request fails.
-        assert!(c.resolve_compiler(&CompilerSpec::by_name("pgi"), "x").is_err());
+        assert!(c
+            .resolve_compiler(&CompilerSpec::by_name("pgi"), "x")
+            .is_err());
     }
 
     #[test]
     fn compiler_rank_orders_preferences() {
         let mut c = Config::new();
-        c.push_scope_text("site", "compiler_order = icc,gcc@4.9.3\n").unwrap();
+        c.push_scope_text("site", "compiler_order = icc,gcc@4.9.3\n")
+            .unwrap();
         let icc = ConcreteCompiler {
             name: "icc".to_string(),
             version: Version::new("14.1").unwrap(),
@@ -417,7 +428,10 @@ mod tests {
         c.push_scope_text("user", "variants hdf5 = ~mpi\n").unwrap();
         assert_eq!(c.variant_preference("hdf5", "mpi"), Some(false));
         assert_eq!(c.variant_preference("hdf5", "ghost"), None);
-        assert_eq!(c.version_preference("libelf").unwrap().to_string(), "0.8.12");
+        assert_eq!(
+            c.version_preference("libelf").unwrap().to_string(),
+            "0.8.12"
+        );
         assert_eq!(c.version_preference("python"), None);
     }
 }

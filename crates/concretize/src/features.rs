@@ -45,7 +45,8 @@ impl FeatureRegistry {
     pub fn with_defaults() -> FeatureRegistry {
         let mut r = FeatureRegistry::new();
         let add = |r: &mut FeatureRegistry, c: &str, cv: &str, f: &str, fv: &str| {
-            r.register(c, cv, f, fv).expect("valid default feature entry");
+            r.register(c, cv, f, fv)
+                .expect("valid default feature entry");
         };
         // C++ standards.
         add(&mut r, "gcc", "4.8.1:", "cxx11", ":");

@@ -34,7 +34,7 @@ pub mod features;
 pub mod providers;
 
 pub use backtrack::BacktrackingConcretizer;
-pub use concretizer::{Concretizer, ConcretizeStats};
+pub use concretizer::{ConcretizeStats, Concretizer};
 pub use config::{parse_preferences, Config, Preferences, RegisteredCompiler};
 pub use error::ConcretizeError;
 pub use features::{FeatureEntry, FeatureRegistry};

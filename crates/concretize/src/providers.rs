@@ -52,9 +52,9 @@ impl ProviderIndex {
         // provider constraint text, so ties break identically everywhere.
         for entries in by_virtual.values_mut() {
             entries.sort_by(|a, b| {
-                a.package.cmp(&b.package).then_with(|| {
-                    format_when(&a.when).cmp(&format_when(&b.when))
-                })
+                a.package
+                    .cmp(&b.package)
+                    .then_with(|| format_when(&a.when).cmp(&format_when(&b.when)))
             });
         }
         ProviderIndex { by_virtual }
@@ -177,8 +177,9 @@ mod tests {
             .map(|e| format!("{} when {}", e.package, format_when(&e.when)))
             .collect();
         assert_eq!(c.len(), 3, "{names:?}");
-        assert!(!names.iter().any(|n| n.contains("mpi@:1")
-            || (n.starts_with("mpich") && n.contains("@1:1.9"))));
+        assert!(!names
+            .iter()
+            .any(|n| n.contains("mpi@:1") || (n.starts_with("mpich") && n.contains("@1:1.9"))));
     }
 
     #[test]
@@ -193,8 +194,6 @@ mod tests {
     #[test]
     fn unknown_virtual_yields_nothing() {
         let idx = ProviderIndex::build(&fig5_repo());
-        assert!(idx
-            .candidates_for(&Spec::parse("blas").unwrap())
-            .is_empty());
+        assert!(idx.candidates_for(&Spec::parse("blas").unwrap()).is_empty());
     }
 }

@@ -10,30 +10,48 @@ use spack_spec::Spec;
 /// hwloc@1.8 (conflict), provider `loosempi` accepts any hwloc.
 fn hwloc_world() -> RepoStack {
     let mut r = Repository::new("builtin");
-    r.register(PackageBuilder::new("hwloc")
-        .version("1.8", "aa").version("1.9", "ab")
-        .build().unwrap()).unwrap();
-    r.register(PackageBuilder::new("strictmpi")
-        .version("1.0", "ba")
-        .provides("mpi@:3")
-        .depends_on("hwloc@1.8")
-        .build().unwrap()).unwrap();
-    r.register(PackageBuilder::new("loosempi")
-        .version("1.0", "ca")
-        .provides("mpi@:3")
-        .depends_on("hwloc")
-        .build().unwrap()).unwrap();
-    r.register(PackageBuilder::new("app")
-        .version("1.0", "da")
-        .depends_on("hwloc@1.9")
-        .depends_on("mpi")
-        .build().unwrap()).unwrap();
+    r.register(
+        PackageBuilder::new("hwloc")
+            .version("1.8", "aa")
+            .version("1.9", "ab")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    r.register(
+        PackageBuilder::new("strictmpi")
+            .version("1.0", "ba")
+            .provides("mpi@:3")
+            .depends_on("hwloc@1.8")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    r.register(
+        PackageBuilder::new("loosempi")
+            .version("1.0", "ca")
+            .provides("mpi@:3")
+            .depends_on("hwloc")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    r.register(
+        PackageBuilder::new("app")
+            .version("1.0", "da")
+            .depends_on("hwloc@1.9")
+            .depends_on("mpi")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
     RepoStack::with_builtin(r)
 }
 
 fn config_preferring(provider: &str) -> Config {
     let mut c = Config::with_defaults();
-    c.push_scope_text("site", &format!("providers mpi = {provider}\n")).unwrap();
+    c.push_scope_text("site", &format!("providers mpi = {provider}\n"))
+        .unwrap();
     c
 }
 

@@ -2,7 +2,7 @@
 //! packages that need C++11 or OpenMP levels steer compiler selection,
 //! and C++ ABI consistency is enforced DAG-wide.
 
-use spack_concretize::{Concretizer, ConcretizeError, Config};
+use spack_concretize::{ConcretizeError, Concretizer, Config};
 use spack_package::{PackageBuilder, RepoStack, Repository};
 use spack_spec::Spec;
 
@@ -49,7 +49,8 @@ fn config() -> Config {
     c.register_compiler("gcc", "4.7.4", &[]); // no cxx11, OpenMP 3.1
     c.register_compiler("gcc", "4.9.3", &[]); // cxx11, OpenMP 4.0
     c.register_compiler("intel", "14.0.4", &[]); // neither
-    c.push_scope_text("site", "arch = linux-x86_64\ncompiler = gcc\n").unwrap();
+    c.push_scope_text("site", "arch = linux-x86_64\ncompiler = gcc\n")
+        .unwrap();
     c
 }
 
@@ -58,7 +59,8 @@ fn feature_requirement_steers_version_choice() {
     let repos = world();
     let mut cfg = config();
     // Site prefers the old gcc...
-    cfg.push_scope_text("user", "compiler_order = gcc@4.7.4\n").unwrap();
+    cfg.push_scope_text("user", "compiler_order = gcc@4.7.4\n")
+        .unwrap();
     let c = Concretizer::new(&repos, &cfg);
     // ...and plain packages get it...
     let dag = c.concretize(&Spec::parse("oldlib").unwrap()).unwrap();
@@ -79,7 +81,10 @@ fn versioned_openmp_requirement() {
     let err = c
         .concretize(&Spec::parse("openmp4app%gcc@4.7.4").unwrap())
         .unwrap_err();
-    assert!(matches!(err, ConcretizeError::FeatureUnsupported { .. }), "{err}");
+    assert!(
+        matches!(err, ConcretizeError::FeatureUnsupported { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -89,7 +94,9 @@ fn constrained_compiler_upgrades_within_constraint() {
     let c = Concretizer::new(&repos, &cfg);
     // `%gcc` resolves to the newest gcc anyway; `%gcc@4.7:` must skip
     // 4.7.4 (no cxx11) and land on 4.9.3.
-    let dag = c.concretize(&Spec::parse("modern%gcc@4.7:").unwrap()).unwrap();
+    let dag = c
+        .concretize(&Spec::parse("modern%gcc@4.7:").unwrap())
+        .unwrap();
     assert_eq!(dag.root_node().compiler.to_string(), "gcc@4.9.3");
 }
 
@@ -98,7 +105,8 @@ fn no_capable_compiler_is_an_error() {
     let repos = world();
     let mut cfg = Config::new();
     cfg.register_compiler("intel", "14.0.4", &[]); // lacks cxx11
-    cfg.push_scope_text("site", "arch = linux-x86_64\ncompiler = intel\n").unwrap();
+    cfg.push_scope_text("site", "arch = linux-x86_64\ncompiler = intel\n")
+        .unwrap();
     let err = Concretizer::new(&repos, &cfg)
         .concretize(&Spec::parse("modern").unwrap())
         .unwrap_err();
@@ -132,7 +140,8 @@ fn custom_feature_registry() {
     let mut features = FeatureRegistry::with_defaults();
     features.register("gcc", "4.7.4", "cxx11", ":").unwrap();
     cfg.set_features(features);
-    cfg.push_scope_text("user", "compiler_order = gcc@4.7.4\n").unwrap();
+    cfg.push_scope_text("user", "compiler_order = gcc@4.7.4\n")
+        .unwrap();
     let dag = Concretizer::new(&repos, &cfg)
         .concretize(&Spec::parse("modern").unwrap())
         .unwrap();

@@ -3,7 +3,7 @@
 //! dependencies of Fig. 5, conditional dependencies (§3.2.4), site
 //! policies (§3.4.4, §4.3.1), and the greedy-conflict behavior of §4.5.
 
-use spack_concretize::{Concretizer, ConcretizeError, Config};
+use spack_concretize::{ConcretizeError, Concretizer, Config};
 use spack_package::{PackageBuilder, RepoStack, Repository};
 use spack_spec::Spec;
 
@@ -14,96 +14,170 @@ fn paper_repo() -> RepoStack {
     let mut r = Repository::new("builtin");
     let reg = |r: &mut Repository, p| r.register(p).unwrap();
 
-    reg(&mut r, PackageBuilder::new("mpileaks")
-        .describe("Tool to detect and report leaked MPI objects.")
-        .version("1.0", "8838c574b39202a57d7c2d68692718aa")
-        .version("1.1", "4282eddb08ad8d36df15b06d4be38bcb")
-        .version("2.3", "77cc77cc77cc77cc77cc77cc77cc77cc")
-        .variant("debug", false, "debug instrumentation")
-        .depends_on("mpi")
-        .depends_on("callpath")
-        .build().unwrap());
+    reg(
+        &mut r,
+        PackageBuilder::new("mpileaks")
+            .describe("Tool to detect and report leaked MPI objects.")
+            .version("1.0", "8838c574b39202a57d7c2d68692718aa")
+            .version("1.1", "4282eddb08ad8d36df15b06d4be38bcb")
+            .version("2.3", "77cc77cc77cc77cc77cc77cc77cc77cc")
+            .variant("debug", false, "debug instrumentation")
+            .depends_on("mpi")
+            .depends_on("callpath")
+            .build()
+            .unwrap(),
+    );
 
-    reg(&mut r, PackageBuilder::new("callpath")
-        .version("1.0", "aa").version("1.0.2", "ab").version("1.1", "ac")
-        .variant("debug", false, "debug symbols")
-        .depends_on("dyninst")
-        .depends_on("mpi")
-        .build().unwrap());
+    reg(
+        &mut r,
+        PackageBuilder::new("callpath")
+            .version("1.0", "aa")
+            .version("1.0.2", "ab")
+            .version("1.1", "ac")
+            .variant("debug", false, "debug symbols")
+            .depends_on("dyninst")
+            .depends_on("mpi")
+            .build()
+            .unwrap(),
+    );
 
-    reg(&mut r, PackageBuilder::new("dyninst")
-        .version("8.0", "ba").version("8.1.2", "bb")
-        .depends_on("libdwarf")
-        .depends_on("libelf")
-        .build().unwrap());
+    reg(
+        &mut r,
+        PackageBuilder::new("dyninst")
+            .version("8.0", "ba")
+            .version("8.1.2", "bb")
+            .depends_on("libdwarf")
+            .depends_on("libelf")
+            .build()
+            .unwrap(),
+    );
 
-    reg(&mut r, PackageBuilder::new("libdwarf")
-        .version("20130207", "ca").version("20130729", "cb")
-        .depends_on("libelf")
-        .build().unwrap());
+    reg(
+        &mut r,
+        PackageBuilder::new("libdwarf")
+            .version("20130207", "ca")
+            .version("20130729", "cb")
+            .depends_on("libelf")
+            .build()
+            .unwrap(),
+    );
 
-    reg(&mut r, PackageBuilder::new("libelf")
-        .version("0.8.11", "da").version("0.8.13", "db")
-        .build().unwrap());
+    reg(
+        &mut r,
+        PackageBuilder::new("libelf")
+            .version("0.8.11", "da")
+            .version("0.8.13", "db")
+            .build()
+            .unwrap(),
+    );
 
     // Fig. 5 providers.
-    reg(&mut r, PackageBuilder::new("mvapich2")
-        .version("1.9", "ea").version("2.0", "eb")
-        .provides_when("mpi@:2.2", "@1.9")
-        .provides_when("mpi@:3.0", "@2.0")
-        .build().unwrap());
+    reg(
+        &mut r,
+        PackageBuilder::new("mvapich2")
+            .version("1.9", "ea")
+            .version("2.0", "eb")
+            .provides_when("mpi@:2.2", "@1.9")
+            .provides_when("mpi@:3.0", "@2.0")
+            .build()
+            .unwrap(),
+    );
 
-    reg(&mut r, PackageBuilder::new("mpich")
-        .version("1.2", "fa").version("3.0.4", "fb")
-        .provides_when("mpi@:3", "@3:")
-        .provides_when("mpi@:1", "@1:1.9")
-        .build().unwrap());
+    reg(
+        &mut r,
+        PackageBuilder::new("mpich")
+            .version("1.2", "fa")
+            .version("3.0.4", "fb")
+            .provides_when("mpi@:3", "@3:")
+            .provides_when("mpi@:1", "@1:1.9")
+            .build()
+            .unwrap(),
+    );
 
-    reg(&mut r, PackageBuilder::new("openmpi")
-        .version("1.4.7", "ga").version("1.8.8", "gb")
-        .provides("mpi@:2.2")
-        .build().unwrap());
+    reg(
+        &mut r,
+        PackageBuilder::new("openmpi")
+            .version("1.4.7", "ga")
+            .version("1.8.8", "gb")
+            .provides("mpi@:2.2")
+            .build()
+            .unwrap(),
+    );
 
     // Fig. 5 dependent with a versioned interface requirement.
-    reg(&mut r, PackageBuilder::new("gerris")
-        .version("1.0", "ha")
-        .depends_on("mpi@2:")
-        .build().unwrap());
+    reg(
+        &mut r,
+        PackageBuilder::new("gerris")
+            .version("1.0", "ha")
+            .depends_on("mpi@2:")
+            .build()
+            .unwrap(),
+    );
 
     // §4.5 hwloc conflict: strict-mpi pins hwloc@1.8, loose-mpi is fine.
-    reg(&mut r, PackageBuilder::new("hwloc")
-        .version("1.8", "ia").version("1.9", "ib")
-        .build().unwrap());
-    reg(&mut r, PackageBuilder::new("strictmpi")
-        .version("1.0", "ja")
-        .provides("mpi@:3")
-        .depends_on("hwloc@1.8")
-        .build().unwrap());
-    reg(&mut r, PackageBuilder::new("loosempi")
-        .version("1.0", "ka")
-        .provides("mpi@:3")
-        .depends_on("hwloc")
-        .build().unwrap());
-    reg(&mut r, PackageBuilder::new("needs-hwloc19")
-        .version("1.0", "la")
-        .depends_on("hwloc@1.9")
-        .depends_on("mpi")
-        .build().unwrap());
+    reg(
+        &mut r,
+        PackageBuilder::new("hwloc")
+            .version("1.8", "ia")
+            .version("1.9", "ib")
+            .build()
+            .unwrap(),
+    );
+    reg(
+        &mut r,
+        PackageBuilder::new("strictmpi")
+            .version("1.0", "ja")
+            .provides("mpi@:3")
+            .depends_on("hwloc@1.8")
+            .build()
+            .unwrap(),
+    );
+    reg(
+        &mut r,
+        PackageBuilder::new("loosempi")
+            .version("1.0", "ka")
+            .provides("mpi@:3")
+            .depends_on("hwloc")
+            .build()
+            .unwrap(),
+    );
+    reg(
+        &mut r,
+        PackageBuilder::new("needs-hwloc19")
+            .version("1.0", "la")
+            .depends_on("hwloc@1.9")
+            .depends_on("mpi")
+            .build()
+            .unwrap(),
+    );
 
     // §3.2.4 conditional dependencies.
-    reg(&mut r, PackageBuilder::new("boost")
-        .version("1.54.0", "ma").version("1.59.0", "mb")
-        .build().unwrap());
-    reg(&mut r, PackageBuilder::new("rose")
-        .version("0.9.6", "na")
-        .depends_on_when("boost@1.54.0", "%gcc@:4")
-        .depends_on_when("boost@1.59.0", "%gcc@5:")
-        .build().unwrap());
-    reg(&mut r, PackageBuilder::new("hdf5")
-        .version("1.8.13", "oa")
-        .variant("mpi", true, "parallel HDF5")
-        .depends_on_when("mpi", "+mpi")
-        .build().unwrap());
+    reg(
+        &mut r,
+        PackageBuilder::new("boost")
+            .version("1.54.0", "ma")
+            .version("1.59.0", "mb")
+            .build()
+            .unwrap(),
+    );
+    reg(
+        &mut r,
+        PackageBuilder::new("rose")
+            .version("0.9.6", "na")
+            .depends_on_when("boost@1.54.0", "%gcc@:4")
+            .depends_on_when("boost@1.59.0", "%gcc@5:")
+            .build()
+            .unwrap(),
+    );
+    reg(
+        &mut r,
+        PackageBuilder::new("hdf5")
+            .version("1.8.13", "oa")
+            .variant("mpi", true, "parallel HDF5")
+            .depends_on_when("mpi", "+mpi")
+            .build()
+            .unwrap(),
+    );
 
     RepoStack::with_builtin(r)
 }
@@ -115,7 +189,8 @@ fn config() -> Config {
     c.register_compiler("gcc", "5.2.0", &[]);
     c.register_compiler("intel", "14.1", &[]);
     c.register_compiler("xl", "12.1", &["bgq"]);
-    c.push_scope_text("site", "arch = linux-x86_64\ncompiler = gcc\n").unwrap();
+    c.push_scope_text("site", "arch = linux-x86_64\ncompiler = gcc\n")
+        .unwrap();
     c
 }
 
@@ -282,7 +357,8 @@ fn greedy_conflict_hwloc_example() {
     // hwloc@1.9. Greedy refuses rather than backtracking.
     let repos = paper_repo();
     let mut cfg = config();
-    cfg.push_scope_text("user", "providers mpi = strictmpi\n").unwrap();
+    cfg.push_scope_text("user", "providers mpi = strictmpi\n")
+        .unwrap();
     let err = Concretizer::new(&repos, &cfg)
         .concretize(&Spec::parse("needs-hwloc19").unwrap())
         .unwrap_err();
@@ -298,7 +374,8 @@ fn greedy_conflict_hwloc_example() {
 fn provider_order_policy_is_respected() {
     let repos = paper_repo();
     let mut cfg = config();
-    cfg.push_scope_text("site", "providers mpi = openmpi,mpich\n").unwrap();
+    cfg.push_scope_text("site", "providers mpi = openmpi,mpich\n")
+        .unwrap();
     let dag = Concretizer::new(&repos, &cfg)
         .concretize(&Spec::parse("mpileaks").unwrap())
         .unwrap();
@@ -310,7 +387,8 @@ fn compiler_order_policy_is_respected() {
     // §4.3.1: compiler_order = icc,gcc@4.9.3 — here intel first.
     let repos = paper_repo();
     let mut cfg = config();
-    cfg.push_scope_text("user", "compiler_order = intel,gcc\n").unwrap();
+    cfg.push_scope_text("user", "compiler_order = intel,gcc\n")
+        .unwrap();
     let dag = Concretizer::new(&repos, &cfg)
         .concretize(&Spec::parse("libelf").unwrap())
         .unwrap();
@@ -321,7 +399,8 @@ fn compiler_order_policy_is_respected() {
 fn version_preference_policy() {
     let repos = paper_repo();
     let mut cfg = config();
-    cfg.push_scope_text("site", "prefer libelf = 0.8.11\n").unwrap();
+    cfg.push_scope_text("site", "prefer libelf = 0.8.11\n")
+        .unwrap();
     let dag = Concretizer::new(&repos, &cfg)
         .concretize(&Spec::parse("mpileaks").unwrap())
         .unwrap();
@@ -339,7 +418,8 @@ fn version_preference_policy() {
 fn variant_preference_policy() {
     let repos = paper_repo();
     let mut cfg = config();
-    cfg.push_scope_text("site", "variants mpileaks = +debug\n").unwrap();
+    cfg.push_scope_text("site", "variants mpileaks = +debug\n")
+        .unwrap();
     let dag = Concretizer::new(&repos, &cfg)
         .concretize(&Spec::parse("mpileaks").unwrap())
         .unwrap();

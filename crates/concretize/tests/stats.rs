@@ -6,7 +6,13 @@ use spack_spec::Spec;
 
 fn world() -> (RepoStack, Config) {
     let mut r = Repository::new("builtin");
-    r.register(PackageBuilder::new("leaf").version("1.0", "aa").build().unwrap()).unwrap();
+    r.register(
+        PackageBuilder::new("leaf")
+            .version("1.0", "aa")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
     r.register(
         PackageBuilder::new("mid")
             .version("1.0", "ba")
@@ -35,7 +41,8 @@ fn world() -> (RepoStack, Config) {
     .unwrap();
     let mut c = Config::new();
     c.register_compiler("gcc", "4.9.3", &[]);
-    c.push_scope_text("site", "arch = linux-x86_64\ncompiler = gcc\n").unwrap();
+    c.push_scope_text("site", "arch = linux-x86_64\ncompiler = gcc\n")
+        .unwrap();
     (RepoStack::with_builtin(r), c)
 }
 

@@ -59,6 +59,13 @@ impl<T> Multimethod<T> {
         self.cases.len()
     }
 
+    /// The guarded cases, in registration (i.e. dispatch-priority) order.
+    /// Exposes the `when=` predicates for static analysis of a package's
+    /// dispatch table without resolving against a concrete node.
+    pub fn cases(&self) -> &[(Spec, T)] {
+        &self.cases
+    }
+
     /// Whether a default rule exists.
     pub fn has_default(&self) -> bool {
         self.default.is_some()

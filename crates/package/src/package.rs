@@ -485,7 +485,11 @@ impl PackageBuilder {
                 )));
             }
         }
-        if self.def.install_rules.resolve(&Spec::named(&self.def.name)).is_none()
+        if self
+            .def
+            .install_rules
+            .resolve(&Spec::named(&self.def.name))
+            .is_none()
             && !self.def.install_rules.has_default()
             && self.def.install_rules.case_count() == 0
         {
@@ -593,8 +597,14 @@ mod tests {
         let v19 = Spec::parse("mvapich2@1.9%gcc@4.9=linux-x86_64").unwrap();
         let v20 = Spec::parse("mvapich2@2.0%gcc@4.9=linux-x86_64").unwrap();
         assert_eq!(mvapich2.provides_for(&v19).len(), 1);
-        assert_eq!(mvapich2.provides_for(&v19)[0].vspec.versions.to_string(), ":2.2");
-        assert_eq!(mvapich2.provides_for(&v20)[0].vspec.versions.to_string(), ":3.0");
+        assert_eq!(
+            mvapich2.provides_for(&v19)[0].vspec.versions.to_string(),
+            ":2.2"
+        );
+        assert_eq!(
+            mvapich2.provides_for(&v20)[0].vspec.versions.to_string(),
+            ":3.0"
+        );
         assert!(mvapich2.ever_provides("mpi"));
         assert!(!mvapich2.ever_provides("blas"));
     }

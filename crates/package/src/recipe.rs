@@ -58,7 +58,10 @@ impl BuildRecipe {
 
     /// Does this recipe run a configure-style probe phase?
     pub fn has_configure_phase(&self) -> bool {
-        matches!(self, BuildRecipe::Autotools { .. } | BuildRecipe::CMake { .. })
+        matches!(
+            self,
+            BuildRecipe::Autotools { .. } | BuildRecipe::CMake { .. }
+        )
     }
 }
 

@@ -136,7 +136,11 @@ mod tests {
     #[test]
     fn extrapolate_unparseable_model_is_none() {
         assert_eq!(
-            extrapolate("http://x.org/snapshot.tar.gz", "mpileaks", &Version::new("2").unwrap()),
+            extrapolate(
+                "http://x.org/snapshot.tar.gz",
+                "mpileaks",
+                &Version::new("2").unwrap()
+            ),
             None
         );
     }

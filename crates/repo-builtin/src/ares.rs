@@ -27,19 +27,86 @@ pub fn register(r: &mut Repository) {
         for d in deps {
             b = b.depends_on(d);
         }
-        r.register(b.build().expect("valid physics package")).expect("unique physics package");
+        r.register(b.build().expect("valid physics package"))
+            .expect("unique physics package");
     };
-    phys(r, "matprop", &["3.2", "4.0"], "Material property database interface (physics).", &["bdivxml"]);
-    phys(r, "leos", &["8.1", "8.2"], "Livermore equation-of-state access library (physics).", &["bdivxml", "hdf5"]);
-    phys(r, "mslib", &["3.5"], "Material strength model library (physics).", &["matprop"]);
-    phys(r, "laser", &["2.1"], "Laser ray-trace deposition package (physics).", &["mpi"]);
-    phys(r, "cretin", &["2.09"], "Atomic kinetics and radiation package (physics).", &["hdf5"]);
-    phys(r, "tdf", &["1.7"], "Tabular data format physics I/O (physics).", &["silo"]);
-    phys(r, "cheetah", &["4.2"], "Thermochemical equation-of-state package (physics).", &["leos"]);
-    phys(r, "dsd", &["1.3"], "Detonation shock dynamics package (physics).", &["mslib"]);
-    phys(r, "teton", &["4.0", "4.1"], "Deterministic Sn thermal radiation transport (physics).", &["mpi", "silo"]);
-    phys(r, "nuclear", &["2.0"], "Nuclear reaction data package (physics).", &["bdivxml"]);
-    phys(r, "asclaser", &["1.1"], "ASC laser physics package (physics).", &["laser"]);
+    phys(
+        r,
+        "matprop",
+        &["3.2", "4.0"],
+        "Material property database interface (physics).",
+        &["bdivxml"],
+    );
+    phys(
+        r,
+        "leos",
+        &["8.1", "8.2"],
+        "Livermore equation-of-state access library (physics).",
+        &["bdivxml", "hdf5"],
+    );
+    phys(
+        r,
+        "mslib",
+        &["3.5"],
+        "Material strength model library (physics).",
+        &["matprop"],
+    );
+    phys(
+        r,
+        "laser",
+        &["2.1"],
+        "Laser ray-trace deposition package (physics).",
+        &["mpi"],
+    );
+    phys(
+        r,
+        "cretin",
+        &["2.09"],
+        "Atomic kinetics and radiation package (physics).",
+        &["hdf5"],
+    );
+    phys(
+        r,
+        "tdf",
+        &["1.7"],
+        "Tabular data format physics I/O (physics).",
+        &["silo"],
+    );
+    phys(
+        r,
+        "cheetah",
+        &["4.2"],
+        "Thermochemical equation-of-state package (physics).",
+        &["leos"],
+    );
+    phys(
+        r,
+        "dsd",
+        &["1.3"],
+        "Detonation shock dynamics package (physics).",
+        &["mslib"],
+    );
+    phys(
+        r,
+        "teton",
+        &["4.0", "4.1"],
+        "Deterministic Sn thermal radiation transport (physics).",
+        &["mpi", "silo"],
+    );
+    phys(
+        r,
+        "nuclear",
+        &["2.0"],
+        "Nuclear reaction data package (physics).",
+        &["bdivxml"],
+    );
+    phys(
+        r,
+        "asclaser",
+        &["1.1"],
+        "ASC laser physics package (physics).",
+        &["laser"],
+    );
 
     // --- 8 LLNL utility libraries (Silo registered in io.rs) -----------
     pkg!(r, "bdivxml", ["2.4"],

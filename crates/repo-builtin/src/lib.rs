@@ -143,11 +143,25 @@ mod tests {
     fn paper_stacks_present() {
         let repo = builtin_repo();
         for name in [
-            "mpileaks", "callpath", "dyninst", "libdwarf", "libelf",
-            "mpich", "mvapich2", "openmpi",
-            "python", "py-numpy", "py-scipy",
-            "ares", "samrai", "hypre", "silo", "teton",
-            "gperftools", "netlib-lapack", "libpng",
+            "mpileaks",
+            "callpath",
+            "dyninst",
+            "libdwarf",
+            "libelf",
+            "mpich",
+            "mvapich2",
+            "openmpi",
+            "python",
+            "py-numpy",
+            "py-scipy",
+            "ares",
+            "samrai",
+            "hypre",
+            "silo",
+            "teton",
+            "gperftools",
+            "netlib-lapack",
+            "libpng",
         ] {
             assert!(repo.get(name).is_some(), "missing `{name}`");
         }
@@ -162,9 +176,9 @@ mod tests {
         for pkg in repo.iter() {
             let v = &pkg.versions[0];
             if v.checksum.is_some() {
-                let archive = m.fetch(pkg, &v.version).unwrap_or_else(|e| {
-                    panic!("fetch failed for {}@{}: {e}", pkg.name, v.version)
-                });
+                let archive = m
+                    .fetch(pkg, &v.version)
+                    .unwrap_or_else(|e| panic!("fetch failed for {}@{}: {e}", pkg.name, v.version));
                 assert!(archive.verified);
             }
         }

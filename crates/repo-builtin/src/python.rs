@@ -43,37 +43,196 @@ pub fn register(r: &mut Repository) {
         for d in deps {
             b = b.depends_on(d);
         }
-        r.register(b.build().expect("valid py extension")).expect("unique py extension");
+        r.register(b.build().expect("valid py extension"))
+            .expect("unique py extension");
     };
 
     ext(r, "py-setuptools", &["18.1", "19.2"], "Python packaging toolchain (the one whose multi-version pkg_resources support needs client changes, 4.2).", &[]);
     ext(r, "py-numpy", &["1.9.1", "1.9.2"], "N-dimensional arrays for Python (Fig. 13 'numpy'; the friendly interface to compiled BLAS/LAPACK, 4.2).", &["blas", "lapack"]);
-    ext(r, "py-scipy", &["0.15.0", "0.15.1"], "Scientific algorithms on numpy (Fig. 13 'scipy').", &["py-numpy"]);
-    ext(r, "py-six", &["1.9.0"], "Python 2/3 compatibility shims.", &[]);
-    ext(r, "py-nose", &["1.3.4", "1.3.7"], "Unit-test discovery and running.", &["py-setuptools"]);
-    ext(r, "py-cython", &["0.21.2", "0.23.4"], "C extension compiler for Python.", &[]);
-    ext(r, "py-dateutil", &["2.4.0", "2.4.2"], "Extensions to datetime.", &["py-six", "py-setuptools"]);
-    ext(r, "py-pytz", &["2014.10", "2015.4"], "World timezone definitions.", &[]);
-    ext(r, "py-pandas", &["0.16.0", "0.16.1"], "Data structures for statistics.", &["py-numpy", "py-dateutil", "py-pytz"]);
+    ext(
+        r,
+        "py-scipy",
+        &["0.15.0", "0.15.1"],
+        "Scientific algorithms on numpy (Fig. 13 'scipy').",
+        &["py-numpy"],
+    );
+    ext(
+        r,
+        "py-six",
+        &["1.9.0"],
+        "Python 2/3 compatibility shims.",
+        &[],
+    );
+    ext(
+        r,
+        "py-nose",
+        &["1.3.4", "1.3.7"],
+        "Unit-test discovery and running.",
+        &["py-setuptools"],
+    );
+    ext(
+        r,
+        "py-cython",
+        &["0.21.2", "0.23.4"],
+        "C extension compiler for Python.",
+        &[],
+    );
+    ext(
+        r,
+        "py-dateutil",
+        &["2.4.0", "2.4.2"],
+        "Extensions to datetime.",
+        &["py-six", "py-setuptools"],
+    );
+    ext(
+        r,
+        "py-pytz",
+        &["2014.10", "2015.4"],
+        "World timezone definitions.",
+        &[],
+    );
+    ext(
+        r,
+        "py-pandas",
+        &["0.16.0", "0.16.1"],
+        "Data structures for statistics.",
+        &["py-numpy", "py-dateutil", "py-pytz"],
+    );
     ext(r, "py-sympy", &["0.7.6"], "Symbolic mathematics.", &[]);
-    ext(r, "py-pyparsing", &["2.0.3"], "Grammar definition library.", &[]);
-    ext(r, "py-pygments", &["2.0.1", "2.0.2"], "Syntax highlighting.", &["py-setuptools"]);
-    ext(r, "py-markupsafe", &["0.23"], "XML/HTML/XHTML safe string markup.", &[]);
-    ext(r, "py-jinja2", &["2.8"], "Sandboxed templating engine.", &["py-markupsafe"]);
-    ext(r, "py-babel", &["2.2"], "Internationalization utilities.", &["py-pytz"]);
-    ext(r, "py-docutils", &["0.12"], "Documentation processing.", &[]);
-    ext(r, "py-sphinx", &["1.3.1"], "Documentation generator.", &["py-jinja2", "py-docutils", "py-pygments", "py-six", "py-babel"]);
-    ext(r, "py-mock", &["1.3.0"], "Mock objects for testing.", &["py-six", "py-setuptools"]);
-    ext(r, "py-pexpect", &["3.3"], "Controlling interactive applications.", &[]);
-    ext(r, "py-virtualenv", &["13.0.1", "13.1.2"], "Isolated Python environments.", &["py-setuptools"]);
-    ext(r, "py-matplotlib", &["1.4.2", "1.4.3"], "2D plotting library.", &["py-numpy", "py-dateutil", "py-pytz", "py-pyparsing", "py-setuptools", "libpng", "freetype"]);
-    ext(r, "py-h5py", &["2.4.0", "2.5.0"], "HDF5 bindings for Python.", &["hdf5", "py-numpy", "py-cython"]);
-    ext(r, "py-mpi4py", &["1.3.1"], "MPI bindings for Python.", &["mpi"]);
+    ext(
+        r,
+        "py-pyparsing",
+        &["2.0.3"],
+        "Grammar definition library.",
+        &[],
+    );
+    ext(
+        r,
+        "py-pygments",
+        &["2.0.1", "2.0.2"],
+        "Syntax highlighting.",
+        &["py-setuptools"],
+    );
+    ext(
+        r,
+        "py-markupsafe",
+        &["0.23"],
+        "XML/HTML/XHTML safe string markup.",
+        &[],
+    );
+    ext(
+        r,
+        "py-jinja2",
+        &["2.8"],
+        "Sandboxed templating engine.",
+        &["py-markupsafe"],
+    );
+    ext(
+        r,
+        "py-babel",
+        &["2.2"],
+        "Internationalization utilities.",
+        &["py-pytz"],
+    );
+    ext(
+        r,
+        "py-docutils",
+        &["0.12"],
+        "Documentation processing.",
+        &[],
+    );
+    ext(
+        r,
+        "py-sphinx",
+        &["1.3.1"],
+        "Documentation generator.",
+        &[
+            "py-jinja2",
+            "py-docutils",
+            "py-pygments",
+            "py-six",
+            "py-babel",
+        ],
+    );
+    ext(
+        r,
+        "py-mock",
+        &["1.3.0"],
+        "Mock objects for testing.",
+        &["py-six", "py-setuptools"],
+    );
+    ext(
+        r,
+        "py-pexpect",
+        &["3.3"],
+        "Controlling interactive applications.",
+        &[],
+    );
+    ext(
+        r,
+        "py-virtualenv",
+        &["13.0.1", "13.1.2"],
+        "Isolated Python environments.",
+        &["py-setuptools"],
+    );
+    ext(
+        r,
+        "py-matplotlib",
+        &["1.4.2", "1.4.3"],
+        "2D plotting library.",
+        &[
+            "py-numpy",
+            "py-dateutil",
+            "py-pytz",
+            "py-pyparsing",
+            "py-setuptools",
+            "libpng",
+            "freetype",
+        ],
+    );
+    ext(
+        r,
+        "py-h5py",
+        &["2.4.0", "2.5.0"],
+        "HDF5 bindings for Python.",
+        &["hdf5", "py-numpy", "py-cython"],
+    );
+    ext(
+        r,
+        "py-mpi4py",
+        &["1.3.1"],
+        "MPI bindings for Python.",
+        &["mpi"],
+    );
     ext(r, "py-yaml", &["3.11"], "YAML parser and emitter.", &[]);
-    ext(r, "py-ipython", &["2.3.1", "3.1.0"], "Interactive Python shell.", &["py-pygments", "py-setuptools"]);
-    ext(r, "py-numexpr", &["2.4.6"], "Fast array expression evaluator.", &["py-numpy"]);
-    ext(r, "py-pillow", &["2.9.0"], "Imaging library fork of PIL.", &["libjpeg-turbo", "zlib", "py-setuptools"]);
-    ext(r, "py-pip", &["7.1.2"], "Package installer for Python.", &["py-setuptools"]);
+    ext(
+        r,
+        "py-ipython",
+        &["2.3.1", "3.1.0"],
+        "Interactive Python shell.",
+        &["py-pygments", "py-setuptools"],
+    );
+    ext(
+        r,
+        "py-numexpr",
+        &["2.4.6"],
+        "Fast array expression evaluator.",
+        &["py-numpy"],
+    );
+    ext(
+        r,
+        "py-pillow",
+        &["2.9.0"],
+        "Imaging library fork of PIL.",
+        &["libjpeg-turbo", "zlib", "py-setuptools"],
+    );
+    ext(
+        r,
+        "py-pip",
+        &["7.1.2"],
+        "Package installer for Python.",
+        &["py-setuptools"],
+    );
 
     // R extensions use the same extension machinery (§4.2: "this design
     // could also be used with other languages ... R, Ruby, or Lua").
@@ -87,11 +246,30 @@ pub fn register(r: &mut Repository) {
         for d in deps {
             b = b.depends_on(d);
         }
-        r.register(b.build().expect("valid r extension")).expect("unique r extension");
+        r.register(b.build().expect("valid r extension"))
+            .expect("unique r extension");
     };
-    rext(r, "r-rcpp", "0.12.2", "Seamless R and C++ integration.", &[]);
-    rext(r, "r-ggplot2", "1.0.1", "Grammar-of-graphics plotting.", &["r-rcpp"]);
-    rext(r, "r-matrix", "1.2.3", "Sparse and dense matrix classes.", &["lapack"]);
+    rext(
+        r,
+        "r-rcpp",
+        "0.12.2",
+        "Seamless R and C++ integration.",
+        &[],
+    );
+    rext(
+        r,
+        "r-ggplot2",
+        "1.0.1",
+        "Grammar-of-graphics plotting.",
+        &["r-rcpp"],
+    );
+    rext(
+        r,
+        "r-matrix",
+        "1.2.3",
+        "Sparse and dense matrix classes.",
+        &["lapack"],
+    );
 
     pkg!(r, "lua-luafilesystem", ["1.6.3"],
         .describe("Filesystem functions for Lua."),

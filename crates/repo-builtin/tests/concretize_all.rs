@@ -58,12 +58,32 @@ fn ares_stack_has_47_packages() {
     assert_eq!(dag.len(), 47, "ARES closure: {names:?}");
     // The root depends on LLNL physics, math, utility, and externals.
     for expected in [
-        "matprop", "leos", "teton", "cretin", "cheetah",  // physics
-        "samrai", "hypre", "overlink", "qd",               // math/meshing
-        "silo", "bdivxml", "scallop", "timers",            // utility
-        "python", "py-numpy", "py-scipy", "tcl", "tk",     // externals
-        "boost", "hdf5", "gsl", "ga", "hpdf", "opclient",
-        "netlib-lapack", "netlib-blas",                    // resolved virtuals
+        "matprop",
+        "leos",
+        "teton",
+        "cretin",
+        "cheetah", // physics
+        "samrai",
+        "hypre",
+        "overlink",
+        "qd", // math/meshing
+        "silo",
+        "bdivxml",
+        "scallop",
+        "timers", // utility
+        "python",
+        "py-numpy",
+        "py-scipy",
+        "tcl",
+        "tk", // externals
+        "boost",
+        "hdf5",
+        "gsl",
+        "ga",
+        "hpdf",
+        "opclient",
+        "netlib-lapack",
+        "netlib-blas", // resolved virtuals
     ] {
         assert!(dag.by_name(expected).is_some(), "ARES missing {expected}");
     }
@@ -108,7 +128,9 @@ fn mpileaks_fig7_shape_from_builtin_repo() {
     let dag = Concretizer::new(&repos, &config)
         .concretize(&Spec::parse("mpileaks ^mpich@3.0.4").unwrap())
         .unwrap();
-    for pkg in ["mpileaks", "callpath", "dyninst", "libdwarf", "libelf", "mpich"] {
+    for pkg in [
+        "mpileaks", "callpath", "dyninst", "libdwarf", "libelf", "mpich",
+    ] {
         assert!(dag.by_name(pkg).is_some(), "missing {pkg}");
     }
     let mpich = dag.node(dag.by_name("mpich").unwrap());

@@ -322,7 +322,10 @@ impl ConcreteDag {
         }
         for n in &self.nodes {
             for &d in &n.deps {
-                out.push_str(&format!("  \"{}\" -> \"{}\";\n", n.name, self.nodes[d].name));
+                out.push_str(&format!(
+                    "  \"{}\" -> \"{}\";\n",
+                    n.name, self.nodes[d].name
+                ));
             }
         }
         out.push_str("}\n");
@@ -416,12 +419,7 @@ impl DagBuilder {
 }
 
 /// Construct a concrete node quickly (testing and workload generation).
-pub fn node(
-    name: &str,
-    version: &str,
-    compiler: (&str, &str),
-    arch: &str,
-) -> ConcreteNode {
+pub fn node(name: &str, version: &str, compiler: (&str, &str), arch: &str) -> ConcreteNode {
     ConcreteNode {
         name: name.to_string(),
         version: Version::new(version).expect("valid version"),
@@ -445,12 +443,29 @@ mod tests {
     /// libdwarf -> libelf.
     pub fn mpileaks_dag() -> ConcreteDag {
         let mut b = DagBuilder::new();
-        let mpileaks = b.add_node(node("mpileaks", "2.3", ("gcc", "4.7.3"), "linux-ppc64")).unwrap();
-        let mpich = b.add_node(node("mpich", "3.0.4", ("gcc", "4.7.3"), "linux-ppc64")).unwrap();
-        let callpath = b.add_node(node("callpath", "1.0.2", ("gcc", "4.7.3"), "linux-ppc64")).unwrap();
-        let dyninst = b.add_node(node("dyninst", "8.1.2", ("gcc", "4.7.3"), "linux-ppc64")).unwrap();
-        let libdwarf = b.add_node(node("libdwarf", "20130729", ("gcc", "4.7.3"), "linux-ppc64")).unwrap();
-        let libelf = b.add_node(node("libelf", "0.8.11", ("gcc", "4.7.3"), "linux-ppc64")).unwrap();
+        let mpileaks = b
+            .add_node(node("mpileaks", "2.3", ("gcc", "4.7.3"), "linux-ppc64"))
+            .unwrap();
+        let mpich = b
+            .add_node(node("mpich", "3.0.4", ("gcc", "4.7.3"), "linux-ppc64"))
+            .unwrap();
+        let callpath = b
+            .add_node(node("callpath", "1.0.2", ("gcc", "4.7.3"), "linux-ppc64"))
+            .unwrap();
+        let dyninst = b
+            .add_node(node("dyninst", "8.1.2", ("gcc", "4.7.3"), "linux-ppc64"))
+            .unwrap();
+        let libdwarf = b
+            .add_node(node(
+                "libdwarf",
+                "20130729",
+                ("gcc", "4.7.3"),
+                "linux-ppc64",
+            ))
+            .unwrap();
+        let libelf = b
+            .add_node(node("libelf", "0.8.11", ("gcc", "4.7.3"), "linux-ppc64"))
+            .unwrap();
         b.add_edge(mpileaks, mpich);
         b.add_edge(mpileaks, callpath);
         b.add_edge(callpath, mpich);
@@ -474,8 +489,11 @@ mod tests {
     #[test]
     fn rejects_duplicate_package() {
         let mut b = DagBuilder::new();
-        b.add_node(node("libelf", "0.8.11", ("gcc", "4.7.3"), "x")).unwrap();
-        assert!(b.add_node(node("libelf", "0.8.13", ("gcc", "4.7.3"), "x")).is_err());
+        b.add_node(node("libelf", "0.8.11", ("gcc", "4.7.3"), "x"))
+            .unwrap();
+        assert!(b
+            .add_node(node("libelf", "0.8.13", ("gcc", "4.7.3"), "x"))
+            .is_err());
     }
 
     #[test]

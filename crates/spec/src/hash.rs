@@ -85,12 +85,29 @@ mod tests {
 
     fn mpileaks_with(mpi: &str) -> ConcreteDag {
         let mut b = DagBuilder::new();
-        let root = b.add_node(node("mpileaks", "1.0", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let m = b.add_node(node(mpi, "3.0", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let cp = b.add_node(node("callpath", "1.0.2", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let dy = b.add_node(node("dyninst", "8.1.2", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let ld = b.add_node(node("libdwarf", "20130729", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let le = b.add_node(node("libelf", "0.8.11", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
+        let root = b
+            .add_node(node("mpileaks", "1.0", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        let m = b
+            .add_node(node(mpi, "3.0", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        let cp = b
+            .add_node(node("callpath", "1.0.2", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        let dy = b
+            .add_node(node("dyninst", "8.1.2", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        let ld = b
+            .add_node(node(
+                "libdwarf",
+                "20130729",
+                ("gcc", "4.9.2"),
+                "linux-x86_64",
+            ))
+            .unwrap();
+        let le = b
+            .add_node(node("libelf", "0.8.11", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
         b.add_edge(root, m);
         b.add_edge(root, cp);
         b.add_edge(cp, m);
@@ -141,13 +158,30 @@ mod tests {
     fn version_change_propagates_to_dependents_only() {
         let base = mpileaks_with("mpich");
         let mut b = DagBuilder::new();
-        let root = b.add_node(node("mpileaks", "1.0", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let m = b.add_node(node("mpich", "3.0", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let cp = b.add_node(node("callpath", "1.0.2", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let dy = b.add_node(node("dyninst", "8.1.2", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let ld = b.add_node(node("libdwarf", "20130729", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
+        let root = b
+            .add_node(node("mpileaks", "1.0", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        let m = b
+            .add_node(node("mpich", "3.0", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        let cp = b
+            .add_node(node("callpath", "1.0.2", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        let dy = b
+            .add_node(node("dyninst", "8.1.2", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        let ld = b
+            .add_node(node(
+                "libdwarf",
+                "20130729",
+                ("gcc", "4.9.2"),
+                "linux-x86_64",
+            ))
+            .unwrap();
         // Different libelf version.
-        let le = b.add_node(node("libelf", "0.8.13", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
+        let le = b
+            .add_node(node("libelf", "0.8.13", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
         b.add_edge(root, m);
         b.add_edge(root, cp);
         b.add_edge(cp, m);

@@ -193,9 +193,7 @@ impl Parser {
         } else {
             match lo {
                 Some(v) => Ok(VersionRange::point(v)),
-                None => Err(SpecError::parse(
-                    "expected version after `@`".to_string(),
-                )),
+                None => Err(SpecError::parse("expected version after `@`".to_string())),
             }
         }
     }

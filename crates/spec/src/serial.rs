@@ -46,8 +46,7 @@ pub fn to_specfile(dag: &ConcreteDag) -> String {
                 if *on { "on" } else { "off" }
             ));
         }
-        let mut dep_names: Vec<&str> =
-            n.deps.iter().map(|&d| dag.node(d).name.as_str()).collect();
+        let mut dep_names: Vec<&str> = n.deps.iter().map(|&d| dag.node(d).name.as_str()).collect();
         dep_names.sort_unstable();
         for d in dep_names {
             out.push_str(&format!("  dep {d}\n"));
@@ -215,14 +214,20 @@ mod tests {
 
     fn sample() -> ConcreteDag {
         let mut b = DagBuilder::new();
-        let root = b.add_node({
-            let mut n = node("mpileaks", "1.0", ("gcc", "4.9.2"), "linux-x86_64");
-            n.variants.insert("debug".into(), true);
-            n.variants.insert("profile".into(), false);
-            n
-        }).unwrap();
-        let cp = b.add_node(node("callpath", "1.0.2", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let le = b.add_node(node("libelf", "0.8.11", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
+        let root = b
+            .add_node({
+                let mut n = node("mpileaks", "1.0", ("gcc", "4.9.2"), "linux-x86_64");
+                n.variants.insert("debug".into(), true);
+                n.variants.insert("profile".into(), false);
+                n
+            })
+            .unwrap();
+        let cp = b
+            .add_node(node("callpath", "1.0.2", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        let le = b
+            .add_node(node("libelf", "0.8.11", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
         b.add_edge(root, cp);
         b.add_edge(cp, le);
         b.build(root).unwrap()

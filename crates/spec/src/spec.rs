@@ -427,12 +427,11 @@ mod tests {
     #[test]
     fn constrain_merges_dependencies() {
         let mut s = spec("mpileaks ^callpath@1:");
-        s.constrain(&spec("mpileaks ^callpath@:2 ^libelf@0.8.11")).unwrap();
+        s.constrain(&spec("mpileaks ^callpath@:2 ^libelf@0.8.11"))
+            .unwrap();
         assert_eq!(s.dependencies["callpath"].versions.to_string(), "1:2");
         assert_eq!(s.dependencies["libelf"].versions.to_string(), "0.8.11");
-        assert!(s
-            .constrain(&spec("mpileaks ^callpath@3:"))
-            .is_err());
+        assert!(s.constrain(&spec("mpileaks ^callpath@3:")).is_err());
     }
 
     #[test]

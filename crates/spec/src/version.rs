@@ -103,7 +103,9 @@ impl Version {
         let mut components = Vec::new();
         for piece in s.split('.') {
             if piece.is_empty() {
-                return Err(SpecError::parse(format!("empty version component in `{s}`")));
+                return Err(SpecError::parse(format!(
+                    "empty version component in `{s}`"
+                )));
             }
             // Split runs of digits from runs of non-digits within a piece.
             let mut run = String::new();
@@ -222,7 +224,7 @@ impl Version {
 
 impl PartialOrd for Version {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.version_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -253,7 +255,7 @@ fn render_components(components: &[Component]) -> String {
     let mut prev_numeric = false;
     for (i, c) in components.iter().enumerate() {
         let numeric = matches!(c, Component::Num(_));
-        if i > 0 && !(prev_numeric && !numeric) {
+        if i > 0 && (numeric || !prev_numeric) {
             out.push('.');
         }
         out.push_str(&c.to_string());
@@ -353,6 +355,13 @@ impl VersionRange {
                 if a.version_cmp(b) == Ordering::Greater && !b.is_prefix_of(a) {
                     return false;
                 }
+                // Prefix semantics cut the other way too: `:15` admits
+                // every 15.x (15 is a prefix of all of them), so it is
+                // *not* a subset of `:15.8` even though 15 < 15.8. A
+                // strictly-shorter prefix bound is the looser one.
+                if a != b && a.is_prefix_of(b) {
+                    return false;
+                }
             }
         }
         true
@@ -377,9 +386,7 @@ impl VersionRange {
                 // of the other, the longer one is tighter.
                 Some(if a.is_prefix_of(b) {
                     b.clone()
-                } else if b.is_prefix_of(a) {
-                    a.clone()
-                } else if a.version_cmp(b) == Ordering::Less {
+                } else if b.is_prefix_of(a) || a.version_cmp(b) == Ordering::Less {
                     a.clone()
                 } else {
                     b.clone()
@@ -561,6 +568,19 @@ impl VersionList {
         Ok(changed)
     }
 
+    /// Non-mutating intersection: the list admitting exactly the versions
+    /// admitted by both `self` and `other`, or `None` when the constraints
+    /// are disjoint. The `Option` form suits static analysis (an auditor
+    /// asking "can these two directives ever both hold?") better than the
+    /// in-place, erroring [`VersionList::intersect_with`].
+    pub fn intersection(&self, other: &VersionList) -> Option<VersionList> {
+        let mut out = self.clone();
+        match out.intersect_with(other) {
+            Ok(_) => Some(out),
+            Err(_) => None,
+        }
+    }
+
     /// The highest version among a set of candidates that satisfies this
     /// list, preferring non-develop releases (site policy default: newest
     /// stable release wins).
@@ -611,7 +631,9 @@ pub fn parse_range(s: &str) -> Result<VersionRange, SpecError> {
         let (lo, hi) = s.split_at(idx);
         let hi = &hi[1..];
         if hi.contains(':') {
-            return Err(SpecError::parse(format!("multiple `:` in version range `{s}`")));
+            return Err(SpecError::parse(format!(
+                "multiple `:` in version range `{s}`"
+            )));
         }
         let lo = if lo.is_empty() {
             None
@@ -763,7 +785,7 @@ mod tests {
     #[test]
     fn bumped_versions() {
         assert_eq!(v("1.2.3").bumped().to_string(), "1.2.4");
-        assert_eq!(v("1.2.3").bumped() > v("1.2.3"), true);
+        assert!(v("1.2.3").bumped() > v("1.2.3"));
     }
 
     #[test]

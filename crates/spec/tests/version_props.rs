@@ -1,0 +1,180 @@
+//! Property-based tests for the version-range algebra that the audit
+//! passes lean on: emptiness of `a ∩ b` must agree with concrete
+//! witnesses, intersection must be the pointwise AND of containment, and
+//! subset relations must imply non-empty intersections.
+
+use proptest::prelude::*;
+use spack_spec::{Version, VersionList};
+
+prop_compose! {
+    /// A plausible numeric version: 1–3 dotted components, each 0..20.
+    fn version()(parts in proptest::collection::vec(0u8..20, 1..4)) -> Version {
+        let text = parts
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(".");
+        Version::new(&text).unwrap()
+    }
+}
+
+prop_compose! {
+    /// One range segment as `@`-clause text: exact, closed, or half-open.
+    fn segment()(kind in 0usize..4, a in version(), b in version()) -> String {
+        let (lo, hi) = if a.version_cmp(&b).is_le() { (a, b) } else { (b, a) };
+        match kind {
+            0 => format!("{lo}"),
+            1 => format!("{lo}:{hi}"),
+            2 => format!(":{hi}"),
+            _ => format!("{lo}:"),
+        }
+    }
+}
+
+prop_compose! {
+    /// A version list of one or two segments (unions exercise the
+    /// multi-range paths of intersect/subset).
+    fn version_list()(first in segment(), second in proptest::option::of(segment())) -> VersionList {
+        let text = match second {
+            Some(s) => format!("{first},{s}"),
+            None => first,
+        };
+        VersionList::parse(&text).unwrap()
+    }
+}
+
+/// A member version of each range in the list: the lower bound when
+/// present, else the upper (both are inclusive, so each is contained).
+fn endpoints(list: &VersionList) -> Vec<Version> {
+    list.ranges()
+        .iter()
+        .filter_map(|r| r.lo().or(r.hi()).cloned())
+        .collect()
+}
+
+proptest! {
+    /// The tentpole property: `a ∩ b` is empty exactly when no witness
+    /// version is admitted by both. Non-empty intersections must produce
+    /// their own witnesses (the range endpoints), and empty ones must be
+    /// unwitnessed by every endpoint of `a` and `b` and every probe.
+    #[test]
+    fn intersection_emptiness_agrees_with_witnesses(
+        a in version_list(),
+        b in version_list(),
+        probes in proptest::collection::vec(version(), 0..24),
+    ) {
+        match a.intersection(&b) {
+            Some(i) => {
+                for w in endpoints(&i) {
+                    prop_assert!(i.contains(&w), "{i} lost its own endpoint {w}");
+                    prop_assert!(a.contains(&w), "witness {w} of {i} not in {a}");
+                    prop_assert!(b.contains(&w), "witness {w} of {i} not in {b}");
+                }
+            }
+            None => {
+                let mut candidates = probes.clone();
+                candidates.extend(endpoints(&a));
+                candidates.extend(endpoints(&b));
+                for v in &candidates {
+                    prop_assert!(
+                        !(a.contains(v) && b.contains(v)),
+                        "{a} ∩ {b} reported empty, but {v} is in both"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Intersection is the pointwise AND of containment: a version is in
+    /// `a ∩ b` exactly when it is in `a` and in `b`.
+    #[test]
+    fn intersection_is_pointwise_and(
+        a in version_list(),
+        b in version_list(),
+        probes in proptest::collection::vec(version(), 1..24),
+    ) {
+        let i = a.intersection(&b);
+        let mut candidates = probes.clone();
+        candidates.extend(endpoints(&a));
+        candidates.extend(endpoints(&b));
+        for v in &candidates {
+            let both = a.contains(v) && b.contains(v);
+            let in_i = i.as_ref().is_some_and(|i| i.contains(v));
+            prop_assert_eq!(
+                both, in_i,
+                "version {} membership disagrees for {} ∩ {}", v, a, b
+            );
+        }
+    }
+
+    /// Intersection is symmetric in emptiness and membership.
+    #[test]
+    fn intersection_is_symmetric(
+        a in version_list(),
+        b in version_list(),
+        probes in proptest::collection::vec(version(), 1..16),
+    ) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab.is_some(), ba.is_some());
+        if let (Some(ab), Some(ba)) = (ab, ba) {
+            for v in &probes {
+                prop_assert_eq!(ab.contains(v), ba.contains(v));
+            }
+        }
+    }
+
+    /// A subset relation (`satisfies` in spec terms) guarantees the
+    /// intersection exists, and that it admits everything the subset does.
+    #[test]
+    fn subset_implies_nonempty_intersection(
+        a in version_list(),
+        b in version_list(),
+        probes in proptest::collection::vec(version(), 1..16),
+    ) {
+        prop_assume!(a.is_subset_of(&b) || b.is_subset_of(&a));
+        let i = a.intersection(&b);
+        prop_assert!(i.is_some(), "{a} and {b} are ordered by subset but disjoint");
+        let i = i.unwrap();
+        let narrower = if a.is_subset_of(&b) { &a } else { &b };
+        for v in probes.iter().chain(endpoints(narrower).iter()) {
+            if narrower.contains(v) {
+                prop_assert!(
+                    i.contains(v),
+                    "{v} in subset {narrower} but lost from {narrower} ∩ other"
+                );
+            }
+        }
+    }
+
+    /// `is_subset_of` agrees with pointwise containment on witnesses: a
+    /// version admitted by a subset is admitted by the superset.
+    #[test]
+    fn subset_members_are_superset_members(
+        a in version_list(),
+        b in version_list(),
+        probes in proptest::collection::vec(version(), 1..24),
+    ) {
+        prop_assume!(a.is_subset_of(&b));
+        for v in probes.iter().chain(endpoints(&a).iter()) {
+            if a.contains(v) {
+                prop_assert!(b.contains(v), "{v} in {a} ⊆ {b} but not in {b}");
+            }
+        }
+    }
+
+    /// Intersecting with itself or with the unconstrained list is identity
+    /// on membership.
+    #[test]
+    fn intersection_identities(
+        a in version_list(),
+        probes in proptest::collection::vec(version(), 1..16),
+    ) {
+        let self_i = a.intersection(&a).expect("a ∩ a is never empty");
+        let any_i = a.intersection(&VersionList::any()).expect("a ∩ any");
+        for v in probes.iter().chain(endpoints(&a).iter()) {
+            prop_assert_eq!(self_i.contains(v), a.contains(v));
+            prop_assert_eq!(any_i.contains(v), a.contains(v));
+        }
+    }
+}

@@ -262,12 +262,29 @@ mod tests {
     /// mpileaks over a configurable MPI, as in Fig. 9.
     fn mpileaks_with(mpi: &str) -> ConcreteDag {
         let mut b = DagBuilder::new();
-        let root = b.add_node(node("mpileaks", "1.0", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let m = b.add_node(node(mpi, "3.0", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let cp = b.add_node(node("callpath", "1.0.2", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let dy = b.add_node(node("dyninst", "8.1.2", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let ld = b.add_node(node("libdwarf", "20130729", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
-        let le = b.add_node(node("libelf", "0.8.11", ("gcc", "4.9.2"), "linux-x86_64")).unwrap();
+        let root = b
+            .add_node(node("mpileaks", "1.0", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        let m = b
+            .add_node(node(mpi, "3.0", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        let cp = b
+            .add_node(node("callpath", "1.0.2", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        let dy = b
+            .add_node(node("dyninst", "8.1.2", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
+        let ld = b
+            .add_node(node(
+                "libdwarf",
+                "20130729",
+                ("gcc", "4.9.2"),
+                "linux-x86_64",
+            ))
+            .unwrap();
+        let le = b
+            .add_node(node("libelf", "0.8.11", ("gcc", "4.9.2"), "linux-x86_64"))
+            .unwrap();
         b.add_edge(root, m);
         b.add_edge(root, cp);
         b.add_edge(cp, m);
@@ -418,9 +435,10 @@ mod tests {
         db.install_dag(&dag);
         let hashes = DagHashes::compute(&dag);
         assert!(db.get(hashes.node_hash(dag.root())).unwrap().explicit);
-        assert!(!db
-            .get(hashes.node_hash(dag.by_name("libelf").unwrap()))
-            .unwrap()
-            .explicit);
+        assert!(
+            !db.get(hashes.node_hash(dag.by_name("libelf").unwrap()))
+                .unwrap()
+                .explicit
+        );
     }
 }

@@ -107,9 +107,7 @@ impl ExtensionRegistry {
     ) -> Result<usize, StoreError> {
         let key = (target_hash.to_string(), ext_hash.to_string());
         let links = self.active.remove(&key).ok_or_else(|| {
-            StoreError::ActivationState(format!(
-                "extension {ext_hash} not active in {target_hash}"
-            ))
+            StoreError::ActivationState(format!("extension {ext_hash} not active in {target_hash}"))
         })?;
         let mut removed = 0;
         for l in &links {
@@ -140,8 +138,14 @@ mod tests {
         let numpy = "/spack/opt/py-numpy-1.9.1".to_string();
         fs.write_file(&format!("{py}/bin/python"), 100);
         fs.write_file(&format!("{py}/lib/python2.7/site.py"), 10);
-        fs.write_file(&format!("{numpy}/lib/python2.7/site-packages/numpy/core.py"), 50);
-        fs.write_file(&format!("{numpy}/lib/python2.7/site-packages/numpy/fft.py"), 30);
+        fs.write_file(
+            &format!("{numpy}/lib/python2.7/site-packages/numpy/core.py"),
+            50,
+        );
+        fs.write_file(
+            &format!("{numpy}/lib/python2.7/site-packages/numpy/fft.py"),
+            30,
+        );
         (fs, py, numpy)
     }
 
@@ -150,7 +154,14 @@ mod tests {
         let (mut fs, py, numpy) = python_world();
         let mut reg = ExtensionRegistry::new();
         let n = reg
-            .activate(&mut fs, "pyhash", &py, "numpyhash", &numpy, ConflictPolicy::Error)
+            .activate(
+                &mut fs,
+                "pyhash",
+                &py,
+                "numpyhash",
+                &numpy,
+                ConflictPolicy::Error,
+            )
             .unwrap();
         assert_eq!(n, 2);
         let linked = format!("{py}/lib/python2.7/site-packages/numpy/core.py");
@@ -167,7 +178,8 @@ mod tests {
         let (mut fs, py, numpy) = python_world();
         let before = fs.len();
         let mut reg = ExtensionRegistry::new();
-        reg.activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error).unwrap();
+        reg.activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error)
+            .unwrap();
         assert!(fs.len() > before);
         let removed = reg.deactivate(&mut fs, "py", "np").unwrap();
         assert_eq!(removed, 2);
@@ -180,10 +192,17 @@ mod tests {
         let (mut fs, py, numpy) = python_world();
         // A second extension shipping the same file path.
         let scipy = "/spack/opt/py-scipy-0.15";
-        fs.write_file(&format!("{scipy}/lib/python2.7/site-packages/numpy/core.py"), 7);
-        fs.write_file(&format!("{scipy}/lib/python2.7/site-packages/scipy/linalg.py"), 9);
+        fs.write_file(
+            &format!("{scipy}/lib/python2.7/site-packages/numpy/core.py"),
+            7,
+        );
+        fs.write_file(
+            &format!("{scipy}/lib/python2.7/site-packages/scipy/linalg.py"),
+            9,
+        );
         let mut reg = ExtensionRegistry::new();
-        reg.activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error).unwrap();
+        reg.activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error)
+            .unwrap();
         let count_after_numpy = fs.len();
         let err = reg
             .activate(&mut fs, "py", &py, "sp", scipy, ConflictPolicy::Error)
@@ -198,9 +217,13 @@ mod tests {
     fn merge_policy_resolves_conflicts() {
         let (mut fs, py, numpy) = python_world();
         let scipy = "/spack/opt/py-scipy-0.15";
-        fs.write_file(&format!("{scipy}/lib/python2.7/site-packages/numpy/core.py"), 7);
+        fs.write_file(
+            &format!("{scipy}/lib/python2.7/site-packages/numpy/core.py"),
+            7,
+        );
         let mut reg = ExtensionRegistry::new();
-        reg.activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error).unwrap();
+        reg.activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error)
+            .unwrap();
         let n = reg
             .activate(&mut fs, "py", &py, "sp", scipy, ConflictPolicy::Merge)
             .unwrap();
@@ -217,7 +240,8 @@ mod tests {
     fn double_activation_is_an_error() {
         let (mut fs, py, numpy) = python_world();
         let mut reg = ExtensionRegistry::new();
-        reg.activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error).unwrap();
+        reg.activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error)
+            .unwrap();
         assert!(reg
             .activate(&mut fs, "py", &py, "np", &numpy, ConflictPolicy::Error)
             .is_err());

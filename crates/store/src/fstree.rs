@@ -174,7 +174,8 @@ mod tests {
     fn files_and_links() {
         let mut fs = FsTree::new();
         fs.write_file("/opt/pkg/lib/libx.so", 100);
-        fs.symlink("/opt/view/libx.so", "/opt/pkg/lib/libx.so").unwrap();
+        fs.symlink("/opt/view/libx.so", "/opt/pkg/lib/libx.so")
+            .unwrap();
         assert!(fs.exists("/opt/view/libx.so"));
         assert_eq!(
             fs.resolve("/opt/view/libx.so").as_deref(),

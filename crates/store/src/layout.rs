@@ -15,8 +15,17 @@ use spack_spec::{ConcreteDag, DagHashes, NodeId};
 /// Package names recognized as MPI implementations, used by schemes (like
 /// TACC's) that encode "the MPI" in the path.
 pub const MPI_PROVIDERS: &[&str] = &[
-    "mpich", "mpich2", "openmpi", "mvapich", "mvapich2", "spectrum-mpi", "cray-mpich", "bgq-mpi",
-    "intel-mpi", "strictmpi", "loosempi",
+    "mpich",
+    "mpich2",
+    "openmpi",
+    "mvapich",
+    "mvapich2",
+    "spectrum-mpi",
+    "cray-mpich",
+    "bgq-mpi",
+    "intel-mpi",
+    "strictmpi",
+    "loosempi",
 ];
 
 /// A site naming convention from Table 1.

@@ -151,17 +151,25 @@ mod tests {
         let mut db = Database::new("/spack/opt");
         // An MPI-dependent tool.
         let mut b = DagBuilder::new();
-        let root = b.add_node(node("mpileaks", "2.3", ("gcc", "4.9.3"), "linux-x86_64")).unwrap();
-        let mpi = b.add_node(node("mpich", "3.1.4", ("gcc", "4.9.3"), "linux-x86_64")).unwrap();
+        let root = b
+            .add_node(node("mpileaks", "2.3", ("gcc", "4.9.3"), "linux-x86_64"))
+            .unwrap();
+        let mpi = b
+            .add_node(node("mpich", "3.1.4", ("gcc", "4.9.3"), "linux-x86_64"))
+            .unwrap();
         b.add_edge(root, mpi);
         db.install_dag(&b.build(root).unwrap());
         // A compiler-level library.
         let mut b = DagBuilder::new();
-        let root = b.add_node(node("libelf", "0.8.13", ("gcc", "4.9.3"), "linux-x86_64")).unwrap();
+        let root = b
+            .add_node(node("libelf", "0.8.13", ("gcc", "4.9.3"), "linux-x86_64"))
+            .unwrap();
         db.install_dag(&b.build(root).unwrap());
         // A Core-level compiler package.
         let mut b = DagBuilder::new();
-        let root = b.add_node(node("gcc", "4.9.3", ("gcc", "4.4.7"), "linux-x86_64")).unwrap();
+        let root = b
+            .add_node(node("gcc", "4.9.3", ("gcc", "4.4.7"), "linux-x86_64"))
+            .unwrap();
         db.install_dag(&b.build(root).unwrap());
         db
     }
@@ -182,7 +190,10 @@ mod tests {
             })
             .collect();
         assert_eq!(by_name["gcc"].level, LmodLevel::Core);
-        assert!(matches!(by_name["libelf"].level, LmodLevel::Compiler { .. }));
+        assert!(matches!(
+            by_name["libelf"].level,
+            LmodLevel::Compiler { .. }
+        ));
         assert!(matches!(by_name["mpileaks"].level, LmodLevel::Mpi { .. }));
         assert_eq!(by_name["gcc"].path, "Core/gcc/4.9.3.lua");
         assert_eq!(by_name["libelf"].path, "gcc/4.9.3/libelf/0.8.13.lua");
@@ -214,7 +225,9 @@ mod tests {
         let mut db = Database::new("/spack/opt");
         for compiler in [("gcc", "4.9.3"), ("intel", "15.0.1")] {
             let mut b = DagBuilder::new();
-            let root = b.add_node(node("libelf", "0.8.13", compiler, "linux-x86_64")).unwrap();
+            let root = b
+                .add_node(node("libelf", "0.8.13", compiler, "linux-x86_64"))
+                .unwrap();
             db.install_dag(&b.build(root).unwrap());
         }
         let modules = hierarchy(&db);

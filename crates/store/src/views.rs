@@ -194,8 +194,12 @@ mod tests {
 
     fn build(mpi: &str, version: &str, compiler: (&str, &str)) -> ConcreteDag {
         let mut b = DagBuilder::new();
-        let root = b.add_node(node("mpileaks", version, compiler, "linux-x86_64")).unwrap();
-        let m = b.add_node(node(mpi, "3.0", compiler, "linux-x86_64")).unwrap();
+        let root = b
+            .add_node(node("mpileaks", version, compiler, "linux-x86_64"))
+            .unwrap();
+        let m = b
+            .add_node(node(mpi, "3.0", compiler, "linux-x86_64"))
+            .unwrap();
         b.add_edge(root, m);
         b.build(root).unwrap()
     }
@@ -216,7 +220,11 @@ mod tests {
             "/opt/${PACKAGE}-${VERSION}-${MPINAME}",
             Spec::parse("mpileaks").unwrap(),
         )];
-        let view = View::compute(&rules, db.query(&Spec::parse("mpileaks").unwrap()), &ViewPolicy::default());
+        let view = View::compute(
+            &rules,
+            db.query(&Spec::parse("mpileaks").unwrap()),
+            &ViewPolicy::default(),
+        );
         assert!(view.target_of("/opt/mpileaks-1.0-openmpi").is_some());
     }
 
@@ -262,7 +270,10 @@ mod tests {
         assert!(target.contains("icc"), "{target}");
         // Without the policy, the newer version (gcc build) wins.
         let view = View::compute(&rules, db.iter(), &ViewPolicy::default());
-        assert!(view.target_of("/opt/mpileaks-openmpi").unwrap().contains("2.1"));
+        assert!(view
+            .target_of("/opt/mpileaks-openmpi")
+            .unwrap()
+            .contains("2.1"));
     }
 
     #[test]
@@ -302,7 +313,9 @@ mod tests {
         // §4.3.1: /bin/gcc49 -> the gcc executable inside the prefix.
         let mut db = Database::new("/spack/opt");
         let mut b = DagBuilder::new();
-        let root = b.add_node(node("gcc", "4.9.2", ("gcc", "4.4.7"), "linux-x86_64")).unwrap();
+        let root = b
+            .add_node(node("gcc", "4.9.2", ("gcc", "4.4.7"), "linux-x86_64"))
+            .unwrap();
         db.install_dag(&b.build(root).unwrap());
         let rules = [
             ViewRule::for_file("/bin/gcc49", "bin/gcc", Spec::parse("gcc@4.9").unwrap()),

@@ -1,0 +1,46 @@
+//! Audit package repositories for latent metadata bugs.
+//!
+//! Run with: `cargo run --example audit_repo`
+//!
+//! Part one audits the builtin repository (which ships clean). Part two
+//! stacks a deliberately-broken site repository on top — the same way a
+//! site would overlay its own recipes — and shows the diagnostics the
+//! auditor raises before any user ever hits them at concretization time.
+
+use spack_rs::audit::audit_repo;
+use spack_rs::package::{PackageBuilder, Repository};
+use spack_rs::Session;
+
+fn main() {
+    // --- The shipped repository -----------------------------------------
+    let session = Session::new();
+    let report = session.audit();
+    println!("builtin repository ({} packages):", session.repos().len());
+    print!("{}", report.render_text());
+
+    // --- A site overlay with real-world recipe mistakes -----------------
+    let mut site = Repository::new("site");
+    site.register(
+        PackageBuilder::new("site-app")
+            .version_unchecked("2.1")
+            // Typo in a dependency name: AUD001.
+            .depends_on("boots")
+            // Version range no declared boost release satisfies: AUD003.
+            .depends_on("boost@99:")
+            // Condition on a variant site-app never declares: AUD004.
+            .depends_on_when("zlib", "+compression")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+
+    let mut stack = spack_rs::repo::repo_stack();
+    stack.push_front(site);
+    let report = audit_repo(&stack);
+
+    println!("\nwith the broken site overlay:");
+    print!("{}", report.render_text());
+
+    println!("\nmachine-readable form:");
+    println!("{}", report.to_json());
+}

@@ -15,8 +15,12 @@ fn main() {
     // Install the interpreter and two extensions.
     println!("== installing python, py-numpy, py-scipy ==");
     session.install("python@2.7.9").expect("python installs");
-    session.install("py-numpy ^python@2.7.9").expect("numpy installs");
-    session.install("py-scipy ^python@2.7.9").expect("scipy installs");
+    session
+        .install("py-numpy ^python@2.7.9")
+        .expect("numpy installs");
+    session
+        .install("py-scipy ^python@2.7.9")
+        .expect("scipy installs");
 
     let (py_hash, py_prefix, np_hash, np_prefix, sp_hash, sp_prefix) = {
         let db = session.database();
@@ -51,11 +55,25 @@ fn main() {
     let mut registry = ExtensionRegistry::new();
     println!("\n== activating extensions ==");
     let n = registry
-        .activate(&mut fs, &py_hash, &py_prefix, &np_hash, &np_prefix, ConflictPolicy::Error)
+        .activate(
+            &mut fs,
+            &py_hash,
+            &py_prefix,
+            &np_hash,
+            &np_prefix,
+            ConflictPolicy::Error,
+        )
         .expect("numpy activates");
     println!("activated py-numpy: {n} links");
     let n = registry
-        .activate(&mut fs, &py_hash, &py_prefix, &sp_hash, &sp_prefix, ConflictPolicy::Error)
+        .activate(
+            &mut fs,
+            &py_hash,
+            &py_prefix,
+            &sp_hash,
+            &sp_prefix,
+            ConflictPolicy::Error,
+        )
         .expect("scipy activates");
     println!("activated py-scipy: {n} links");
     println!(
@@ -71,14 +89,25 @@ fn main() {
         1,
     );
     let err = registry
-        .activate(&mut fs, &py_hash, &py_prefix, "roguehash", rogue, ConflictPolicy::Error)
+        .activate(
+            &mut fs,
+            &py_hash,
+            &py_prefix,
+            "roguehash",
+            rogue,
+            ConflictPolicy::Error,
+        )
         .unwrap_err();
     println!("activation refused: {err}");
 
     // Deactivation restores the pristine interpreter.
     println!("\n== deactivating ==");
-    registry.deactivate(&mut fs, &py_hash, &sp_hash).expect("scipy deactivates");
-    registry.deactivate(&mut fs, &py_hash, &np_hash).expect("numpy deactivates");
+    registry
+        .deactivate(&mut fs, &py_hash, &sp_hash)
+        .expect("scipy deactivates");
+    registry
+        .deactivate(&mut fs, &py_hash, &np_hash)
+        .expect("numpy deactivates");
     println!(
         "python sees after deactivate: {:?}",
         fs.list(&format!("{py_prefix}/lib/python2.7/site-packages"))

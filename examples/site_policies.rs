@@ -22,7 +22,10 @@ fn main() {
         .iter()
         .find(|m| dag.by_name(m).is_some())
         .unwrap();
-    println!("  default MPI: {mpi}, compiler {}", dag.root_node().compiler);
+    println!(
+        "  default MPI: {mpi}, compiler {}",
+        dag.root_node().compiler
+    );
 
     // §4.3.1: "compiler_order = icc,gcc@4.9.3" — the paper's own example.
     session
@@ -55,7 +58,9 @@ fn main() {
     let mut repos = session.repos().clone();
     repos.push_front(site);
     let concretizer = Concretizer::new(&repos, session.config());
-    let dag = concretizer.concretize(&Spec::parse("python").unwrap()).unwrap();
+    let dag = concretizer
+        .concretize(&Spec::parse("python").unwrap())
+        .unwrap();
     println!(
         "  python resolved from namespace `{}` with {} deps",
         dag.root_node().namespace,
@@ -68,8 +73,14 @@ fn main() {
     session.install("mpileaks ^mpich %gcc@4.7.4").unwrap();
     let db = session.database();
     let rules = [
-        ViewRule::for_spec("/opt/${PACKAGE}-${VERSION}-${MPINAME}", Spec::parse("mpileaks").unwrap()),
-        ViewRule::for_spec("/opt/${PACKAGE}-${MPINAME}", Spec::parse("mpileaks").unwrap()),
+        ViewRule::for_spec(
+            "/opt/${PACKAGE}-${VERSION}-${MPINAME}",
+            Spec::parse("mpileaks").unwrap(),
+        ),
+        ViewRule::for_spec(
+            "/opt/${PACKAGE}-${MPINAME}",
+            Spec::parse("mpileaks").unwrap(),
+        ),
     ];
     let policy = ViewPolicy {
         compiler_order: vec![CompilerSpec::by_name("gcc")],
@@ -80,7 +91,10 @@ fn main() {
     }
 
     let rec = db.query(&Spec::parse("mpileaks").unwrap())[0];
-    println!("\n  dotkit module for {}:", rec.dag.root_node().format_node());
+    println!(
+        "\n  dotkit module for {}:",
+        rec.dag.root_node().format_node()
+    );
     for line in dotkit(rec, "tools", "MPI leak detector").lines().take(5) {
         println!("    {line}");
     }

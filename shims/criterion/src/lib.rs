@@ -1,0 +1,190 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach a crate registry, so the workspace's
+//! benches compile against this API-compatible subset. Measurement is
+//! deliberately simple — a fixed-iteration timing loop with a mean —
+//! because the repository's quantitative claims run on a *virtual* clock;
+//! these microbenches only need relative, human-readable numbers. When a
+//! bench binary is executed by `cargo test` (any `--test`-style harness
+//! arguments present), every routine runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point so `criterion::black_box` also works.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to every benchmark closure; drives the timing loop.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: &'a mut Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        *self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with a fresh `setup()` input per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        *self.elapsed = total;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Smoke-test mode under `cargo test`: harness arguments such as
+        // `--test` or a filter are present; run each routine once.
+        let test_mode = std::env::args().skip(1).any(|a| a.starts_with("--"));
+        Criterion {
+            iters: if test_mode { 1 } else { 30 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Run and report one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Criterion {
+        let id = id.as_ref();
+        let mut elapsed = Duration::ZERO;
+        let mut b = Bencher {
+            iters: self.iters,
+            elapsed: &mut elapsed,
+        };
+        f(&mut b);
+        let mean = elapsed.as_secs_f64() / self.iters as f64;
+        println!(
+            "{id:48} {:>12.3} us/iter ({} iters)",
+            mean * 1e6,
+            self.iters
+        );
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== {name} ==");
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// A named group of benchmarks; same API shape as criterion's.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the group's throughput (ignored by this shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run and report one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        self.criterion.bench_function(id, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut c = Criterion { iters: 3 };
+        let mut runs = 0;
+        c.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion { iters: 2 };
+        let mut setups = 0;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| x * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 2);
+    }
+}

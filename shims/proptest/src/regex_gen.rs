@@ -1,0 +1,308 @@
+//! Random string generation from a regex subset.
+//!
+//! Supports the constructs the workspace's string strategies use:
+//! literals, character classes with ranges (`[a-z0-9@%. -]`), groups,
+//! alternation, the quantifiers `?`, `*`, `+`, `{n}`, `{n,m}`, `{n,}`,
+//! and the proptest idiom `\PC` ("any non-control character"). Unbounded
+//! quantifiers are capped at 8 repetitions.
+
+use crate::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// One of several alternatives.
+    Alt(Vec<Node>),
+    /// Concatenation.
+    Seq(Vec<Node>),
+    /// `node{lo,hi}` (inclusive).
+    Repeat(Box<Node>, u32, u32),
+    /// Character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+    /// `\PC`: any non-control character.
+    AnyPrintable,
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl Parser<'_> {
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported regex `{}`: {what}", self.pattern)
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut alts = vec![self.parse_seq()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alts.push(self.parse_seq());
+        }
+        if alts.len() == 1 {
+            alts.pop().unwrap()
+        } else {
+            Node::Alt(alts)
+        }
+    }
+
+    fn parse_seq(&mut self) -> Node {
+        let mut items = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            items.push(self.parse_repeat());
+        }
+        Node::Seq(items)
+    }
+
+    fn parse_repeat(&mut self) -> Node {
+        let atom = self.parse_atom();
+        let (lo, hi) = match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                self.chars.next();
+                let lo = self.parse_number();
+                match self.chars.next() {
+                    Some('}') => (lo, lo),
+                    Some(',') => {
+                        let hi = if self.chars.peek() == Some(&'}') {
+                            lo + UNBOUNDED_CAP
+                        } else {
+                            self.parse_number()
+                        };
+                        if self.chars.next() != Some('}') {
+                            self.fail("unclosed {n,m}");
+                        }
+                        (lo, hi)
+                    }
+                    _ => self.fail("malformed {n,m}"),
+                }
+            }
+            _ => return atom,
+        };
+        Node::Repeat(Box::new(atom), lo, hi)
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let mut n = 0u32;
+        let mut any = false;
+        while let Some(&c) = self.chars.peek() {
+            let Some(d) = c.to_digit(10) else { break };
+            self.chars.next();
+            n = n * 10 + d;
+            any = true;
+        }
+        if !any {
+            self.fail("expected number");
+        }
+        n
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alt();
+                if self.chars.next() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                inner
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => match self.chars.next() {
+                // proptest's `\PC`: complement of Unicode category C.
+                Some('P') => match self.chars.next() {
+                    Some('C') => Node::AnyPrintable,
+                    _ => self.fail("only \\PC is supported"),
+                },
+                Some('d') => Node::Class(vec![('0', '9')]),
+                Some('w') => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                Some(c) => Node::Literal(c),
+                None => self.fail("dangling backslash"),
+            },
+            Some('.') => Node::AnyPrintable,
+            Some(c) => Node::Literal(c),
+            None => self.fail("unexpected end"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        if self.chars.peek() == Some(&'^') {
+            self.fail("negated classes are not supported");
+        }
+        loop {
+            let c = match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => self
+                    .chars
+                    .next()
+                    .unwrap_or_else(|| self.fail("class escape")),
+                Some(c) => c,
+                None => self.fail("unclosed class"),
+            };
+            // `a-z` range, unless `-` is the last char before `]`.
+            if self.chars.peek() == Some(&'-') {
+                let mut ahead = self.chars.clone();
+                ahead.next();
+                if ahead.peek().is_some_and(|&n| n != ']') {
+                    self.chars.next();
+                    let hi = self.chars.next().unwrap_or_else(|| self.fail("open range"));
+                    ranges.push((c, hi));
+                    continue;
+                }
+            }
+            ranges.push((c, c));
+        }
+        if ranges.is_empty() {
+            self.fail("empty class");
+        }
+        Node::Class(ranges)
+    }
+}
+
+fn parse(pattern: &str) -> Node {
+    let mut p = Parser {
+        chars: pattern.chars().peekable(),
+        pattern,
+    };
+    let node = p.parse_alt();
+    if p.chars.next().is_some() {
+        p.fail("trailing input");
+    }
+    node
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(alts) => {
+            let pick = rng.below(alts.len() as u64) as usize;
+            emit(&alts[pick], rng, out);
+        }
+        Node::Seq(items) => {
+            for item in items {
+                emit(item, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = *lo as u64 + rng.below((*hi - *lo + 1) as u64);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64).saturating_sub(lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = (hi as u64) - (lo as u64) + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick as u32).unwrap_or(lo));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("pick within total");
+        }
+        Node::Literal(c) => out.push(*c),
+        Node::AnyPrintable => {
+            // Mostly printable ASCII; occasionally multi-byte, to keep
+            // lexers honest about UTF-8 boundaries.
+            if rng.below(8) == 0 {
+                const EXOTIC: &[char] = &['é', 'ß', 'λ', '中', '\u{2603}', '\u{1F980}'];
+                out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+            } else {
+                out.push(char::from_u32(rng.in_range(0x20, 0x7f) as u32).unwrap());
+            }
+        }
+    }
+}
+
+/// Generate one random string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let node = parse(pattern);
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: &str) -> String {
+        generate(pattern, &mut TestRng::for_test(seed))
+    }
+
+    #[test]
+    fn classes_ranges_and_quantifiers() {
+        for i in 0..50 {
+            let s = gen("[a-z][a-z0-9]{0,6}", &format!("s{i}"));
+            assert!((1..=7).contains(&s.chars().count()), "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn optional_groups_and_literals() {
+        for i in 0..50 {
+            let s = gen("[a-z]{2,4}(-[0-9]{1,2})?", &format!("g{i}"));
+            if let Some((head, tail)) = s.split_once('-') {
+                assert!(head.chars().all(|c| c.is_ascii_lowercase()));
+                assert!(tail.chars().all(|c| c.is_ascii_digit()));
+            }
+        }
+    }
+
+    #[test]
+    fn printable_any_never_emits_control_chars() {
+        for i in 0..100 {
+            let s = gen("\\PC*", &format!("p{i}"));
+            assert!(!s.chars().any(|c| c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_dash_and_space_in_class() {
+        for i in 0..100 {
+            let s = gen("[a-z0-9@%+~^=:., -]{0,40}", &format!("d{i}"));
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || "@%+~^=:., -".contains(c),
+                    "{c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alternation_picks_each_branch() {
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for i in 0..50 {
+            match gen("(aa|bb)", &format!("alt{i}")).as_str() {
+                "aa" => saw_a = true,
+                "bb" => saw_b = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(saw_a && saw_b);
+    }
+}

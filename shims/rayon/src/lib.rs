@@ -1,0 +1,43 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container cannot reach a crate registry, so `par_iter()`
+//! here hands back the plain sequential iterator. Callers keep their
+//! data-parallel shape (`.par_iter().map(...).collect()`) and lose only
+//! the thread pool — results are identical, just computed on one core.
+
+/// `use rayon::prelude::*` — the parallel-iterator entry points.
+pub mod prelude {
+    /// Sequential re-implementation of `rayon`'s `par_iter()`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The iterator type; here, the ordinary borrowing iterator.
+        type Iter;
+        /// "Parallel" iteration over `&self` (sequential in this shim).
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let xs = vec![1, 2, 3];
+        let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+}

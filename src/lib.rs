@@ -31,6 +31,7 @@
 //! assert_eq!(report.builds.len(), 1);
 //! ```
 
+pub use spack_audit as audit;
 pub use spack_buildenv as buildenv;
 pub use spack_concretize as concretize;
 pub use spack_package as package;
@@ -40,7 +41,7 @@ pub use spack_store as store;
 
 use parking_lot::Mutex;
 use spack_buildenv::{install_dag, InstallOptions, InstallReport};
-use spack_concretize::{Concretizer, Config, ConcretizeError};
+use spack_concretize::{ConcretizeError, Concretizer, Config};
 use spack_package::RepoStack;
 use spack_spec::{ConcreteDag, DagHashes, Spec, SpecError};
 use spack_store::{ConflictPolicy, Database, ExtensionRegistry, FsTree, StoreError};
@@ -136,6 +137,15 @@ impl Session {
     /// The repository stack.
     pub fn repos(&self) -> &RepoStack {
         &self.repos
+    }
+
+    /// Statically audit every visible package recipe (and the
+    /// cross-package dependency graph) for defects: unknown dependency
+    /// names, unprovidable virtuals, unsatisfiable version constraints,
+    /// dead `when=` conditions, cycles, and more. See [`audit`] for the
+    /// diagnostic-code table.
+    pub fn audit(&self) -> spack_audit::AuditReport {
+        spack_audit::audit_repo(&self.repos)
     }
 
     /// The configuration.

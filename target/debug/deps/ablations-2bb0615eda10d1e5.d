@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-2bb0615eda10d1e5.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-2bb0615eda10d1e5: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

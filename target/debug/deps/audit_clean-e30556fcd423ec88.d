@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_clean-e30556fcd423ec88.d: tests/audit_clean.rs
+
+/root/repo/target/debug/deps/audit_clean-e30556fcd423ec88: tests/audit_clean.rs
+
+tests/audit_clean.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backtrack-9d6093925922db04.d: crates/concretize/tests/backtrack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbacktrack-9d6093925922db04.rmeta: crates/concretize/tests/backtrack.rs Cargo.toml
+
+crates/concretize/tests/backtrack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

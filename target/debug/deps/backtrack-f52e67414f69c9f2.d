@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backtrack-f52e67414f69c9f2.d: crates/concretize/tests/backtrack.rs
+
+/root/repo/target/debug/deps/backtrack-f52e67414f69c9f2: crates/concretize/tests/backtrack.rs
+
+crates/concretize/tests/backtrack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_filecount-c79c5f15624e3293.d: crates/bench/src/bin/baseline_filecount.rs
+
+/root/repo/target/debug/deps/baseline_filecount-c79c5f15624e3293: crates/bench/src/bin/baseline_filecount.rs
+
+crates/bench/src/bin/baseline_filecount.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/builtin_clean-8558239c29f836b2.d: crates/audit/tests/builtin_clean.rs
+
+/root/repo/target/debug/deps/builtin_clean-8558239c29f836b2: crates/audit/tests/builtin_clean.rs
+
+crates/audit/tests/builtin_clean.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-11b58c288e962fc4.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-11b58c288e962fc4: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_spack-rs=/root/repo/target/debug/spack-rs

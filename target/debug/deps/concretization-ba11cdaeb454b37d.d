@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concretization-ba11cdaeb454b37d.d: crates/bench/benches/concretization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcretization-ba11cdaeb454b37d.rmeta: crates/bench/benches/concretization.rs Cargo.toml
+
+crates/bench/benches/concretization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

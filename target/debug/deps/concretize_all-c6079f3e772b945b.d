@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concretize_all-c6079f3e772b945b.d: crates/repo-builtin/tests/concretize_all.rs
+
+/root/repo/target/debug/deps/concretize_all-c6079f3e772b945b: crates/repo-builtin/tests/concretize_all.rs
+
+crates/repo-builtin/tests/concretize_all.rs:

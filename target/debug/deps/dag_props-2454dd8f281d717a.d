@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dag_props-2454dd8f281d717a.d: crates/spec/tests/dag_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdag_props-2454dd8f281d717a.rmeta: crates/spec/tests/dag_props.rs Cargo.toml
+
+crates/spec/tests/dag_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

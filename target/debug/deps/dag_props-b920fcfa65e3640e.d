@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dag_props-b920fcfa65e3640e.d: crates/spec/tests/dag_props.rs
+
+/root/repo/target/debug/deps/dag_props-b920fcfa65e3640e: crates/spec/tests/dag_props.rs
+
+crates/spec/tests/dag_props.rs:

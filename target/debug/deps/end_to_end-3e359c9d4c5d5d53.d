@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3e359c9d4c5d5d53.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3e359c9d4c5d5d53: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fd64b741c905dcac.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-fd64b741c905dcac: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/features-962fa495ce14e480.d: crates/concretize/tests/features.rs
+
+/root/repo/target/debug/deps/features-962fa495ce14e480: crates/concretize/tests/features.rs
+
+crates/concretize/tests/features.rs:

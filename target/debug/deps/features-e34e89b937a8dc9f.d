@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/features-e34e89b937a8dc9f.d: crates/concretize/tests/features.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfeatures-e34e89b937a8dc9f.rmeta: crates/concretize/tests/features.rs Cargo.toml
+
+crates/concretize/tests/features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_11_build-fc5ae4af831a16a1.d: crates/bench/src/bin/fig10_11_build.rs
+
+/root/repo/target/debug/deps/fig10_11_build-fc5ae4af831a16a1: crates/bench/src/bin/fig10_11_build.rs
+
+crates/bench/src/bin/fig10_11_build.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_ares_dag-28f2d8ef40e684a3.d: crates/bench/src/bin/fig13_ares_dag.rs
+
+/root/repo/target/debug/deps/fig13_ares_dag-28f2d8ef40e684a3: crates/bench/src/bin/fig13_ares_dag.rs
+
+crates/bench/src/bin/fig13_ares_dag.rs:

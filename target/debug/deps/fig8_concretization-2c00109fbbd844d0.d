@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_concretization-2c00109fbbd844d0.d: crates/bench/src/bin/fig8_concretization.rs
+
+/root/repo/target/debug/deps/fig8_concretization-2c00109fbbd844d0: crates/bench/src/bin/fig8_concretization.rs
+
+crates/bench/src/bin/fig8_concretization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_synthetic-f1546d45e3d87839.d: crates/bench/src/bin/fig8_synthetic.rs
+
+/root/repo/target/debug/deps/fig8_synthetic-f1546d45e3d87839: crates/bench/src/bin/fig8_synthetic.rs
+
+crates/bench/src/bin/fig8_synthetic.rs:

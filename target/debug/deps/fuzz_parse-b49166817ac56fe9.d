@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_parse-b49166817ac56fe9.d: crates/spec/tests/fuzz_parse.rs
+
+/root/repo/target/debug/deps/fuzz_parse-b49166817ac56fe9: crates/spec/tests/fuzz_parse.rs
+
+crates/spec/tests/fuzz_parse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_parse-f9e0652fe527004f.d: crates/spec/tests/fuzz_parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_parse-f9e0652fe527004f.rmeta: crates/spec/tests/fuzz_parse.rs Cargo.toml
+
+crates/spec/tests/fuzz_parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/greedy-3019d2c502068ce6.d: crates/concretize/tests/greedy.rs
+
+/root/repo/target/debug/deps/greedy-3019d2c502068ce6: crates/concretize/tests/greedy.rs
+
+crates/concretize/tests/greedy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/greedy-f64c232137a822d5.d: crates/concretize/tests/greedy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgreedy-f64c232137a822d5.rmeta: crates/concretize/tests/greedy.rs Cargo.toml
+
+crates/concretize/tests/greedy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-19388b33f23a89f9.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-19388b33f23a89f9: tests/paper_claims.rs
+
+tests/paper_claims.rs:

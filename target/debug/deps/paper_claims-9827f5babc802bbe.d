@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-9827f5babc802bbe.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-9827f5babc802bbe: tests/paper_claims.rs
+
+tests/paper_claims.rs:

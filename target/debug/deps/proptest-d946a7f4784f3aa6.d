@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-d946a7f4784f3aa6.d: shims/proptest/src/lib.rs shims/proptest/src/regex_gen.rs
+
+/root/repo/target/debug/deps/proptest-d946a7f4784f3aa6: shims/proptest/src/lib.rs shims/proptest/src/regex_gen.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/regex_gen.rs:

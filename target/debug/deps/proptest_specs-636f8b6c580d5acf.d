@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_specs-636f8b6c580d5acf.d: tests/proptest_specs.rs
+
+/root/repo/target/debug/deps/proptest_specs-636f8b6c580d5acf: tests/proptest_specs.rs
+
+tests/proptest_specs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_specs-913fb338e2ff7af6.d: tests/proptest_specs.rs
+
+/root/repo/target/debug/deps/proptest_specs-913fb338e2ff7af6: tests/proptest_specs.rs
+
+tests/proptest_specs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-1a6491ab5a0e091e.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1a6491ab5a0e091e.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1a6491ab5a0e091e.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-a466942f40654075.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-a466942f40654075: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

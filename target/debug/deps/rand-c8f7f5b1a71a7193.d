@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-c8f7f5b1a71a7193.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-c8f7f5b1a71a7193.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spack_audit-42dea120c0695c9c.d: crates/audit/src/lib.rs crates/audit/src/cycles.rs crates/audit/src/passes.rs crates/audit/src/report.rs
+
+/root/repo/target/debug/deps/libspack_audit-42dea120c0695c9c.rlib: crates/audit/src/lib.rs crates/audit/src/cycles.rs crates/audit/src/passes.rs crates/audit/src/report.rs
+
+/root/repo/target/debug/deps/libspack_audit-42dea120c0695c9c.rmeta: crates/audit/src/lib.rs crates/audit/src/cycles.rs crates/audit/src/passes.rs crates/audit/src/report.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/cycles.rs:
+crates/audit/src/passes.rs:
+crates/audit/src/report.rs:

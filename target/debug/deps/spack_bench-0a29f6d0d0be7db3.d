@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spack_bench-0a29f6d0d0be7db3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/spack_bench-0a29f6d0d0be7db3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_bench-4d80096f0dff1e0b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_bench-4d80096f0dff1e0b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_bench-4d80096f0dff1e0b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/spack_buildenv-adb2f2551854288d.d: crates/buildenv/src/lib.rs crates/buildenv/src/buildsys.rs crates/buildenv/src/compilers.rs crates/buildenv/src/fetch.rs crates/buildenv/src/pipeline.rs crates/buildenv/src/platform.rs crates/buildenv/src/simfs.rs crates/buildenv/src/wrapper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_buildenv-adb2f2551854288d.rmeta: crates/buildenv/src/lib.rs crates/buildenv/src/buildsys.rs crates/buildenv/src/compilers.rs crates/buildenv/src/fetch.rs crates/buildenv/src/pipeline.rs crates/buildenv/src/platform.rs crates/buildenv/src/simfs.rs crates/buildenv/src/wrapper.rs Cargo.toml
+
+crates/buildenv/src/lib.rs:
+crates/buildenv/src/buildsys.rs:
+crates/buildenv/src/compilers.rs:
+crates/buildenv/src/fetch.rs:
+crates/buildenv/src/pipeline.rs:
+crates/buildenv/src/platform.rs:
+crates/buildenv/src/simfs.rs:
+crates/buildenv/src/wrapper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spack_buildenv-b97645467383bd49.d: crates/buildenv/src/lib.rs crates/buildenv/src/buildsys.rs crates/buildenv/src/compilers.rs crates/buildenv/src/fetch.rs crates/buildenv/src/pipeline.rs crates/buildenv/src/platform.rs crates/buildenv/src/simfs.rs crates/buildenv/src/wrapper.rs
+
+/root/repo/target/debug/deps/spack_buildenv-b97645467383bd49: crates/buildenv/src/lib.rs crates/buildenv/src/buildsys.rs crates/buildenv/src/compilers.rs crates/buildenv/src/fetch.rs crates/buildenv/src/pipeline.rs crates/buildenv/src/platform.rs crates/buildenv/src/simfs.rs crates/buildenv/src/wrapper.rs
+
+crates/buildenv/src/lib.rs:
+crates/buildenv/src/buildsys.rs:
+crates/buildenv/src/compilers.rs:
+crates/buildenv/src/fetch.rs:
+crates/buildenv/src/pipeline.rs:
+crates/buildenv/src/platform.rs:
+crates/buildenv/src/simfs.rs:
+crates/buildenv/src/wrapper.rs:

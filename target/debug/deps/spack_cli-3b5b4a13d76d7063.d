@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spack_cli-3b5b4a13d76d7063.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/spack_cli-3b5b4a13d76d7063: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

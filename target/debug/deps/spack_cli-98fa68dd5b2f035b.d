@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spack_cli-98fa68dd5b2f035b.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/spack_cli-98fa68dd5b2f035b: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_cli-aad0d2e0694cb7d1.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_cli-aad0d2e0694cb7d1.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_cli-aad0d2e0694cb7d1.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

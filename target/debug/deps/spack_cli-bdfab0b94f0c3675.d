@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_cli-bdfab0b94f0c3675.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_cli-bdfab0b94f0c3675.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_cli-bdfab0b94f0c3675.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

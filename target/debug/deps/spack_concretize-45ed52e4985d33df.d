@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/spack_concretize-45ed52e4985d33df.d: crates/concretize/src/lib.rs crates/concretize/src/backtrack.rs crates/concretize/src/concretizer.rs crates/concretize/src/config.rs crates/concretize/src/error.rs crates/concretize/src/features.rs crates/concretize/src/providers.rs
+
+/root/repo/target/debug/deps/spack_concretize-45ed52e4985d33df: crates/concretize/src/lib.rs crates/concretize/src/backtrack.rs crates/concretize/src/concretizer.rs crates/concretize/src/config.rs crates/concretize/src/error.rs crates/concretize/src/features.rs crates/concretize/src/providers.rs
+
+crates/concretize/src/lib.rs:
+crates/concretize/src/backtrack.rs:
+crates/concretize/src/concretizer.rs:
+crates/concretize/src/config.rs:
+crates/concretize/src/error.rs:
+crates/concretize/src/features.rs:
+crates/concretize/src/providers.rs:

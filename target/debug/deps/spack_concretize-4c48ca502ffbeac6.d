@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/spack_concretize-4c48ca502ffbeac6.d: crates/concretize/src/lib.rs crates/concretize/src/backtrack.rs crates/concretize/src/concretizer.rs crates/concretize/src/config.rs crates/concretize/src/error.rs crates/concretize/src/features.rs crates/concretize/src/providers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_concretize-4c48ca502ffbeac6.rmeta: crates/concretize/src/lib.rs crates/concretize/src/backtrack.rs crates/concretize/src/concretizer.rs crates/concretize/src/config.rs crates/concretize/src/error.rs crates/concretize/src/features.rs crates/concretize/src/providers.rs Cargo.toml
+
+crates/concretize/src/lib.rs:
+crates/concretize/src/backtrack.rs:
+crates/concretize/src/concretizer.rs:
+crates/concretize/src/config.rs:
+crates/concretize/src/error.rs:
+crates/concretize/src/features.rs:
+crates/concretize/src/providers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

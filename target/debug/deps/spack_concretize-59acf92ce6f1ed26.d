@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spack_concretize-59acf92ce6f1ed26.d: crates/concretize/src/lib.rs crates/concretize/src/backtrack.rs crates/concretize/src/concretizer.rs crates/concretize/src/config.rs crates/concretize/src/error.rs crates/concretize/src/features.rs crates/concretize/src/providers.rs
+
+/root/repo/target/debug/deps/libspack_concretize-59acf92ce6f1ed26.rlib: crates/concretize/src/lib.rs crates/concretize/src/backtrack.rs crates/concretize/src/concretizer.rs crates/concretize/src/config.rs crates/concretize/src/error.rs crates/concretize/src/features.rs crates/concretize/src/providers.rs
+
+/root/repo/target/debug/deps/libspack_concretize-59acf92ce6f1ed26.rmeta: crates/concretize/src/lib.rs crates/concretize/src/backtrack.rs crates/concretize/src/concretizer.rs crates/concretize/src/config.rs crates/concretize/src/error.rs crates/concretize/src/features.rs crates/concretize/src/providers.rs
+
+crates/concretize/src/lib.rs:
+crates/concretize/src/backtrack.rs:
+crates/concretize/src/concretizer.rs:
+crates/concretize/src/config.rs:
+crates/concretize/src/error.rs:
+crates/concretize/src/features.rs:
+crates/concretize/src/providers.rs:

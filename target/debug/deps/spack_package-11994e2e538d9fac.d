@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/spack_package-11994e2e538d9fac.d: crates/package/src/lib.rs crates/package/src/directive.rs crates/package/src/multimethod.rs crates/package/src/package.rs crates/package/src/recipe.rs crates/package/src/repo.rs crates/package/src/url.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_package-11994e2e538d9fac.rmeta: crates/package/src/lib.rs crates/package/src/directive.rs crates/package/src/multimethod.rs crates/package/src/package.rs crates/package/src/recipe.rs crates/package/src/repo.rs crates/package/src/url.rs Cargo.toml
+
+crates/package/src/lib.rs:
+crates/package/src/directive.rs:
+crates/package/src/multimethod.rs:
+crates/package/src/package.rs:
+crates/package/src/recipe.rs:
+crates/package/src/repo.rs:
+crates/package/src/url.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

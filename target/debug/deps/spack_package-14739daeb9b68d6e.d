@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spack_package-14739daeb9b68d6e.d: crates/package/src/lib.rs crates/package/src/directive.rs crates/package/src/multimethod.rs crates/package/src/package.rs crates/package/src/recipe.rs crates/package/src/repo.rs crates/package/src/url.rs
+
+/root/repo/target/debug/deps/libspack_package-14739daeb9b68d6e.rlib: crates/package/src/lib.rs crates/package/src/directive.rs crates/package/src/multimethod.rs crates/package/src/package.rs crates/package/src/recipe.rs crates/package/src/repo.rs crates/package/src/url.rs
+
+/root/repo/target/debug/deps/libspack_package-14739daeb9b68d6e.rmeta: crates/package/src/lib.rs crates/package/src/directive.rs crates/package/src/multimethod.rs crates/package/src/package.rs crates/package/src/recipe.rs crates/package/src/repo.rs crates/package/src/url.rs
+
+crates/package/src/lib.rs:
+crates/package/src/directive.rs:
+crates/package/src/multimethod.rs:
+crates/package/src/package.rs:
+crates/package/src/recipe.rs:
+crates/package/src/repo.rs:
+crates/package/src/url.rs:

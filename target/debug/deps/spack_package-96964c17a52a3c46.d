@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/spack_package-96964c17a52a3c46.d: crates/package/src/lib.rs crates/package/src/directive.rs crates/package/src/multimethod.rs crates/package/src/package.rs crates/package/src/recipe.rs crates/package/src/repo.rs crates/package/src/url.rs
+
+/root/repo/target/debug/deps/spack_package-96964c17a52a3c46: crates/package/src/lib.rs crates/package/src/directive.rs crates/package/src/multimethod.rs crates/package/src/package.rs crates/package/src/recipe.rs crates/package/src/repo.rs crates/package/src/url.rs
+
+crates/package/src/lib.rs:
+crates/package/src/directive.rs:
+crates/package/src/multimethod.rs:
+crates/package/src/package.rs:
+crates/package/src/recipe.rs:
+crates/package/src/repo.rs:
+crates/package/src/url.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/spack_package-fca70fa5101138ed.d: crates/package/src/lib.rs crates/package/src/directive.rs crates/package/src/multimethod.rs crates/package/src/package.rs crates/package/src/recipe.rs crates/package/src/repo.rs crates/package/src/url.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_package-fca70fa5101138ed.rmeta: crates/package/src/lib.rs crates/package/src/directive.rs crates/package/src/multimethod.rs crates/package/src/package.rs crates/package/src/recipe.rs crates/package/src/repo.rs crates/package/src/url.rs Cargo.toml
+
+crates/package/src/lib.rs:
+crates/package/src/directive.rs:
+crates/package/src/multimethod.rs:
+crates/package/src/package.rs:
+crates/package/src/recipe.rs:
+crates/package/src/repo.rs:
+crates/package/src/url.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spack_rs-1070867ea6b37ea5.d: src/lib.rs
+
+/root/repo/target/debug/deps/spack_rs-1070867ea6b37ea5: src/lib.rs
+
+src/lib.rs:

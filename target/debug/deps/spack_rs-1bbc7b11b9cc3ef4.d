@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_rs-1bbc7b11b9cc3ef4.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+/root/repo/target/debug/deps/spack_rs-1bbc7b11b9cc3ef4: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/state.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_rs-47f639935e16ba0c.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+/root/repo/target/debug/deps/spack_rs-47f639935e16ba0c: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/state.rs:

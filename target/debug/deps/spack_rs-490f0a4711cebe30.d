@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spack_rs-490f0a4711cebe30.d: src/lib.rs
+
+/root/repo/target/debug/deps/spack_rs-490f0a4711cebe30: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_rs-6439f2cc6125fa30.d: src/lib.rs
+
+/root/repo/target/debug/deps/libspack_rs-6439f2cc6125fa30.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libspack_rs-6439f2cc6125fa30.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_rs-87d98ff8fb538027.d: src/lib.rs
+
+/root/repo/target/debug/deps/libspack_rs-87d98ff8fb538027.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libspack_rs-87d98ff8fb538027.rmeta: src/lib.rs
+
+src/lib.rs:

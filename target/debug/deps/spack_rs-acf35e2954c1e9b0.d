@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_rs-acf35e2954c1e9b0.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+/root/repo/target/debug/deps/spack_rs-acf35e2954c1e9b0: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/state.rs:

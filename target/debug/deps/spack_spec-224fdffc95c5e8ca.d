@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/spack_spec-224fdffc95c5e8ca.d: crates/spec/src/lib.rs crates/spec/src/dag.rs crates/spec/src/error.rs crates/spec/src/format.rs crates/spec/src/hash.rs crates/spec/src/lex.rs crates/spec/src/parse.rs crates/spec/src/serial.rs crates/spec/src/sha.rs crates/spec/src/spec.rs crates/spec/src/version.rs
+
+/root/repo/target/debug/deps/spack_spec-224fdffc95c5e8ca: crates/spec/src/lib.rs crates/spec/src/dag.rs crates/spec/src/error.rs crates/spec/src/format.rs crates/spec/src/hash.rs crates/spec/src/lex.rs crates/spec/src/parse.rs crates/spec/src/serial.rs crates/spec/src/sha.rs crates/spec/src/spec.rs crates/spec/src/version.rs
+
+crates/spec/src/lib.rs:
+crates/spec/src/dag.rs:
+crates/spec/src/error.rs:
+crates/spec/src/format.rs:
+crates/spec/src/hash.rs:
+crates/spec/src/lex.rs:
+crates/spec/src/parse.rs:
+crates/spec/src/serial.rs:
+crates/spec/src/sha.rs:
+crates/spec/src/spec.rs:
+crates/spec/src/version.rs:

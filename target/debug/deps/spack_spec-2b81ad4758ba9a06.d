@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/spack_spec-2b81ad4758ba9a06.d: crates/spec/src/lib.rs crates/spec/src/dag.rs crates/spec/src/error.rs crates/spec/src/format.rs crates/spec/src/hash.rs crates/spec/src/lex.rs crates/spec/src/parse.rs crates/spec/src/serial.rs crates/spec/src/sha.rs crates/spec/src/spec.rs crates/spec/src/version.rs
+
+/root/repo/target/debug/deps/libspack_spec-2b81ad4758ba9a06.rlib: crates/spec/src/lib.rs crates/spec/src/dag.rs crates/spec/src/error.rs crates/spec/src/format.rs crates/spec/src/hash.rs crates/spec/src/lex.rs crates/spec/src/parse.rs crates/spec/src/serial.rs crates/spec/src/sha.rs crates/spec/src/spec.rs crates/spec/src/version.rs
+
+/root/repo/target/debug/deps/libspack_spec-2b81ad4758ba9a06.rmeta: crates/spec/src/lib.rs crates/spec/src/dag.rs crates/spec/src/error.rs crates/spec/src/format.rs crates/spec/src/hash.rs crates/spec/src/lex.rs crates/spec/src/parse.rs crates/spec/src/serial.rs crates/spec/src/sha.rs crates/spec/src/spec.rs crates/spec/src/version.rs
+
+crates/spec/src/lib.rs:
+crates/spec/src/dag.rs:
+crates/spec/src/error.rs:
+crates/spec/src/format.rs:
+crates/spec/src/hash.rs:
+crates/spec/src/lex.rs:
+crates/spec/src/parse.rs:
+crates/spec/src/serial.rs:
+crates/spec/src/sha.rs:
+crates/spec/src/spec.rs:
+crates/spec/src/version.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/spack_spec-7747002d344f762b.d: crates/spec/src/lib.rs crates/spec/src/dag.rs crates/spec/src/error.rs crates/spec/src/format.rs crates/spec/src/hash.rs crates/spec/src/lex.rs crates/spec/src/parse.rs crates/spec/src/serial.rs crates/spec/src/sha.rs crates/spec/src/spec.rs crates/spec/src/version.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_spec-7747002d344f762b.rmeta: crates/spec/src/lib.rs crates/spec/src/dag.rs crates/spec/src/error.rs crates/spec/src/format.rs crates/spec/src/hash.rs crates/spec/src/lex.rs crates/spec/src/parse.rs crates/spec/src/serial.rs crates/spec/src/sha.rs crates/spec/src/spec.rs crates/spec/src/version.rs Cargo.toml
+
+crates/spec/src/lib.rs:
+crates/spec/src/dag.rs:
+crates/spec/src/error.rs:
+crates/spec/src/format.rs:
+crates/spec/src/hash.rs:
+crates/spec/src/lex.rs:
+crates/spec/src/parse.rs:
+crates/spec/src/serial.rs:
+crates/spec/src/sha.rs:
+crates/spec/src/spec.rs:
+crates/spec/src/version.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/spack_store-0e8e5aa0d2e2da8a.d: crates/store/src/lib.rs crates/store/src/database.rs crates/store/src/error.rs crates/store/src/extensions.rs crates/store/src/fstree.rs crates/store/src/layout.rs crates/store/src/lmod.rs crates/store/src/modules.rs crates/store/src/views.rs
+
+/root/repo/target/debug/deps/libspack_store-0e8e5aa0d2e2da8a.rlib: crates/store/src/lib.rs crates/store/src/database.rs crates/store/src/error.rs crates/store/src/extensions.rs crates/store/src/fstree.rs crates/store/src/layout.rs crates/store/src/lmod.rs crates/store/src/modules.rs crates/store/src/views.rs
+
+/root/repo/target/debug/deps/libspack_store-0e8e5aa0d2e2da8a.rmeta: crates/store/src/lib.rs crates/store/src/database.rs crates/store/src/error.rs crates/store/src/extensions.rs crates/store/src/fstree.rs crates/store/src/layout.rs crates/store/src/lmod.rs crates/store/src/modules.rs crates/store/src/views.rs
+
+crates/store/src/lib.rs:
+crates/store/src/database.rs:
+crates/store/src/error.rs:
+crates/store/src/extensions.rs:
+crates/store/src/fstree.rs:
+crates/store/src/layout.rs:
+crates/store/src/lmod.rs:
+crates/store/src/modules.rs:
+crates/store/src/views.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/spack_store-6f13de5735c5d720.d: crates/store/src/lib.rs crates/store/src/database.rs crates/store/src/error.rs crates/store/src/extensions.rs crates/store/src/fstree.rs crates/store/src/layout.rs crates/store/src/lmod.rs crates/store/src/modules.rs crates/store/src/views.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_store-6f13de5735c5d720.rmeta: crates/store/src/lib.rs crates/store/src/database.rs crates/store/src/error.rs crates/store/src/extensions.rs crates/store/src/fstree.rs crates/store/src/layout.rs crates/store/src/lmod.rs crates/store/src/modules.rs crates/store/src/views.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/database.rs:
+crates/store/src/error.rs:
+crates/store/src/extensions.rs:
+crates/store/src/fstree.rs:
+crates/store/src/layout.rs:
+crates/store/src/lmod.rs:
+crates/store/src/modules.rs:
+crates/store/src/views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

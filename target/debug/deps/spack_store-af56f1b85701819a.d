@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spack_store-af56f1b85701819a.d: crates/store/src/lib.rs crates/store/src/database.rs crates/store/src/error.rs crates/store/src/extensions.rs crates/store/src/fstree.rs crates/store/src/layout.rs crates/store/src/lmod.rs crates/store/src/modules.rs crates/store/src/views.rs
+
+/root/repo/target/debug/deps/spack_store-af56f1b85701819a: crates/store/src/lib.rs crates/store/src/database.rs crates/store/src/error.rs crates/store/src/extensions.rs crates/store/src/fstree.rs crates/store/src/layout.rs crates/store/src/lmod.rs crates/store/src/modules.rs crates/store/src/views.rs
+
+crates/store/src/lib.rs:
+crates/store/src/database.rs:
+crates/store/src/error.rs:
+crates/store/src/extensions.rs:
+crates/store/src/fstree.rs:
+crates/store/src/layout.rs:
+crates/store/src/lmod.rs:
+crates/store/src/modules.rs:
+crates/store/src/views.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stats-1b19670d5c22ae5a.d: crates/concretize/tests/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats-1b19670d5c22ae5a.rmeta: crates/concretize/tests/stats.rs Cargo.toml
+
+crates/concretize/tests/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

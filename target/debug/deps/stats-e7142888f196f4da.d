@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats-e7142888f196f4da.d: crates/concretize/tests/stats.rs
+
+/root/repo/target/debug/deps/stats-e7142888f196f4da: crates/concretize/tests/stats.rs
+
+crates/concretize/tests/stats.rs:

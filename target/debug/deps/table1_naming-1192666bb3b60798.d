@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_naming-1192666bb3b60798.d: crates/bench/src/bin/table1_naming.rs
+
+/root/repo/target/debug/deps/table1_naming-1192666bb3b60798: crates/bench/src/bin/table1_naming.rs
+
+crates/bench/src/bin/table1_naming.rs:

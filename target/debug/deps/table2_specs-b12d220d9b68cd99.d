@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_specs-b12d220d9b68cd99.d: crates/bench/src/bin/table2_specs.rs
+
+/root/repo/target/debug/deps/table2_specs-b12d220d9b68cd99: crates/bench/src/bin/table2_specs.rs
+
+crates/bench/src/bin/table2_specs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_ares-ed8c7223d8e8a3b7.d: crates/bench/src/bin/table3_ares.rs
+
+/root/repo/target/debug/deps/table3_ares-ed8c7223d8e8a3b7: crates/bench/src/bin/table3_ares.rs
+
+crates/bench/src/bin/table3_ares.rs:

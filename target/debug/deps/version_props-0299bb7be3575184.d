@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/version_props-0299bb7be3575184.d: crates/spec/tests/version_props.rs
+
+/root/repo/target/debug/deps/version_props-0299bb7be3575184: crates/spec/tests/version_props.rs
+
+crates/spec/tests/version_props.rs:

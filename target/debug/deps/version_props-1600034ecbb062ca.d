@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/version_props-1600034ecbb062ca.d: crates/spec/tests/version_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libversion_props-1600034ecbb062ca.rmeta: crates/spec/tests/version_props.rs Cargo.toml
+
+crates/spec/tests/version_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

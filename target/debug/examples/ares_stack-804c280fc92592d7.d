@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ares_stack-804c280fc92592d7.d: examples/ares_stack.rs
+
+/root/repo/target/debug/examples/ares_stack-804c280fc92592d7: examples/ares_stack.rs
+
+examples/ares_stack.rs:

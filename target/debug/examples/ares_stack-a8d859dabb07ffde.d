@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ares_stack-a8d859dabb07ffde.d: examples/ares_stack.rs
+
+/root/repo/target/debug/examples/ares_stack-a8d859dabb07ffde: examples/ares_stack.rs
+
+examples/ares_stack.rs:

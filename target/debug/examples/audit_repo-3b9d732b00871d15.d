@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/audit_repo-3b9d732b00871d15.d: examples/audit_repo.rs
+
+/root/repo/target/debug/examples/audit_repo-3b9d732b00871d15: examples/audit_repo.rs
+
+examples/audit_repo.rs:

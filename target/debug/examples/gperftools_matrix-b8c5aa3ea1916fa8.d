@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gperftools_matrix-b8c5aa3ea1916fa8.d: examples/gperftools_matrix.rs
+
+/root/repo/target/debug/examples/gperftools_matrix-b8c5aa3ea1916fa8: examples/gperftools_matrix.rs
+
+examples/gperftools_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gperftools_matrix-be1132d637f36e34.d: examples/gperftools_matrix.rs
+
+/root/repo/target/debug/examples/gperftools_matrix-be1132d637f36e34: examples/gperftools_matrix.rs
+
+examples/gperftools_matrix.rs:

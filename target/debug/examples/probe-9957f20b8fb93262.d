@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe-9957f20b8fb93262.d: crates/audit/examples/probe.rs
+
+/root/repo/target/debug/examples/probe-9957f20b8fb93262: crates/audit/examples/probe.rs
+
+crates/audit/examples/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/python_extensions-4b56dfdc1138b69e.d: examples/python_extensions.rs
+
+/root/repo/target/debug/examples/python_extensions-4b56dfdc1138b69e: examples/python_extensions.rs
+
+examples/python_extensions.rs:

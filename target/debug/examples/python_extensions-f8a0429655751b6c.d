@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/python_extensions-f8a0429655751b6c.d: examples/python_extensions.rs
+
+/root/repo/target/debug/examples/python_extensions-f8a0429655751b6c: examples/python_extensions.rs
+
+examples/python_extensions.rs:

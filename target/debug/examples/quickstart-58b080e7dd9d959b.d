@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-58b080e7dd9d959b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-58b080e7dd9d959b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-67180639660e9007.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-67180639660e9007: examples/quickstart.rs
+
+examples/quickstart.rs:

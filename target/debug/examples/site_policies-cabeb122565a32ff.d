@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/site_policies-cabeb122565a32ff.d: examples/site_policies.rs
+
+/root/repo/target/debug/examples/site_policies-cabeb122565a32ff: examples/site_policies.rs
+
+examples/site_policies.rs:

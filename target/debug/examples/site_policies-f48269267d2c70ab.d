@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/site_policies-f48269267d2c70ab.d: examples/site_policies.rs
+
+/root/repo/target/debug/examples/site_policies-f48269267d2c70ab: examples/site_policies.rs
+
+examples/site_policies.rs:

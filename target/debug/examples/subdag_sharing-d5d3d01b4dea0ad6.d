@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/subdag_sharing-d5d3d01b4dea0ad6.d: examples/subdag_sharing.rs
+
+/root/repo/target/debug/examples/subdag_sharing-d5d3d01b4dea0ad6: examples/subdag_sharing.rs
+
+examples/subdag_sharing.rs:

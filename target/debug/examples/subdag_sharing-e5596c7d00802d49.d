@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/subdag_sharing-e5596c7d00802d49.d: examples/subdag_sharing.rs
+
+/root/repo/target/debug/examples/subdag_sharing-e5596c7d00802d49: examples/subdag_sharing.rs
+
+examples/subdag_sharing.rs:

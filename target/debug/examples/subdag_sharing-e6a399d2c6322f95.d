@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/subdag_sharing-e6a399d2c6322f95.d: examples/subdag_sharing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsubdag_sharing-e6a399d2c6322f95.rmeta: examples/subdag_sharing.rs Cargo.toml
+
+examples/subdag_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

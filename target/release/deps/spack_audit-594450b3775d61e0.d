@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/spack_audit-594450b3775d61e0.d: crates/audit/src/lib.rs crates/audit/src/cycles.rs crates/audit/src/passes.rs crates/audit/src/report.rs
+
+/root/repo/target/release/deps/libspack_audit-594450b3775d61e0.rlib: crates/audit/src/lib.rs crates/audit/src/cycles.rs crates/audit/src/passes.rs crates/audit/src/report.rs
+
+/root/repo/target/release/deps/libspack_audit-594450b3775d61e0.rmeta: crates/audit/src/lib.rs crates/audit/src/cycles.rs crates/audit/src/passes.rs crates/audit/src/report.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/cycles.rs:
+crates/audit/src/passes.rs:
+crates/audit/src/report.rs:

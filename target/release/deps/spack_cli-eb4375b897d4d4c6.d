@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spack_cli-eb4375b897d4d4c6.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libspack_cli-eb4375b897d4d4c6.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libspack_cli-eb4375b897d4d4c6.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

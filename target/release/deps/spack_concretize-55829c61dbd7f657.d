@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/spack_concretize-55829c61dbd7f657.d: crates/concretize/src/lib.rs crates/concretize/src/backtrack.rs crates/concretize/src/concretizer.rs crates/concretize/src/config.rs crates/concretize/src/error.rs crates/concretize/src/features.rs crates/concretize/src/providers.rs
+
+/root/repo/target/release/deps/libspack_concretize-55829c61dbd7f657.rlib: crates/concretize/src/lib.rs crates/concretize/src/backtrack.rs crates/concretize/src/concretizer.rs crates/concretize/src/config.rs crates/concretize/src/error.rs crates/concretize/src/features.rs crates/concretize/src/providers.rs
+
+/root/repo/target/release/deps/libspack_concretize-55829c61dbd7f657.rmeta: crates/concretize/src/lib.rs crates/concretize/src/backtrack.rs crates/concretize/src/concretizer.rs crates/concretize/src/config.rs crates/concretize/src/error.rs crates/concretize/src/features.rs crates/concretize/src/providers.rs
+
+crates/concretize/src/lib.rs:
+crates/concretize/src/backtrack.rs:
+crates/concretize/src/concretizer.rs:
+crates/concretize/src/config.rs:
+crates/concretize/src/error.rs:
+crates/concretize/src/features.rs:
+crates/concretize/src/providers.rs:

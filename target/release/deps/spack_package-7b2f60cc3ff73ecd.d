@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/spack_package-7b2f60cc3ff73ecd.d: crates/package/src/lib.rs crates/package/src/directive.rs crates/package/src/multimethod.rs crates/package/src/package.rs crates/package/src/recipe.rs crates/package/src/repo.rs crates/package/src/url.rs
+
+/root/repo/target/release/deps/libspack_package-7b2f60cc3ff73ecd.rlib: crates/package/src/lib.rs crates/package/src/directive.rs crates/package/src/multimethod.rs crates/package/src/package.rs crates/package/src/recipe.rs crates/package/src/repo.rs crates/package/src/url.rs
+
+/root/repo/target/release/deps/libspack_package-7b2f60cc3ff73ecd.rmeta: crates/package/src/lib.rs crates/package/src/directive.rs crates/package/src/multimethod.rs crates/package/src/package.rs crates/package/src/recipe.rs crates/package/src/repo.rs crates/package/src/url.rs
+
+crates/package/src/lib.rs:
+crates/package/src/directive.rs:
+crates/package/src/multimethod.rs:
+crates/package/src/package.rs:
+crates/package/src/recipe.rs:
+crates/package/src/repo.rs:
+crates/package/src/url.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spack_rs-19fd0b784384c8c0.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+/root/repo/target/release/deps/spack_rs-19fd0b784384c8c0: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/state.rs:

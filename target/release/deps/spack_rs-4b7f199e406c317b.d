@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spack_rs-4b7f199e406c317b.d: src/lib.rs
+
+/root/repo/target/release/deps/libspack_rs-4b7f199e406c317b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libspack_rs-4b7f199e406c317b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/spack_spec-7cb1b204dcd6defd.d: crates/spec/src/lib.rs crates/spec/src/dag.rs crates/spec/src/error.rs crates/spec/src/format.rs crates/spec/src/hash.rs crates/spec/src/lex.rs crates/spec/src/parse.rs crates/spec/src/serial.rs crates/spec/src/sha.rs crates/spec/src/spec.rs crates/spec/src/version.rs
+
+/root/repo/target/release/deps/libspack_spec-7cb1b204dcd6defd.rlib: crates/spec/src/lib.rs crates/spec/src/dag.rs crates/spec/src/error.rs crates/spec/src/format.rs crates/spec/src/hash.rs crates/spec/src/lex.rs crates/spec/src/parse.rs crates/spec/src/serial.rs crates/spec/src/sha.rs crates/spec/src/spec.rs crates/spec/src/version.rs
+
+/root/repo/target/release/deps/libspack_spec-7cb1b204dcd6defd.rmeta: crates/spec/src/lib.rs crates/spec/src/dag.rs crates/spec/src/error.rs crates/spec/src/format.rs crates/spec/src/hash.rs crates/spec/src/lex.rs crates/spec/src/parse.rs crates/spec/src/serial.rs crates/spec/src/sha.rs crates/spec/src/spec.rs crates/spec/src/version.rs
+
+crates/spec/src/lib.rs:
+crates/spec/src/dag.rs:
+crates/spec/src/error.rs:
+crates/spec/src/format.rs:
+crates/spec/src/hash.rs:
+crates/spec/src/lex.rs:
+crates/spec/src/parse.rs:
+crates/spec/src/serial.rs:
+crates/spec/src/sha.rs:
+crates/spec/src/spec.rs:
+crates/spec/src/version.rs:

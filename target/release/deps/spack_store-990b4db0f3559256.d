@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/spack_store-990b4db0f3559256.d: crates/store/src/lib.rs crates/store/src/database.rs crates/store/src/error.rs crates/store/src/extensions.rs crates/store/src/fstree.rs crates/store/src/layout.rs crates/store/src/lmod.rs crates/store/src/modules.rs crates/store/src/views.rs
+
+/root/repo/target/release/deps/libspack_store-990b4db0f3559256.rlib: crates/store/src/lib.rs crates/store/src/database.rs crates/store/src/error.rs crates/store/src/extensions.rs crates/store/src/fstree.rs crates/store/src/layout.rs crates/store/src/lmod.rs crates/store/src/modules.rs crates/store/src/views.rs
+
+/root/repo/target/release/deps/libspack_store-990b4db0f3559256.rmeta: crates/store/src/lib.rs crates/store/src/database.rs crates/store/src/error.rs crates/store/src/extensions.rs crates/store/src/fstree.rs crates/store/src/layout.rs crates/store/src/lmod.rs crates/store/src/modules.rs crates/store/src/views.rs
+
+crates/store/src/lib.rs:
+crates/store/src/database.rs:
+crates/store/src/error.rs:
+crates/store/src/extensions.rs:
+crates/store/src/fstree.rs:
+crates/store/src/layout.rs:
+crates/store/src/lmod.rs:
+crates/store/src/modules.rs:
+crates/store/src/views.rs:

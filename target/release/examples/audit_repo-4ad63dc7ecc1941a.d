@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/audit_repo-4ad63dc7ecc1941a.d: examples/audit_repo.rs
+
+/root/repo/target/release/examples/audit_repo-4ad63dc7ecc1941a: examples/audit_repo.rs
+
+examples/audit_repo.rs:

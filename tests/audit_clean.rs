@@ -1,0 +1,37 @@
+//! The shipped repository must stay audit-clean, reachable through both
+//! the `spack_rs::audit` re-export and the `Session` façade.
+
+use spack_rs::audit::{audit_repo, Severity};
+use spack_rs::package::{PackageBuilder, Repository};
+use spack_rs::Session;
+
+#[test]
+fn builtin_repository_is_audit_clean() {
+    let report = Session::new().audit();
+    assert!(report.is_clean(), "{}", report.render_text());
+    assert_eq!(report.warn_count(), 0, "{}", report.render_text());
+}
+
+#[test]
+fn a_broken_site_recipe_dirties_the_stack() {
+    // Stack a site repo with a bad recipe over the builtin one: the
+    // auditor sees the merged view exactly as the concretizer would.
+    let mut site = Repository::new("site");
+    site.register(
+        PackageBuilder::new("site-app")
+            .version_unchecked("1.0")
+            .depends_on("no-such-library")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let mut stack = spack_rs::repo::repo_stack();
+    stack.push_front(site);
+
+    let report = audit_repo(&stack);
+    assert!(!report.is_clean());
+    let hits = report.with_code("AUD001");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].severity, Severity::Error);
+    assert_eq!(hits[0].package, "site-app");
+}

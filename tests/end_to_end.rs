@@ -19,7 +19,11 @@ fn install_queries_and_reuse() {
 
     // A different MPI shares the dyninst sub-DAG (Fig. 9).
     let report = session.install("mpileaks ^openmpi").unwrap();
-    assert!(report.reused_count() >= 3, "reused {}", report.reused_count());
+    assert!(
+        report.reused_count() >= 3,
+        "reused {}",
+        report.reused_count()
+    );
 
     let db = session.database();
     assert_eq!(db.query(&Spec::parse("mpileaks").unwrap()).len(), 2);
@@ -72,12 +76,8 @@ fn naming_schemes_agree_with_database_prefixes() {
     let db = session.database();
     let rec = db.query(&Spec::parse("libelf").unwrap())[0];
     let hashes = DagHashes::compute(&rec.dag);
-    let expected = NamingScheme::SpackDefault.prefix_for(
-        "/spack/opt",
-        &rec.dag,
-        rec.dag.root(),
-        &hashes,
-    );
+    let expected =
+        NamingScheme::SpackDefault.prefix_for("/spack/opt", &rec.dag, rec.dag.root(), &hashes);
     assert_eq!(rec.prefix, expected);
     assert!(rec.prefix.contains("linux-x86_64"));
     assert!(rec.prefix.ends_with(hashes.short(rec.dag.root())));
@@ -122,7 +122,10 @@ fn uninstall_protects_dependents() {
         )
     };
     let mut db = session.database();
-    assert!(db.uninstall(&libelf_hash).is_err(), "libdwarf still needs it");
+    assert!(
+        db.uninstall(&libelf_hash).is_err(),
+        "libdwarf still needs it"
+    );
     db.uninstall(&libdwarf_hash).unwrap();
     db.uninstall(&libelf_hash).unwrap();
     assert!(db.is_empty());
@@ -163,7 +166,9 @@ fn bgq_builds_carry_platform_flags_in_wrapper() {
     // §4.5 platform descriptions + Fig. 12: XL on BG/Q links dynamically.
     use spack_rs::buildenv::PlatformRegistry;
     let mut session = Session::new();
-    session.config_mut().register_compiler("gcc", "4.9.3", &["bgq"]);
+    session
+        .config_mut()
+        .register_compiler("gcc", "4.9.3", &["bgq"]);
     let dag = session.concretize("libelf %xl =bgq").unwrap();
     let wrapper = PlatformRegistry::with_defaults().wrapper_for(dag.root_node(), &[]);
     let argv = wrapper.rewrite(

@@ -121,7 +121,13 @@ fn wrapper_overhead_is_around_ten_percent() {
         &["/opt/a".to_string(), "/opt/b".to_string()],
     );
     let packages = [
-        "libelf", "libpng", "mpileaks", "libdwarf", "python", "dyninst", "netlib-lapack",
+        "libelf",
+        "libpng",
+        "mpileaks",
+        "libdwarf",
+        "python",
+        "dyninst",
+        "netlib-lapack",
     ];
     let mut overheads = Vec::new();
     for name in packages {
@@ -190,9 +196,15 @@ fn nfs_overhead_matches_paper_shape() {
         measured.push((nfs - tmp) / tmp * 100.0);
     }
     let mean = measured.iter().sum::<f64>() / measured.len() as f64;
-    assert!((25.0..45.0).contains(&mean), "mean NFS overhead {mean}%, paper ~33%");
+    assert!(
+        (25.0..45.0).contains(&mean),
+        "mean NFS overhead {mean}%, paper ~33%"
+    );
     let max = measured.iter().cloned().fold(0.0, f64::max);
-    assert!((50.0..80.0).contains(&max), "max NFS overhead {max}%, paper 62.7%");
+    assert!(
+        (50.0..80.0).contains(&max),
+        "max NFS overhead {max}%, paper 62.7%"
+    );
     // Per-package ordering: libpng worst, dyninst most insensitive.
     let worst_idx = measured
         .iter()
@@ -256,18 +268,22 @@ fn table1_spack_scheme_is_injective() {
         .collect();
     let spack_paths: Vec<String> = dags
         .iter()
-        .map(|d| {
-            NamingScheme::SpackDefault.prefix_for("/opt", d, d.root(), &DagHashes::compute(d))
-        })
+        .map(|d| NamingScheme::SpackDefault.prefix_for("/opt", d, d.root(), &DagHashes::compute(d)))
         .collect();
     assert_ne!(spack_paths[0], spack_paths[1], "hash distinguishes them");
-    for scheme in [NamingScheme::LlnlGlobal, NamingScheme::LlnlLocal, NamingScheme::Ornl, NamingScheme::Tacc] {
+    for scheme in [
+        NamingScheme::LlnlGlobal,
+        NamingScheme::LlnlLocal,
+        NamingScheme::Ornl,
+        NamingScheme::Tacc,
+    ] {
         let paths: Vec<String> = dags
             .iter()
             .map(|d| scheme.prefix_for("/opt", d, d.root(), &DagHashes::compute(d)))
             .collect();
         assert_eq!(
-            paths[0], paths[1],
+            paths[0],
+            paths[1],
             "{} cannot express the libelf difference",
             scheme.site()
         );
