@@ -15,5 +15,10 @@ run cargo clippy --workspace --all-targets -- -D warnings
 run cargo fmt --check
 # The repository must stay audit-clean: exit code is the error count.
 run cargo run -q -p spack-cli --bin spack-rs -- audit
+# Chaos determinism gate: the fault-injected sweep must reproduce the
+# checked-in golden file byte for byte on any machine.
+echo "==> chaos_sweep determinism gate"
+cargo run -q --release -p spack-bench --bin chaos_sweep > target/chaos_sweep.ci.txt
+run diff -u results/chaos_sweep.txt target/chaos_sweep.ci.txt
 
 echo "==> CI green"

@@ -1,0 +1,107 @@
+//! Chaos sweep: failure rates × retry budgets over the ARES DAG.
+//!
+//! For each (fault rate, retry budget) cell, installs the full ares
+//! development stack with `keep_going` through a two-mirror failover
+//! chain whose mirrors (and the build step) inject faults from a fixed
+//! seed, then reports how much of the DAG committed, how much virtual
+//! time was wasted on retries and dead attempts, and the resulting
+//! goodput (nodes committed per simulated critical-path second).
+//!
+//! Everything is deterministic: the same seed produces byte-identical
+//! output on any machine, which `ci.sh` exploits as a determinism
+//! regression gate against `results/chaos_sweep.txt`.
+//!
+//! Run: `cargo run -p spack-bench --bin chaos_sweep [-- --seed N]`
+
+use parking_lot::Mutex;
+use spack_bench::{bench_config, bench_repos};
+use spack_buildenv::{
+    install_dag, FaultPlan, FaultyMirror, FetchSource, InstallOptions, Mirror, MirrorChain,
+    RetryPolicy,
+};
+use spack_concretize::Concretizer;
+use spack_spec::Spec;
+use spack_store::Database;
+use std::sync::Arc;
+
+const RATES: &[f64] = &[0.0, 0.05, 0.1, 0.2, 0.4];
+const RETRY_BUDGETS: &[u32] = &[0, 1, 2, 4];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut seed = 42u64;
+    let mut iter = args.iter().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let repos = bench_repos();
+    let config = bench_config();
+    let dag = Concretizer::new(&repos, &config)
+        .concretize(&Spec::parse("ares@develop~lite").unwrap())
+        .expect("ares concretizes");
+
+    println!(
+        "Chaos sweep over the ares DAG ({} nodes), seed {seed}",
+        dag.len()
+    );
+    println!("  two-mirror failover chain; keep-going; virtual-time accounting\n");
+    println!(
+        "{:>6} {:>8} {:>10} {:>7} {:>8} {:>8} {:>10} {:>10} {:>10} {:>9}",
+        "rate",
+        "retries",
+        "committed",
+        "failed",
+        "skipped",
+        "used",
+        "backoff",
+        "wasted",
+        "critpath",
+        "goodput"
+    );
+
+    for &rate in RATES {
+        for &budget in RETRY_BUDGETS {
+            let plan = FaultPlan::uniform(seed, rate);
+            let opts = InstallOptions {
+                source: MirrorChain::from_sources(vec![
+                    Arc::new(FaultyMirror::new(Mirror::named("m0"), plan)) as Arc<dyn FetchSource>,
+                    Arc::new(FaultyMirror::new(Mirror::named("m1"), plan)) as Arc<dyn FetchSource>,
+                ]),
+                faults: Some(plan),
+                retry: RetryPolicy::with_retries(budget),
+                keep_going: true,
+                ..Default::default()
+            };
+            let db = Mutex::new(Database::new("/spack/opt"));
+            let report = install_dag(&dag, &repos, &db, &opts).expect("keep-going never errors");
+            let goodput = if report.critical_path_seconds > 0.0 {
+                report.committed_count() as f64 / report.critical_path_seconds
+            } else {
+                0.0
+            };
+            println!(
+                "{:>6.2} {:>8} {:>10} {:>7} {:>8} {:>8} {:>9.1}s {:>9.1}s {:>9.1}s {:>9.4}",
+                rate,
+                budget,
+                format!("{}/{}", report.committed_count(), dag.len()),
+                report.failed_count(),
+                report.skipped_count(),
+                report.retries,
+                report.backoff_seconds,
+                report.wasted_seconds,
+                report.critical_path_seconds,
+                goodput
+            );
+        }
+    }
+    println!("\ngoodput = nodes committed per simulated critical-path second");
+}

@@ -1,0 +1,360 @@
+//! Deterministic fault injection for the install pipeline (the chaos
+//! substrate behind `spack-rs install --chaos`).
+//!
+//! HPC build substrates fail in mundane ways: mirrors drop connections,
+//! archives arrive truncated or bit-flipped, builds die on flaky
+//! filesystems. A [`FaultPlan`] reproduces that chaos *deterministically*:
+//! every fault decision is a pure function of (seed, fault kind, package,
+//! version, attempt, scope), derived by hashing those coordinates into a
+//! seeded [`rand`] stream. No wall clock, no shared mutable state — two
+//! runs with the same plan see bit-identical faults regardless of node
+//! visit order or host machine, which is what lets the chaos harness
+//! assert byte-identical reports across runs.
+//!
+//! [`FaultyMirror`] wraps any [`Mirror`] with a plan, injecting the three
+//! fetch-side fault kinds; the pipeline consults the same plan directly
+//! for [`FaultKind::BuildFailure`]. Because the decision space is keyed
+//! by attempt number and mirror label, retries and mirror failover each
+//! re-roll the dice — exactly like the real world they simulate.
+
+use crate::fetch::{Archive, FetchError, FetchSource, Mirror};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spack_package::PackageDef;
+use spack_spec::sha::{md5_hex, Sha256};
+use spack_spec::Version;
+use std::fmt;
+
+/// The taxonomy of injectable faults (DESIGN.md §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The mirror dropped the connection: no bytes arrive. Retryable and
+    /// failover-able — the canonical transient fault.
+    TransientFetch,
+    /// The archive arrived short: bytes were cut mid-stream, so any
+    /// declared checksum fails verification.
+    TruncatedArchive,
+    /// The archive arrived complete but bit-flipped: same length,
+    /// different digest.
+    CorruptArchive,
+    /// The build itself died after consuming its full simulated cost —
+    /// wasted work that the report accounts separately.
+    BuildFailure,
+}
+
+impl FaultKind {
+    /// Stable short name, used both for display and as the hash
+    /// coordinate that makes per-kind decisions independent.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::TransientFetch => "transient-fetch",
+            FaultKind::TruncatedArchive => "truncated-archive",
+            FaultKind::CorruptArchive => "corrupt-archive",
+            FaultKind::BuildFailure => "build-failure",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One fault observed during an install: what, where, and on which
+/// attempt. `injected` distinguishes planned chaos from genuine trouble
+/// (e.g. a mirror whose copy really is corrupt), so reports carry full
+/// fault provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// Where it happened: a mirror label, or `"build"` for build faults.
+    pub source: String,
+    /// 1-based fetch/build attempt the fault struck.
+    pub attempt: u32,
+    /// True when a [`FaultPlan`] injected the fault deliberately.
+    pub injected: bool,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} (attempt {}){}",
+            self.kind,
+            self.source,
+            self.attempt,
+            if self.injected { ", injected" } else { "" }
+        )
+    }
+}
+
+/// A seeded, per-kind fault probability table. Copyable so one plan can
+/// drive every mirror in a chain plus the pipeline's build faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every decision hash.
+    pub seed: u64,
+    /// Probability of a dropped fetch, per (package, attempt, mirror).
+    pub transient_fetch: f64,
+    /// Probability of a truncated archive.
+    pub truncated_archive: f64,
+    /// Probability of a bit-flipped archive.
+    pub corrupt_archive: f64,
+    /// Probability that a build dies after consuming its full cost.
+    pub build_failure: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all rates zero).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            transient_fetch: 0.0,
+            truncated_archive: 0.0,
+            corrupt_archive: 0.0,
+            build_failure: 0.0,
+        }
+    }
+
+    /// Every fault kind at the same rate — the `--chaos <seed>:<rate>`
+    /// shape.
+    pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            transient_fetch: rate,
+            truncated_archive: rate,
+            corrupt_archive: rate,
+            build_failure: rate,
+        }
+    }
+
+    fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::TransientFetch => self.transient_fetch,
+            FaultKind::TruncatedArchive => self.truncated_archive,
+            FaultKind::CorruptArchive => self.corrupt_archive,
+            FaultKind::BuildFailure => self.build_failure,
+        }
+    }
+
+    /// Should `kind` strike `package@version` on this `attempt` in
+    /// `scope` (a mirror label, or `"build"`)? Pure: the answer depends
+    /// only on the arguments and the seed, never on call order.
+    pub fn decide(
+        &self,
+        kind: FaultKind,
+        package: &str,
+        version: &str,
+        attempt: u32,
+        scope: &str,
+    ) -> bool {
+        let rate = self.rate(kind);
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let mut h = Sha256::new();
+        h.update(&self.seed.to_be_bytes());
+        h.update(kind.as_str().as_bytes());
+        h.update(package.as_bytes());
+        h.update(b"@");
+        h.update(version.as_bytes());
+        h.update(&attempt.to_be_bytes());
+        h.update(scope.as_bytes());
+        let digest = h.finalize();
+        let mut rng = StdRng::seed_from_u64(u64::from_be_bytes(digest[..8].try_into().unwrap()));
+        rng.random_bool(rate)
+    }
+}
+
+/// A [`Mirror`] wrapped with a [`FaultPlan`]: serves the inner mirror's
+/// archives, except when the plan says this (package, attempt, mirror)
+/// coordinate is struck by a transient drop, a truncation, or a bit
+/// flip. Tampered archives carry their [`Archive::injected`] provenance
+/// so reports can tell chaos from genuine corruption.
+#[derive(Debug, Clone)]
+pub struct FaultyMirror {
+    inner: Mirror,
+    plan: FaultPlan,
+}
+
+impl FaultyMirror {
+    /// Wrap `inner` with `plan`.
+    pub fn new(inner: Mirror, plan: FaultPlan) -> FaultyMirror {
+        FaultyMirror { inner, plan }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl FetchSource for FaultyMirror {
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+
+    fn fetch_version(
+        &self,
+        pkg: &PackageDef,
+        version: &Version,
+        attempt: u32,
+    ) -> Result<Archive, FetchError> {
+        let ver = version.to_string();
+        let scope = self.label();
+        if self
+            .plan
+            .decide(FaultKind::TransientFetch, &pkg.name, &ver, attempt, scope)
+        {
+            return Err(FetchError::Transient {
+                package: pkg.name.clone(),
+                version: ver,
+                mirror: scope.to_string(),
+                attempt,
+            });
+        }
+        let mut archive = self.inner.fetch(pkg, version)?;
+        let tampered =
+            if self
+                .plan
+                .decide(FaultKind::TruncatedArchive, &pkg.name, &ver, attempt, scope)
+            {
+                let keep = archive.bytes.len() / 2;
+                archive.bytes.truncate(keep);
+                Some(FaultKind::TruncatedArchive)
+            } else if self
+                .plan
+                .decide(FaultKind::CorruptArchive, &pkg.name, &ver, attempt, scope)
+            {
+                archive.bytes[0] ^= 0x55;
+                Some(FaultKind::CorruptArchive)
+            } else {
+                None
+            };
+        if let Some(kind) = tampered {
+            archive.md5 = md5_hex(&archive.bytes);
+            archive.verified = match pkg.checksum_for(version) {
+                Some(declared) => declared == archive.md5,
+                None => true,
+            };
+            archive.injected = Some(kind);
+        }
+        Ok(archive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_package::PackageBuilder;
+
+    fn pkg() -> PackageDef {
+        let v = Version::new("1.0").unwrap();
+        PackageBuilder::new("demo")
+            .version("1.0", &Mirror::checksum_of("demo", &v))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_order_independent() {
+        let plan = FaultPlan::uniform(7, 0.5);
+        let forward: Vec<bool> = (1..=20)
+            .map(|a| plan.decide(FaultKind::TransientFetch, "demo", "1.0", a, "m0"))
+            .collect();
+        let mut backward: Vec<bool> = (1..=20)
+            .rev()
+            .map(|a| plan.decide(FaultKind::TransientFetch, "demo", "1.0", a, "m0"))
+            .collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+        assert!(forward.iter().any(|&b| b));
+        assert!(forward.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn rates_zero_and_one_are_absolute() {
+        let never = FaultPlan::new(1);
+        let always = FaultPlan::uniform(1, 1.0);
+        for a in 1..10 {
+            assert!(!never.decide(FaultKind::BuildFailure, "x", "1", a, "build"));
+            assert!(always.decide(FaultKind::BuildFailure, "x", "1", a, "build"));
+        }
+    }
+
+    #[test]
+    fn kinds_and_scopes_roll_independently() {
+        let plan = FaultPlan::uniform(99, 0.5);
+        let mut differs_by_kind = false;
+        let mut differs_by_scope = false;
+        for a in 1..=32 {
+            let t = plan.decide(FaultKind::TransientFetch, "demo", "1.0", a, "m0");
+            if t != plan.decide(FaultKind::CorruptArchive, "demo", "1.0", a, "m0") {
+                differs_by_kind = true;
+            }
+            if t != plan.decide(FaultKind::TransientFetch, "demo", "1.0", a, "m1") {
+                differs_by_scope = true;
+            }
+        }
+        assert!(differs_by_kind && differs_by_scope);
+    }
+
+    #[test]
+    fn transient_faults_surface_as_errors() {
+        let plan = FaultPlan {
+            transient_fetch: 1.0,
+            ..FaultPlan::new(3)
+        };
+        let m = FaultyMirror::new(Mirror::new(), plan);
+        let err = m
+            .fetch_version(&pkg(), &Version::new("1.0").unwrap(), 1)
+            .unwrap_err();
+        assert!(
+            matches!(err, FetchError::Transient { attempt: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn tampered_archives_fail_verification_with_provenance() {
+        for (plan, kind) in [
+            (
+                FaultPlan {
+                    truncated_archive: 1.0,
+                    ..FaultPlan::new(3)
+                },
+                FaultKind::TruncatedArchive,
+            ),
+            (
+                FaultPlan {
+                    corrupt_archive: 1.0,
+                    ..FaultPlan::new(3)
+                },
+                FaultKind::CorruptArchive,
+            ),
+        ] {
+            let m = FaultyMirror::new(Mirror::new(), plan);
+            let a = m
+                .fetch_version(&pkg(), &Version::new("1.0").unwrap(), 1)
+                .unwrap();
+            assert!(!a.verified);
+            assert_eq!(a.injected, Some(kind));
+        }
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let m = FaultyMirror::new(Mirror::new(), FaultPlan::new(0));
+        let v = Version::new("1.0").unwrap();
+        let a = m.fetch_version(&pkg(), &v, 1).unwrap();
+        let b = Mirror::new().fetch(&pkg(), &v).unwrap();
+        assert_eq!(a.bytes, b.bytes);
+        assert!(a.verified);
+        assert_eq!(a.injected, None);
+    }
+}

@@ -7,11 +7,20 @@
 //! so every run — and every machine — sees the same archives and the same
 //! digests. A [`Mirror::corrupting`] mirror serves tampered bytes to
 //! exercise the verification path.
+//!
+//! [`Mirror`] is one implementation of the [`FetchSource`] trait; the
+//! fault-injection wrapper ([`crate::faults::FaultyMirror`]) is another.
+//! A [`MirrorChain`] strings sources into an ordered failover list: the
+//! install pipeline fetches through the chain, which tries each mirror in
+//! turn, skipping transient failures and unverifiable archives, and
+//! records every fault it observed for the install report's provenance.
 
+use crate::faults::{FaultEvent, FaultKind};
 use spack_package::PackageDef;
 use spack_spec::sha::{md5_hex, Sha256};
 use spack_spec::Version;
 use std::fmt;
+use std::sync::Arc;
 
 /// A fetched source archive: URL, bytes, and verification outcome.
 #[derive(Debug, Clone)]
@@ -27,18 +36,42 @@ pub struct Archive {
     /// `version()` directive. Versions with no declared checksum verify
     /// trivially (there is nothing to check against).
     pub verified: bool,
+    /// When a fault plan tampered with this archive, the kind of injected
+    /// fault — provenance for chaos reports. `None` for archives served
+    /// as-is (including genuinely corrupt ones).
+    pub injected: Option<FaultKind>,
 }
 
 /// Why a fetch failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FetchError {
-    /// The requested version is not declared by the package.
+    /// The requested version is not declared by the package. Permanent:
+    /// no retry or failover can help.
     UnknownVersion {
         /// Package whose versions were consulted.
         package: String,
         /// The version that was requested.
         version: String,
     },
+    /// The mirror dropped the connection mid-fetch. Transient: a retry
+    /// or a failover to the next mirror in the chain may succeed.
+    Transient {
+        /// Package being fetched.
+        package: String,
+        /// Version being fetched.
+        version: String,
+        /// Label of the mirror that dropped the connection.
+        mirror: String,
+        /// 1-based attempt number the drop struck.
+        attempt: u32,
+    },
+}
+
+impl FetchError {
+    /// True for failures a retry (or failover) can plausibly fix.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FetchError::Transient { .. })
+    }
 }
 
 impl fmt::Display for FetchError {
@@ -47,29 +80,78 @@ impl fmt::Display for FetchError {
             FetchError::UnknownVersion { package, version } => {
                 write!(f, "no known version {version} of {package}")
             }
+            FetchError::Transient {
+                package,
+                version,
+                mirror,
+                attempt,
+            } => write!(
+                f,
+                "transient failure fetching {package}@{version} from {mirror} (attempt {attempt})"
+            ),
         }
     }
 }
 
 impl std::error::Error for FetchError {}
 
+/// Anything that can serve source archives: a plain [`Mirror`], a
+/// fault-injected one, or a test double. The `attempt` parameter lets
+/// stateless sources vary behaviour across retries deterministically.
+pub trait FetchSource: fmt::Debug + Send + Sync {
+    /// A short stable label naming this source in reports.
+    fn label(&self) -> &str;
+
+    /// Fetch one declared version of `pkg` on the given 1-based attempt.
+    fn fetch_version(
+        &self,
+        pkg: &PackageDef,
+        version: &Version,
+        attempt: u32,
+    ) -> Result<Archive, FetchError>;
+}
+
 /// The deterministic source mirror.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Mirror {
     corrupt: bool,
+    name: String,
+}
+
+impl Default for Mirror {
+    fn default() -> Self {
+        Mirror::new()
+    }
 }
 
 impl Mirror {
     /// A mirror serving pristine archives.
     pub fn new() -> Mirror {
-        Mirror { corrupt: false }
+        Mirror::named("mirror")
+    }
+
+    /// A pristine mirror with a custom label (distinct labels make the
+    /// mirrors of a failover chain fail independently under chaos).
+    pub fn named(name: &str) -> Mirror {
+        Mirror {
+            corrupt: false,
+            name: name.to_string(),
+        }
     }
 
     /// A mirror serving tampered archives: fetched bytes differ from the
     /// canonical ones, so any version with a declared checksum fails
     /// verification. Used to test the md5-mismatch install path.
     pub fn corrupting() -> Mirror {
-        Mirror { corrupt: true }
+        Mirror {
+            corrupt: true,
+            name: "corrupt-mirror".to_string(),
+        }
+    }
+
+    /// This mirror's label.
+    pub fn label(&self) -> &str {
+        &self.name
     }
 
     /// The canonical MD5 of the archive for `name` at `version` — what
@@ -103,7 +185,116 @@ impl Mirror {
             bytes,
             md5,
             verified,
+            injected: None,
         })
+    }
+}
+
+impl FetchSource for Mirror {
+    fn label(&self) -> &str {
+        &self.name
+    }
+
+    fn fetch_version(
+        &self,
+        pkg: &PackageDef,
+        version: &Version,
+        _attempt: u32,
+    ) -> Result<Archive, FetchError> {
+        self.fetch(pkg, version)
+    }
+}
+
+/// An ordered failover list of fetch sources. A fetch walks the chain:
+/// the first verified archive wins; transient drops and unverifiable
+/// archives fall through to the next mirror. When every mirror fails,
+/// the chain surfaces an unverified archive if any mirror produced one
+/// (so the caller reports a checksum mismatch over real bytes) and the
+/// last transient error otherwise.
+#[derive(Debug, Clone)]
+pub struct MirrorChain {
+    sources: Vec<Arc<dyn FetchSource>>,
+}
+
+impl Default for MirrorChain {
+    fn default() -> Self {
+        MirrorChain::single(Mirror::new())
+    }
+}
+
+impl MirrorChain {
+    /// A chain of one source.
+    pub fn single(source: impl FetchSource + 'static) -> MirrorChain {
+        MirrorChain {
+            sources: vec![Arc::new(source)],
+        }
+    }
+
+    /// A chain over an explicit ordered source list (must be non-empty).
+    pub fn from_sources(sources: Vec<Arc<dyn FetchSource>>) -> MirrorChain {
+        assert!(
+            !sources.is_empty(),
+            "a mirror chain needs at least one source"
+        );
+        MirrorChain { sources }
+    }
+
+    /// Append a fallback source at the end of the chain.
+    pub fn push(&mut self, source: impl FetchSource + 'static) {
+        self.sources.push(Arc::new(source));
+    }
+
+    /// Number of sources in the chain.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// A chain is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fetch through the chain, returning the outcome plus every fault
+    /// observed along the way (failover provenance for the report).
+    pub fn fetch_with_events(
+        &self,
+        pkg: &PackageDef,
+        version: &Version,
+        attempt: u32,
+    ) -> (Result<Archive, FetchError>, Vec<FaultEvent>) {
+        let mut events = Vec::new();
+        let mut last_bad: Option<Archive> = None;
+        let mut last_err: Option<FetchError> = None;
+        for src in &self.sources {
+            match src.fetch_version(pkg, version, attempt) {
+                Ok(a) if a.verified => return (Ok(a), events),
+                Ok(a) => {
+                    events.push(FaultEvent {
+                        kind: a.injected.unwrap_or(FaultKind::CorruptArchive),
+                        source: src.label().to_string(),
+                        attempt,
+                        injected: a.injected.is_some(),
+                    });
+                    last_bad = Some(a);
+                }
+                Err(e @ FetchError::Transient { .. }) => {
+                    events.push(FaultEvent {
+                        kind: FaultKind::TransientFetch,
+                        source: src.label().to_string(),
+                        attempt,
+                        injected: true,
+                    });
+                    last_err = Some(e);
+                }
+                // Permanent errors (unknown version) end the walk: every
+                // mirror serves the same catalogue.
+                Err(e) => return (Err(e), events),
+            }
+        }
+        match last_bad {
+            Some(a) => (Ok(a), events),
+            None => (Err(last_err.expect("non-empty chain")), events),
+        }
     }
 }
 
@@ -189,6 +380,69 @@ mod tests {
         let pkg = pkg_with_checksum();
         let v = Version::new("9.9").unwrap();
         assert!(Mirror::new().fetch(&pkg, &v).is_err());
+    }
+
+    #[test]
+    fn chain_fails_over_past_a_transient_mirror() {
+        use crate::faults::{FaultPlan, FaultyMirror};
+        let always_down = FaultPlan {
+            transient_fetch: 1.0,
+            ..FaultPlan::new(5)
+        };
+        let chain = MirrorChain::from_sources(vec![
+            std::sync::Arc::new(FaultyMirror::new(Mirror::named("primary"), always_down)),
+            std::sync::Arc::new(Mirror::named("backup")),
+        ]);
+        let v = Version::new("1.0").unwrap();
+        let (res, events) = chain.fetch_with_events(&pkg_with_checksum(), &v, 1);
+        let archive = res.unwrap();
+        assert!(archive.verified);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, FaultKind::TransientFetch);
+        assert_eq!(events[0].source, "primary");
+        assert!(events[0].injected);
+    }
+
+    #[test]
+    fn chain_surfaces_unverified_archive_when_all_mirrors_fail() {
+        let chain = MirrorChain::single(Mirror::corrupting());
+        let v = Version::new("1.0").unwrap();
+        let (res, events) = chain.fetch_with_events(&pkg_with_checksum(), &v, 1);
+        let archive = res.unwrap();
+        assert!(!archive.verified);
+        // A genuinely corrupt mirror is observed but not `injected`.
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].injected);
+        assert_eq!(events[0].kind, FaultKind::CorruptArchive);
+    }
+
+    #[test]
+    fn chain_returns_last_transient_when_every_mirror_drops() {
+        use crate::faults::{FaultPlan, FaultyMirror};
+        let always_down = FaultPlan {
+            transient_fetch: 1.0,
+            ..FaultPlan::new(5)
+        };
+        let chain = MirrorChain::from_sources(vec![
+            std::sync::Arc::new(FaultyMirror::new(Mirror::named("m0"), always_down)),
+            std::sync::Arc::new(FaultyMirror::new(Mirror::named("m1"), always_down)),
+        ]);
+        let v = Version::new("1.0").unwrap();
+        let (res, events) = chain.fetch_with_events(&pkg_with_checksum(), &v, 3);
+        assert!(matches!(res, Err(FetchError::Transient { attempt: 3, .. })));
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn chain_propagates_permanent_errors_immediately() {
+        let chain = MirrorChain::from_sources(vec![
+            std::sync::Arc::new(Mirror::named("m0")),
+            std::sync::Arc::new(Mirror::named("m1")),
+        ]);
+        let v = Version::new("9.9").unwrap();
+        let (res, events) = chain.fetch_with_events(&pkg_with_checksum(), &v, 1);
+        assert!(matches!(res, Err(FetchError::UnknownVersion { .. })));
+        assert!(events.is_empty());
     }
 
     #[test]

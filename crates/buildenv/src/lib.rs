@@ -7,8 +7,10 @@
 //!   `-I`/`-L`/`-Wl,-rpath` injection per dependency prefix, compiler
 //!   switching by language, platform flag injection (Fig. 12);
 //! * [`compilers`] — toolchain detection from PATH listings (§3.2.3);
-//! * [`fetch`] — a deterministic simulated source mirror with MD5
-//!   verification and corruption injection (§3.5, Fig. 1 checksums);
+//! * [`fetch`] — deterministic simulated source mirrors with MD5
+//!   verification and failover chains (§3.5, Fig. 1 checksums);
+//! * [`faults`] — seeded, reproducible fault injection (transient
+//!   fetches, tampered archives, build deaths) for chaos testing;
 //! * [`simfs`] — the virtual-latency staging filesystem (NFS vs. local
 //!   tmpfs, §3.5.3);
 //! * [`buildsys`] — simulated build systems replaying calibrated
@@ -17,8 +19,9 @@
 //! * [`platform`] — platform descriptions mapping (architecture,
 //!   compiler) to extra wrapper flags (§4.5, Fig. 12);
 //! * [`pipeline`] — the fetch→verify→patch→build→register install
-//!   pipeline over a concrete DAG, with sub-DAG reuse (Fig. 9) and
-//!   deterministic virtual-time parallelism.
+//!   pipeline over a concrete DAG, with sub-DAG reuse (Fig. 9),
+//!   deterministic virtual-time parallelism, retries with exponential
+//!   backoff, and keep-going failure isolation with partial commits.
 //!
 //! All timing is *virtual*: builds report simulated seconds derived from
 //! the package workload, so results are bit-identical regardless of the
@@ -28,6 +31,7 @@
 
 pub mod buildsys;
 pub mod compilers;
+pub mod faults;
 pub mod fetch;
 pub mod pipeline;
 pub mod platform;
@@ -36,8 +40,12 @@ pub mod wrapper;
 
 pub use buildsys::{run_build, BuildOutcome, BuildSettings};
 pub use compilers::{detect_toolchains, Toolchain};
-pub use fetch::{Archive, Mirror};
-pub use pipeline::{install_dag, BuildRecord, InstallError, InstallOptions, InstallReport};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultyMirror};
+pub use fetch::{Archive, FetchError, FetchSource, Mirror, MirrorChain};
+pub use pipeline::{
+    install_dag, Backoff, BuildRecord, InstallError, InstallOptions, InstallReport, NodeStatus,
+    RetryPolicy,
+};
 pub use platform::{Platform, PlatformRegistry};
 pub use simfs::{FsProfile, SimFs};
 pub use wrapper::{Language, Wrapper};

@@ -1,22 +1,89 @@
 //! The install pipeline (SC'15 §3.5): fetch → verify → patch → build →
-//! register, over a concrete DAG, bottom-up, with sub-DAG reuse (Fig. 9).
+//! register, over a concrete DAG, bottom-up, with sub-DAG reuse (Fig. 9)
+//! and fault tolerance (DESIGN.md §8).
 //!
 //! Every node whose sub-DAG hash is already in the database is reused
-//! untouched; everything else is fetched from the mirror, checksum
-//! verified, patched per the package's `patch()` directives, built by the
-//! simulated build system, and registered with its build log. Timing is
-//! virtual, so the report is bit-identical regardless of `jobs`: the
-//! `jobs` knob models wall-clock parallelism, which the report exposes as
-//! the DAG's serial vs. critical-path seconds instead.
+//! untouched; everything else is fetched through the mirror failover
+//! chain, checksum verified, patched per the package's `patch()`
+//! directives, built by the simulated build system, and registered with
+//! its build log. Failures are survivable: transient fetch drops,
+//! checksum mismatches, and (injected) build deaths are retried under a
+//! [`RetryPolicy`] with exponential backoff charged in *virtual* time,
+//! and `keep_going` mode isolates a node failure to its dependents —
+//! independent subtrees still build, dependents are recorded as
+//! [`NodeStatus::Skipped`], and every successful sub-DAG is committed.
+//!
+//! Timing is virtual, so the report is bit-identical regardless of
+//! `jobs`: the `jobs` knob models wall-clock parallelism, which the
+//! report exposes as the DAG's serial vs. critical-path seconds instead.
 
 use crate::buildsys::{run_build, BuildOutcome, BuildSettings};
-use crate::fetch::{FetchError, Mirror};
+use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+use crate::fetch::{FetchError, MirrorChain};
 use crate::platform::PlatformRegistry;
 use parking_lot::Mutex;
 use spack_package::RepoStack;
-use spack_spec::{ConcreteDag, DagHashes};
+use spack_spec::{ConcreteDag, DagHashes, NodeId};
 use spack_store::{Database, NamingScheme};
 use std::fmt;
+
+/// Deterministic virtual-time exponential backoff between attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    /// Wait charged after the first failed attempt.
+    pub base_seconds: f64,
+    /// Multiplier applied per subsequent failure.
+    pub factor: f64,
+    /// Ceiling on any single wait.
+    pub cap_seconds: f64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base_seconds: 1.0,
+            factor: 2.0,
+            cap_seconds: 60.0,
+        }
+    }
+}
+
+impl Backoff {
+    /// Virtual seconds to wait after failed attempt `attempt` (1-based):
+    /// `min(base * factor^(attempt-1), cap)`.
+    pub fn wait_after(&self, attempt: u32) -> f64 {
+        (self.base_seconds * self.factor.powi(attempt.saturating_sub(1) as i32))
+            .min(self.cap_seconds)
+    }
+}
+
+/// How often a node is retried and how long it waits in between.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per node, including the first (min 1).
+    pub max_attempts: u32,
+    /// Backoff schedule between attempts.
+    pub backoff: Backoff,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Backoff::default(),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `retries` extra attempts beyond the first.
+    pub fn with_retries(retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: retries + 1,
+            ..Default::default()
+        }
+    }
+}
 
 /// Options for [`install_dag`].
 #[derive(Debug, Clone)]
@@ -24,34 +91,47 @@ pub struct InstallOptions {
     /// Maximum concurrent build slots. Affects only (hypothetical)
     /// wall-clock; virtual-time results are jobs-independent by design.
     pub jobs: usize,
-    /// Source mirror to fetch archives from.
-    pub mirror: Mirror,
+    /// Mirror failover chain to fetch archives through.
+    pub source: MirrorChain,
     /// Wrapper and staging-filesystem settings for every build.
     pub settings: BuildSettings,
+    /// Retry budget and backoff schedule per node.
+    pub retry: RetryPolicy,
+    /// Isolate failures: keep building independent subtrees, record
+    /// dependents as skipped, and commit every successful sub-DAG.
+    /// When false (the default), the first failure aborts the install
+    /// and the database is left exactly as found.
+    pub keep_going: bool,
+    /// Fault plan consulted for injected *build* failures (fetch-side
+    /// faults are injected by wrapping mirrors in the chain).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for InstallOptions {
     fn default() -> Self {
         InstallOptions {
             jobs: 4,
-            mirror: Mirror::new(),
+            source: MirrorChain::default(),
             settings: BuildSettings::default(),
+            retry: RetryPolicy::default(),
+            keep_going: false,
+            faults: None,
         }
     }
 }
 
-/// Why an install failed. No partial state is committed: the database is
-/// untouched unless every node of the DAG succeeded.
+/// Why an install failed (fail-fast mode) or why one node failed
+/// (recorded in [`NodeStatus::Failed`] under `keep_going`).
 #[derive(Debug, Clone)]
 pub enum InstallError {
     /// A DAG node names a package absent from every repository.
     UnknownPackage(String),
     /// The package has no install rule matching the concrete node.
     NoRecipe(String),
-    /// The mirror could not serve an archive.
+    /// No mirror could serve an archive within the retry budget.
     Fetch(FetchError),
     /// A fetched archive failed checksum verification (Fig. 1's md5
-    /// directives): the build is aborted before anything is registered.
+    /// directives) on every mirror and every attempt.
     ChecksumMismatch {
         /// Package whose archive was corrupt.
         package: String,
@@ -60,6 +140,19 @@ pub enum InstallError {
         /// Digest of the bytes actually fetched.
         actual: String,
     },
+    /// The build itself died (today: only via fault injection) on every
+    /// attempt.
+    BuildFailed {
+        /// Package whose build died.
+        package: String,
+        /// Version being built.
+        version: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// An invariant broke after the commit point (e.g. a build-log
+    /// attachment race). Never a user error.
+    Internal(String),
 }
 
 impl fmt::Display for InstallError {
@@ -81,6 +174,15 @@ impl fmt::Display for InstallError {
                 "md5 mismatch for {package}@{version}: archive digests to {actual}, \
                  which does not match the version() directive"
             ),
+            InstallError::BuildFailed {
+                package,
+                version,
+                attempts,
+            } => write!(
+                f,
+                "build of {package}@{version} failed after {attempts} attempt(s)"
+            ),
+            InstallError::Internal(msg) => write!(f, "internal install error: {msg}"),
         }
     }
 }
@@ -93,6 +195,25 @@ impl From<FetchError> for InstallError {
     }
 }
 
+/// Per-node outcome of an install.
+#[derive(Debug, Clone)]
+pub enum NodeStatus {
+    /// Freshly built and committed.
+    Built(BuildOutcome),
+    /// An existing install satisfied this node untouched.
+    Reused,
+    /// Every attempt failed; nothing committed for this node.
+    Failed {
+        /// Rendered final error.
+        error: String,
+    },
+    /// Never attempted: one or more dependencies failed or were skipped.
+    Skipped {
+        /// Names of the direct dependencies that blocked this node.
+        blocked_on: Vec<String>,
+    },
+}
+
 /// What happened to one DAG node during an install.
 #[derive(Debug, Clone)]
 pub struct BuildRecord {
@@ -100,12 +221,36 @@ pub struct BuildRecord {
     pub name: String,
     /// Sub-DAG hash identifying the exact configuration (Fig. 9).
     pub hash: String,
-    /// True if an existing install satisfied this node untouched.
-    pub reused: bool,
-    /// Build cost breakdown; `None` for reused nodes.
-    pub outcome: Option<BuildOutcome>,
+    /// Outcome of this node.
+    pub status: NodeStatus,
     /// Names of the patches applied (§3.2.4 `patch()` directives).
     pub patches: Vec<String>,
+    /// Fetch/build attempts consumed (0 for reused/skipped nodes).
+    pub attempts: u32,
+    /// Virtual seconds spent waiting between attempts.
+    pub backoff_seconds: f64,
+    /// Every fault observed while processing this node, in order.
+    pub faults: Vec<FaultEvent>,
+}
+
+impl BuildRecord {
+    /// True if an existing install satisfied this node untouched.
+    pub fn reused(&self) -> bool {
+        matches!(self.status, NodeStatus::Reused)
+    }
+
+    /// True if this node was freshly built.
+    pub fn built(&self) -> bool {
+        matches!(self.status, NodeStatus::Built(_))
+    }
+
+    /// Build cost breakdown; `None` unless freshly built.
+    pub fn outcome(&self) -> Option<&BuildOutcome> {
+        match &self.status {
+            NodeStatus::Built(o) => Some(o),
+            _ => None,
+        }
+    }
 }
 
 /// The result of installing one concrete DAG.
@@ -113,131 +258,448 @@ pub struct BuildRecord {
 pub struct InstallReport {
     /// One record per DAG node, in bottom-up build order.
     pub builds: Vec<BuildRecord>,
-    /// Total simulated seconds if every build ran back-to-back.
+    /// Total simulated seconds if every build ran back-to-back,
+    /// including retry backoff and wasted failed-attempt work.
     pub serial_seconds: f64,
     /// Simulated seconds on the DAG's critical path: the wall-clock floor
     /// with unlimited parallel build slots.
     pub critical_path_seconds: f64,
+    /// Extra attempts consumed beyond each node's first.
+    pub retries: u32,
+    /// Total virtual seconds charged to backoff waits.
+    pub backoff_seconds: f64,
+    /// Virtual seconds that produced nothing committed: backoff waits
+    /// plus the build cost of failed attempts.
+    pub wasted_seconds: f64,
 }
 
 impl InstallReport {
     /// How many nodes were actually built.
     pub fn built_count(&self) -> usize {
-        self.builds.iter().filter(|b| !b.reused).count()
+        self.builds.iter().filter(|b| b.built()).count()
     }
 
     /// How many nodes were satisfied by existing installs (Fig. 9).
     pub fn reused_count(&self) -> usize {
-        self.builds.iter().filter(|b| b.reused).count()
+        self.builds.iter().filter(|b| b.reused()).count()
+    }
+
+    /// How many nodes failed outright.
+    pub fn failed_count(&self) -> usize {
+        self.builds
+            .iter()
+            .filter(|b| matches!(b.status, NodeStatus::Failed { .. }))
+            .count()
+    }
+
+    /// How many nodes were skipped because a dependency failed.
+    pub fn skipped_count(&self) -> usize {
+        self.builds
+            .iter()
+            .filter(|b| matches!(b.status, NodeStatus::Skipped { .. }))
+            .count()
+    }
+
+    /// Nodes committed to the database by this install (built + reused).
+    pub fn committed_count(&self) -> usize {
+        self.built_count() + self.reused_count()
+    }
+
+    /// Total faults observed (injected or genuine) across all nodes.
+    pub fn fault_count(&self) -> usize {
+        self.builds.iter().map(|b| b.faults.len()).sum()
+    }
+
+    /// Did every node commit?
+    pub fn is_complete(&self) -> bool {
+        self.failed_count() == 0 && self.skipped_count() == 0
+    }
+
+    /// Deterministic plain-text rendering: per-node lines (with fault
+    /// provenance) plus the virtual-time accounting footer. Two installs
+    /// with identical inputs render byte-identically.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for b in &self.builds {
+            let status = match &b.status {
+                NodeStatus::Built(o) => format!(
+                    "built in {:.1}s ({} attempt{})",
+                    o.total(),
+                    b.attempts,
+                    if b.attempts == 1 { "" } else { "s" }
+                ),
+                NodeStatus::Reused => "reused".to_string(),
+                NodeStatus::Failed { error } => {
+                    format!(
+                        "FAILED after {} attempt{}: {error}",
+                        b.attempts,
+                        if b.attempts == 1 { "" } else { "s" }
+                    )
+                }
+                NodeStatus::Skipped { blocked_on } => {
+                    format!("skipped (blocked on {})", blocked_on.join(", "))
+                }
+            };
+            out.push_str(&format!("{:<16} [{}] {status}\n", b.name, &b.hash[..8]));
+            for fault in &b.faults {
+                out.push_str(&format!("                 fault: {fault}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{} built, {} reused, {} failed, {} skipped; \
+             {} retries, {:.1}s backoff, {:.1}s wasted; \
+             {:.1}s serial, {:.1}s critical path\n",
+            self.built_count(),
+            self.reused_count(),
+            self.failed_count(),
+            self.skipped_count(),
+            self.retries,
+            self.backoff_seconds,
+            self.wasted_seconds,
+            self.serial_seconds,
+            self.critical_path_seconds,
+        ));
+        out
     }
 }
 
+/// A node that survived fetch+build, ready to commit.
+struct NodeSuccess {
+    outcome: BuildOutcome,
+    attempts: u32,
+    backoff: f64,
+    wasted: f64,
+    faults: Vec<FaultEvent>,
+    patches: Vec<String>,
+    log: String,
+}
+
+/// A node that exhausted its retry budget (or hit a permanent error).
+struct NodeFailure {
+    error: InstallError,
+    attempts: u32,
+    backoff: f64,
+    wasted: f64,
+    faults: Vec<FaultEvent>,
+}
+
+/// Fetch, verify, patch, and build one node under the retry policy.
+/// Charges backoff and wasted attempt cost in virtual time; never
+/// touches the database.
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    dag: &ConcreteDag,
+    id: NodeId,
+    repos: &RepoStack,
+    platforms: &PlatformRegistry,
+    root_dir: &str,
+    hashes: &DagHashes,
+    options: &InstallOptions,
+) -> Result<NodeSuccess, Box<NodeFailure>> {
+    let node = dag.node(id);
+    let max_attempts = options.retry.max_attempts.max(1);
+    let mut faults: Vec<FaultEvent> = Vec::new();
+    let mut backoff = 0.0_f64;
+    let mut wasted = 0.0_f64;
+
+    let fail = |error, attempts, backoff, wasted, faults| {
+        Err(Box::new(NodeFailure {
+            error,
+            attempts,
+            backoff,
+            wasted,
+            faults,
+        }))
+    };
+
+    // Repository and recipe lookups are permanent: no retry can help.
+    let Some(pkg) = repos.get(&node.name) else {
+        return fail(
+            InstallError::UnknownPackage(node.name.clone()),
+            0,
+            backoff,
+            wasted,
+            faults,
+        );
+    };
+    let node_spec = node.as_node_spec();
+    let patches: Vec<String> = pkg
+        .patches_for(&node_spec)
+        .iter()
+        .map(|p| p.name.clone())
+        .collect();
+    let Some(recipe) = pkg.recipe_for(&node_spec) else {
+        return fail(
+            InstallError::NoRecipe(node.name.clone()),
+            0,
+            backoff,
+            wasted,
+            faults,
+        );
+    };
+
+    // Dependency prefixes feed the wrapper's -I/-L/-rpath injection.
+    let dep_prefixes: Vec<String> = node
+        .deps
+        .iter()
+        .map(|&dep| NamingScheme::SpackDefault.prefix_for(root_dir, dag, dep, hashes))
+        .collect();
+    let wrapper = platforms.wrapper_for(node, &dep_prefixes);
+
+    let mut attempt = 1u32;
+    loop {
+        let (fetched, mut events) = options
+            .source
+            .fetch_with_events(pkg, &node.version, attempt);
+        faults.append(&mut events);
+        // Retryable outcomes wait out the backoff and go around again;
+        // permanent errors and exhausted budgets fail the node.
+        let error = match fetched {
+            Err(e) if e.is_transient() && attempt < max_attempts => None,
+            Err(e) => Some(InstallError::Fetch(e)),
+            Ok(archive) if !archive.verified => {
+                if attempt < max_attempts {
+                    None
+                } else {
+                    Some(InstallError::ChecksumMismatch {
+                        package: node.name.clone(),
+                        version: node.version.to_string(),
+                        actual: archive.md5,
+                    })
+                }
+            }
+            Ok(archive) => {
+                // Fetch verified: build (and maybe die to an injected
+                // build fault, charging the full attempt cost as waste).
+                let outcome = run_build(recipe, &pkg.workload, &wrapper, options.settings);
+                let died = options.faults.as_ref().is_some_and(|p| {
+                    p.decide(
+                        FaultKind::BuildFailure,
+                        &node.name,
+                        &node.version.to_string(),
+                        attempt,
+                        "build",
+                    )
+                });
+                if !died {
+                    let log = render_log(
+                        dag,
+                        id,
+                        &archive,
+                        &outcome,
+                        &patches,
+                        &dep_prefixes,
+                        attempt,
+                    );
+                    return Ok(NodeSuccess {
+                        outcome,
+                        attempts: attempt,
+                        backoff,
+                        wasted,
+                        faults,
+                        patches,
+                        log,
+                    });
+                }
+                wasted += outcome.total();
+                faults.push(FaultEvent {
+                    kind: FaultKind::BuildFailure,
+                    source: "build".to_string(),
+                    attempt,
+                    injected: true,
+                });
+                if attempt < max_attempts {
+                    None
+                } else {
+                    Some(InstallError::BuildFailed {
+                        package: node.name.clone(),
+                        version: node.version.to_string(),
+                        attempts: attempt,
+                    })
+                }
+            }
+        };
+        match error {
+            Some(e) => return fail(e, attempt, backoff, wasted, faults),
+            None => {
+                backoff += options.retry.backoff.wait_after(attempt);
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Build-log text for one successful node.
+fn render_log(
+    dag: &ConcreteDag,
+    id: NodeId,
+    archive: &crate::fetch::Archive,
+    outcome: &BuildOutcome,
+    patches: &[String],
+    dep_prefixes: &[String],
+    attempts: u32,
+) -> String {
+    let node = dag.node(id);
+    let mut log = String::new();
+    log.push_str(&format!("==> building {}@{}\n", node.name, node.version));
+    if attempts > 1 {
+        log.push_str(&format!("==> succeeded on attempt {attempts}\n"));
+    }
+    log.push_str(&format!(
+        "==> fetched {} ({} bytes), md5 {} verified\n",
+        archive.url,
+        archive.bytes.len(),
+        archive.md5
+    ));
+    for p in patches {
+        log.push_str(&format!("==> applied patch {p}\n"));
+    }
+    for (&dep, prefix) in node.deps.iter().zip(dep_prefixes) {
+        log.push_str(&format!(
+            "==> dependency {} at {prefix}\n",
+            dag.node(dep).name
+        ));
+    }
+    log.push_str(&format!(
+        "==> {} installed successfully in {:.1}s (simulated, {} compiler invocations)\n",
+        node.name,
+        outcome.total(),
+        outcome.compiler_invocations
+    ));
+    log
+}
+
 /// Install a concrete DAG: build every missing node bottom-up, then
-/// register the DAG (root marked explicit) and attach build logs.
+/// commit and attach build logs.
 ///
-/// All-or-nothing: any failure leaves the database exactly as found.
+/// Fail-fast mode (the default): any node failure aborts with `Err` and
+/// leaves the database exactly as found. With `keep_going`, failures are
+/// isolated — independent subtrees still build, dependents are recorded
+/// as [`NodeStatus::Skipped`], every successful sub-DAG is committed
+/// (implicit, since the requested root did not complete), and the report
+/// carries per-node outcomes. The database lock is held only for the
+/// per-node reuse probe and the final commit, never across fetch/build.
 pub fn install_dag(
     dag: &ConcreteDag,
     repos: &RepoStack,
     db: &Mutex<Database>,
     options: &InstallOptions,
 ) -> Result<InstallReport, InstallError> {
-    let mut db = db.lock();
     let hashes = DagHashes::compute(dag);
     let platforms = PlatformRegistry::with_defaults();
-    let root_dir = db.root().to_string();
+    let root_dir = db.lock().root().to_string();
 
     let mut builds = Vec::with_capacity(dag.len());
     let mut logs: Vec<(String, String)> = Vec::new();
-    // Per-node simulated cost (0 for reused nodes), indexed by NodeId.
+    // Per-node simulated cost (0 for reused/skipped nodes), by NodeId.
     let mut costs = vec![0.0_f64; dag.len()];
+    // Nodes that failed or were skipped; poisons dependents.
+    let mut dead = vec![false; dag.len()];
+    let mut retries = 0u32;
+    let mut backoff_seconds = 0.0_f64;
+    let mut wasted_seconds = 0.0_f64;
 
     for id in dag.topo_order() {
         let node = dag.node(id);
         let hash = hashes.node_hash(id).to_string();
-        if db.get(&hash).is_some() {
+
+        // keep-going isolation: a dead dependency blocks its dependents.
+        let blocked_on: Vec<String> = node
+            .deps
+            .iter()
+            .filter(|&&d| dead[d])
+            .map(|&d| dag.node(d).name.clone())
+            .collect();
+        if !blocked_on.is_empty() {
+            dead[id] = true;
             builds.push(BuildRecord {
                 name: node.name.clone(),
                 hash,
-                reused: true,
-                outcome: None,
+                status: NodeStatus::Skipped { blocked_on },
                 patches: Vec::new(),
+                attempts: 0,
+                backoff_seconds: 0.0,
+                faults: Vec::new(),
             });
             continue;
         }
 
-        let pkg = repos
-            .get(&node.name)
-            .ok_or_else(|| InstallError::UnknownPackage(node.name.clone()))?;
-
-        // Fetch and verify (Fig. 1 checksums) before anything else.
-        let archive = options.mirror.fetch(pkg, &node.version)?;
-        if !archive.verified {
-            return Err(InstallError::ChecksumMismatch {
-                package: node.name.clone(),
-                version: node.version.to_string(),
-                actual: archive.md5,
+        // Reuse probe: the only lock taken during the build loop.
+        if db.lock().get(&hash).is_some() {
+            builds.push(BuildRecord {
+                name: node.name.clone(),
+                hash,
+                status: NodeStatus::Reused,
+                patches: Vec::new(),
+                attempts: 0,
+                backoff_seconds: 0.0,
+                faults: Vec::new(),
             });
+            continue;
         }
 
-        let node_spec = node.as_node_spec();
-        let patches: Vec<String> = pkg
-            .patches_for(&node_spec)
-            .iter()
-            .map(|p| p.name.clone())
-            .collect();
-        let recipe = pkg
-            .recipe_for(&node_spec)
-            .ok_or_else(|| InstallError::NoRecipe(node.name.clone()))?;
-
-        // Dependency prefixes feed the wrapper's -I/-L/-rpath injection.
-        let dep_prefixes: Vec<String> = node
-            .deps
-            .iter()
-            .map(|&dep| NamingScheme::SpackDefault.prefix_for(&root_dir, dag, dep, &hashes))
-            .collect();
-        let wrapper = platforms.wrapper_for(node, &dep_prefixes);
-        let outcome = run_build(recipe, &pkg.workload, &wrapper, options.settings);
-        costs[id] = outcome.total();
-
-        let mut log = String::new();
-        log.push_str(&format!("==> building {}@{}\n", node.name, node.version));
-        log.push_str(&format!(
-            "==> fetched {} ({} bytes), md5 {} verified\n",
-            archive.url,
-            archive.bytes.len(),
-            archive.md5
-        ));
-        for p in &patches {
-            log.push_str(&format!("==> applied patch {p}\n"));
+        match build_node(dag, id, repos, &platforms, &root_dir, &hashes, options) {
+            Ok(done) => {
+                costs[id] = done.outcome.total() + done.backoff + done.wasted;
+                retries += done.attempts.saturating_sub(1);
+                backoff_seconds += done.backoff;
+                wasted_seconds += done.backoff + done.wasted;
+                logs.push((hash.clone(), done.log));
+                builds.push(BuildRecord {
+                    name: node.name.clone(),
+                    hash,
+                    status: NodeStatus::Built(done.outcome),
+                    patches: done.patches,
+                    attempts: done.attempts,
+                    backoff_seconds: done.backoff,
+                    faults: done.faults,
+                });
+            }
+            Err(failure) => {
+                if !options.keep_going {
+                    // Fail-fast: nothing was committed, database as found.
+                    return Err(failure.error);
+                }
+                costs[id] = failure.backoff + failure.wasted;
+                retries += failure.attempts.saturating_sub(1);
+                backoff_seconds += failure.backoff;
+                wasted_seconds += failure.backoff + failure.wasted;
+                dead[id] = true;
+                builds.push(BuildRecord {
+                    name: node.name.clone(),
+                    hash,
+                    status: NodeStatus::Failed {
+                        error: failure.error.to_string(),
+                    },
+                    patches: Vec::new(),
+                    attempts: failure.attempts,
+                    backoff_seconds: failure.backoff,
+                    faults: failure.faults,
+                });
+            }
         }
-        for (&dep, prefix) in node.deps.iter().zip(&dep_prefixes) {
-            log.push_str(&format!(
-                "==> dependency {} at {prefix}\n",
-                dag.node(dep).name
-            ));
-        }
-        log.push_str(&format!(
-            "==> {} installed successfully in {:.1}s (simulated, {} compiler invocations)\n",
-            node.name,
-            outcome.total(),
-            outcome.compiler_invocations
-        ));
-        logs.push((hash.clone(), log));
-
-        builds.push(BuildRecord {
-            name: node.name.clone(),
-            hash,
-            reused: false,
-            outcome: Some(outcome),
-            patches,
-        });
     }
 
-    // Every node succeeded: commit the DAG and its logs atomically.
-    db.install_dag_as(dag, true);
-    for (hash, log) in logs {
-        db.attach_build_log(&hash, log).expect("just registered");
+    // Commit phase: one lock for registration plus log attachment.
+    {
+        let mut db = db.lock();
+        if dead.iter().any(|&d| d) {
+            // Partial commit: every successful sub-DAG, all implicit —
+            // the *requested* root did not complete, so nothing here was
+            // explicitly asked for and `gc` semantics survive.
+            for id in dag.topo_order() {
+                if !dead[id] {
+                    db.install_subdag(dag, id, false);
+                }
+            }
+        } else {
+            db.install_dag_as(dag, true);
+        }
+        for (hash, log) in logs {
+            db.attach_build_log(&hash, log).map_err(|e| {
+                InstallError::Internal(format!("attaching build log for {hash}: {e}"))
+            })?;
+        }
     }
 
     let serial_seconds = costs.iter().sum();
@@ -263,19 +725,24 @@ pub fn install_dag(
         builds,
         serial_seconds,
         critical_path_seconds,
+        retries,
+        backoff_seconds,
+        wasted_seconds,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spack_package::{PackageBuilder, Repository};
+    use crate::faults::FaultyMirror;
+    use crate::fetch::{Archive, FetchSource, Mirror};
+    use spack_package::{PackageBuilder, PackageDef, Repository};
     use spack_spec::dag::node;
     use spack_spec::{DagBuilder, Version};
 
-    fn test_repo() -> RepoStack {
+    fn test_repo_with(names: &[&str]) -> RepoStack {
         let mut repo = Repository::new("test");
-        for name in ["leaf", "mid", "root-pkg"] {
+        for &name in names {
             let v = Version::new("1.0").unwrap();
             repo.register(
                 PackageBuilder::new(name)
@@ -286,6 +753,10 @@ mod tests {
             .unwrap();
         }
         RepoStack::with_builtin(repo)
+    }
+
+    fn test_repo() -> RepoStack {
+        test_repo_with(&["leaf", "mid", "root-pkg"])
     }
 
     fn chain_dag() -> ConcreteDag {
@@ -303,6 +774,101 @@ mod tests {
         b.add_edge(mid, leaf);
         b.add_edge(root, mid);
         b.build(root).unwrap()
+    }
+
+    /// root-pkg -> {left, right} -> leaf
+    fn diamond_dag() -> ConcreteDag {
+        let mut b = DagBuilder::new();
+        let leaf = b
+            .add_node(node("leaf", "1.0", ("gcc", "4.9.3"), "linux-x86_64"))
+            .unwrap();
+        let left = b
+            .add_node(node("left", "1.0", ("gcc", "4.9.3"), "linux-x86_64"))
+            .unwrap();
+        let right = b
+            .add_node(node("right", "1.0", ("gcc", "4.9.3"), "linux-x86_64"))
+            .unwrap();
+        let root = b
+            .add_node(node("root-pkg", "1.0", ("gcc", "4.9.3"), "linux-x86_64"))
+            .unwrap();
+        b.add_edge(left, leaf);
+        b.add_edge(right, leaf);
+        b.add_edge(root, left);
+        b.add_edge(root, right);
+        b.build(root).unwrap()
+    }
+
+    fn diamond_repo() -> RepoStack {
+        test_repo_with(&["leaf", "left", "right", "root-pkg"])
+    }
+
+    /// A fetch source that always drops the connection for one package
+    /// and serves everything else pristinely.
+    #[derive(Debug)]
+    struct BlackholeFor {
+        package: String,
+        inner: Mirror,
+    }
+
+    impl BlackholeFor {
+        fn new(package: &str) -> BlackholeFor {
+            BlackholeFor {
+                package: package.to_string(),
+                inner: Mirror::new(),
+            }
+        }
+    }
+
+    impl FetchSource for BlackholeFor {
+        fn label(&self) -> &str {
+            "blackhole"
+        }
+
+        fn fetch_version(
+            &self,
+            pkg: &PackageDef,
+            version: &Version,
+            attempt: u32,
+        ) -> Result<Archive, FetchError> {
+            if pkg.name == self.package {
+                return Err(FetchError::Transient {
+                    package: pkg.name.clone(),
+                    version: version.to_string(),
+                    mirror: "blackhole".to_string(),
+                    attempt,
+                });
+            }
+            self.inner.fetch(pkg, version)
+        }
+    }
+
+    /// Drops the connection on attempt 1 only — succeeds on retry.
+    #[derive(Debug)]
+    struct FlakyOnce {
+        inner: Mirror,
+    }
+
+    impl FetchSource for FlakyOnce {
+        fn label(&self) -> &str {
+            "flaky"
+        }
+
+        fn fetch_version(
+            &self,
+            pkg: &PackageDef,
+            version: &Version,
+            attempt: u32,
+        ) -> Result<Archive, FetchError> {
+            if attempt == 1 {
+                return Err(FetchError::Transient {
+                    package: pkg.name.clone(),
+                    version: version.to_string(),
+                    mirror: "flaky".to_string(),
+                    attempt,
+                });
+            }
+            self.inner.fetch(pkg, version)
+        }
     }
 
     #[test]
@@ -329,7 +895,7 @@ mod tests {
         let db = Mutex::new(Database::new("/spack/opt"));
         let dag = chain_dag();
         let opts = InstallOptions {
-            mirror: Mirror::corrupting(),
+            source: MirrorChain::single(Mirror::corrupting()),
             ..Default::default()
         };
         let err = install_dag(&dag, &repos, &db, &opts).unwrap_err();
@@ -350,5 +916,188 @@ mod tests {
         assert!(log.contains("==> building root-pkg@1.0"));
         assert!(log.contains("==> dependency mid at /spack/opt/"));
         assert!(log.contains("installed successfully"));
+    }
+
+    #[test]
+    fn diamond_critical_path_is_max_over_parallel_arms() {
+        let repos = diamond_repo();
+        let db = Mutex::new(Database::new("/spack/opt"));
+        let dag = diamond_dag();
+        let report = install_dag(&dag, &repos, &db, &InstallOptions::default()).unwrap();
+        assert_eq!(report.built_count(), 4);
+
+        // Reconstruct per-node costs from the report.
+        let cost = |name: &str| -> f64 {
+            report
+                .builds
+                .iter()
+                .find(|b| b.name == name)
+                .and_then(|b| b.outcome())
+                .map(|o| o.total())
+                .unwrap()
+        };
+        let (leaf, left, right, root) =
+            (cost("leaf"), cost("left"), cost("right"), cost("root-pkg"));
+        let expected_cp = leaf + left.max(right) + root;
+        assert!(
+            (report.critical_path_seconds - expected_cp).abs() < 1e-9,
+            "cp {} != max-over-arms {}",
+            report.critical_path_seconds,
+            expected_cp
+        );
+        let serial = leaf + left + right + root;
+        assert!((report.serial_seconds - serial).abs() < 1e-9);
+        // The two arms overlap, so the critical path is strictly shorter.
+        assert!(report.critical_path_seconds < report.serial_seconds);
+    }
+
+    #[test]
+    fn transient_fetches_succeed_after_retry_with_backoff_charged() {
+        let repos = test_repo();
+        let db = Mutex::new(Database::new("/spack/opt"));
+        let dag = chain_dag();
+        let opts = InstallOptions {
+            source: MirrorChain::single(FlakyOnce {
+                inner: Mirror::new(),
+            }),
+            retry: RetryPolicy::with_retries(2),
+            ..Default::default()
+        };
+        let report = install_dag(&dag, &repos, &db, &opts).unwrap();
+        assert_eq!(report.built_count(), 3);
+        assert_eq!(report.retries, 3, "each node retried once");
+        // Each node waited out one base backoff.
+        let base = opts.retry.backoff.base_seconds;
+        assert!((report.backoff_seconds - 3.0 * base).abs() < 1e-9);
+        assert!((report.wasted_seconds - 3.0 * base).abs() < 1e-9);
+        for b in &report.builds {
+            assert_eq!(b.attempts, 2);
+            assert_eq!(b.faults.len(), 1);
+            assert!(b.faults[0].injected);
+        }
+        // Backoff is charged to virtual time.
+        let build_only: f64 = report
+            .builds
+            .iter()
+            .filter_map(|b| b.outcome())
+            .map(|o| o.total())
+            .sum();
+        assert!((report.serial_seconds - (build_only + 3.0 * base)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_fails_fast_with_attempt_count() {
+        let repos = test_repo();
+        let db = Mutex::new(Database::new("/spack/opt"));
+        let dag = chain_dag();
+        let opts = InstallOptions {
+            source: MirrorChain::single(BlackholeFor::new("leaf")),
+            retry: RetryPolicy::with_retries(2),
+            ..Default::default()
+        };
+        let err = install_dag(&dag, &repos, &db, &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            InstallError::Fetch(FetchError::Transient { attempt: 3, .. })
+        ));
+        assert_eq!(db.lock().len(), 0, "fail-fast commits nothing");
+    }
+
+    #[test]
+    fn keep_going_isolates_failure_commits_subtree_and_rerun_completes() {
+        let repos = diamond_repo();
+        let db = Mutex::new(Database::new("/spack/opt"));
+        let dag = diamond_dag();
+
+        // `left` is unfetchable: leaf and right still build and commit;
+        // root is blocked on left.
+        let opts = InstallOptions {
+            source: MirrorChain::single(BlackholeFor::new("left")),
+            keep_going: true,
+            ..Default::default()
+        };
+        let report = install_dag(&dag, &repos, &db, &opts).unwrap();
+        assert_eq!(report.built_count(), 2);
+        assert_eq!(report.failed_count(), 1);
+        assert_eq!(report.skipped_count(), 1);
+        let by_name = |n: &str| report.builds.iter().find(|b| b.name == n).unwrap();
+        assert!(matches!(by_name("leaf").status, NodeStatus::Built(_)));
+        assert!(matches!(by_name("right").status, NodeStatus::Built(_)));
+        assert!(matches!(by_name("left").status, NodeStatus::Failed { .. }));
+        match &by_name("root-pkg").status {
+            NodeStatus::Skipped { blocked_on } => assert_eq!(blocked_on, &["left".to_string()]),
+            other => panic!("root should be skipped, got {other:?}"),
+        }
+
+        // The successful sub-DAG is committed — implicit, with build logs.
+        {
+            let db = db.lock();
+            assert_eq!(db.len(), 2);
+            for rec in db.iter() {
+                assert!(!rec.explicit, "partial commits are never explicit");
+                assert!(rec.build_log.is_some());
+            }
+        }
+
+        // Rerun against a clean mirror: committed nodes are reused, only
+        // the previously failed/skipped ones build, root goes explicit.
+        let rerun = install_dag(&dag, &repos, &db, &InstallOptions::default()).unwrap();
+        assert_eq!(rerun.reused_count(), 2);
+        assert_eq!(rerun.built_count(), 2);
+        assert!(rerun.is_complete());
+        let db = db.lock();
+        assert_eq!(db.len(), 4);
+        let hashes = DagHashes::compute(&dag);
+        assert!(db.get(hashes.node_hash(dag.root())).unwrap().explicit);
+    }
+
+    #[test]
+    fn chaos_reports_are_bit_identical_across_runs() {
+        let repos = diamond_repo();
+        let dag = diamond_dag();
+        let run = || {
+            let plan = FaultPlan::uniform(11, 0.3);
+            let opts = InstallOptions {
+                source: MirrorChain::from_sources(vec![
+                    std::sync::Arc::new(FaultyMirror::new(Mirror::named("m0"), plan)),
+                    std::sync::Arc::new(FaultyMirror::new(Mirror::named("m1"), plan)),
+                ]),
+                faults: Some(plan),
+                retry: RetryPolicy::with_retries(2),
+                keep_going: true,
+                ..Default::default()
+            };
+            let db = Mutex::new(Database::new("/spack/opt"));
+            install_dag(&dag, &repos, &db, &opts).unwrap().render()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn injected_build_failures_charge_wasted_work() {
+        let repos = test_repo();
+        let db = Mutex::new(Database::new("/spack/opt"));
+        let dag = chain_dag();
+        let plan = FaultPlan {
+            build_failure: 1.0,
+            ..FaultPlan::new(1)
+        };
+        let opts = InstallOptions {
+            faults: Some(plan),
+            retry: RetryPolicy::with_retries(1),
+            keep_going: true,
+            ..Default::default()
+        };
+        let report = install_dag(&dag, &repos, &db, &opts).unwrap();
+        // The leaf fails both attempts; everything above is skipped.
+        assert_eq!(report.failed_count(), 1);
+        assert_eq!(report.skipped_count(), 2);
+        let leaf = &report.builds[0];
+        assert_eq!(leaf.attempts, 2);
+        assert_eq!(leaf.faults.len(), 2);
+        // Wasted = two dead build attempts + one backoff wait.
+        assert!(report.wasted_seconds > report.backoff_seconds);
+        assert!((report.serial_seconds - report.wasted_seconds).abs() < 1e-9);
+        assert_eq!(db.lock().len(), 0);
     }
 }

@@ -1,11 +1,15 @@
 //! CLI command implementations.
 
 use parking_lot::Mutex;
-use spack_buildenv::{install_dag, FsProfile, InstallOptions};
+use spack_buildenv::{
+    install_dag, FaultPlan, FaultyMirror, FetchSource, FsProfile, InstallOptions, Mirror,
+    MirrorChain, NodeStatus, RetryPolicy,
+};
 use spack_concretize::Concretizer;
 use spack_repo_builtin::repo_stack;
 use spack_spec::{parse_specs, DagHashes, Spec};
 use spack_store::{dotkit, module_name, tcl_module, ConflictPolicy, ExtensionRegistry, FsTree};
+use std::sync::Arc;
 
 use crate::state::State;
 
@@ -16,7 +20,15 @@ spack-rs — Rust reproduction of the Spack package manager (SC'15)
 commands:
   audit [--json]         statically lint every package recipe in the
                          repository; exit code is the number of errors
-  install [--no-wrappers] [--nfs-stage] [-j N] <spec>...
+  install [--no-wrappers] [--nfs-stage] [-j N] [--retries N]
+          [--keep-going] [--chaos <seed>:<rate>] [--mirrors N] <spec>...
+                         --retries N   retry failed nodes N extra times
+                                       with exponential virtual-time backoff
+                         --keep-going  isolate failures: build independent
+                                       subtrees, commit successful sub-DAGs
+                         --chaos s:r   inject faults deterministically at
+                                       rate r from seed s (reproducible)
+                         --mirrors N   fail over across N mirrors
   spec <spec>            show the fully concretized DAG
   find [spec]            list installed specs matching a constraint
   uninstall <hash>       remove one install by (short) hash
@@ -68,11 +80,14 @@ pub fn audit(args: &[String]) -> Result<u8, String> {
 pub fn install(args: &[String]) -> Result<(), String> {
     let mut opts = InstallOptions::default();
     let mut spec_text = Vec::new();
+    let mut chaos: Option<FaultPlan> = None;
+    let mut mirrors = 1usize;
     let mut iter = args.iter().peekable();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--no-wrappers" => opts.settings.use_wrappers = false,
             "--nfs-stage" => opts.settings.stage_fs = FsProfile::Nfs,
+            "--keep-going" => opts.keep_going = true,
             "-j" => {
                 let n = iter
                     .next()
@@ -80,11 +95,52 @@ pub fn install(args: &[String]) -> Result<(), String> {
                     .ok_or("-j needs a number")?;
                 opts.jobs = n;
             }
+            "--retries" => {
+                let n = iter
+                    .next()
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .ok_or("--retries needs a number")?;
+                opts.retry = RetryPolicy::with_retries(n);
+            }
+            "--mirrors" => {
+                let n = iter
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or("--mirrors needs a number")?;
+                mirrors = n.max(1);
+            }
+            "--chaos" => {
+                let arg = iter.next().ok_or("--chaos needs <seed>:<rate>")?;
+                let (seed, rate) = arg
+                    .split_once(':')
+                    .and_then(|(s, r)| Some((s.parse::<u64>().ok()?, r.parse::<f64>().ok()?)))
+                    .ok_or("--chaos needs <seed>:<rate>, e.g. 42:0.2")?;
+                chaos = Some(FaultPlan::uniform(seed, rate));
+            }
             _ => spec_text.push(a.clone()),
         }
     }
     if spec_text.is_empty() {
         return Err("install: no spec given".to_string());
+    }
+    if let Some(plan) = chaos {
+        opts.faults = Some(plan);
+        opts.source = MirrorChain::from_sources(
+            (0..mirrors)
+                .map(|i| {
+                    Arc::new(FaultyMirror::new(
+                        Mirror::named(&format!("mirror{i}")),
+                        plan,
+                    )) as Arc<dyn FetchSource>
+                })
+                .collect(),
+        );
+    } else if mirrors > 1 {
+        opts.source = MirrorChain::from_sources(
+            (0..mirrors)
+                .map(|i| Arc::new(Mirror::named(&format!("mirror{i}"))) as Arc<dyn FetchSource>)
+                .collect(),
+        );
     }
     let requests = parse_specs(&spec_text.join(" ")).map_err(|e| e.to_string())?;
 
@@ -118,29 +174,76 @@ pub fn install(args: &[String]) -> Result<(), String> {
         // record of completed installs.
         state.save().map_err(|e| e.to_string())?;
         for b in &report.builds {
-            if b.reused {
-                println!("==> {} reused existing install [{}]", b.name, &b.hash[..8]);
-            } else if let Some(o) = &b.outcome {
-                println!(
-                    "==> {} built in {:.1}s (simulated; {} compiler invocations{})",
-                    b.name,
-                    o.total(),
-                    o.compiler_invocations,
-                    if b.patches.is_empty() {
-                        String::new()
-                    } else {
-                        format!(", patches: {}", b.patches.join(", "))
-                    }
-                );
+            match &b.status {
+                NodeStatus::Reused => {
+                    println!("==> {} reused existing install [{}]", b.name, &b.hash[..8]);
+                }
+                NodeStatus::Built(o) => {
+                    println!(
+                        "==> {} built in {:.1}s (simulated; {} compiler invocations{}{})",
+                        b.name,
+                        o.total(),
+                        o.compiler_invocations,
+                        if b.attempts > 1 {
+                            format!(
+                                "; {} attempts, {:.1}s backoff",
+                                b.attempts, b.backoff_seconds
+                            )
+                        } else {
+                            String::new()
+                        },
+                        if b.patches.is_empty() {
+                            String::new()
+                        } else {
+                            format!(", patches: {}", b.patches.join(", "))
+                        }
+                    );
+                }
+                NodeStatus::Failed { error } => {
+                    println!(
+                        "==> {} FAILED after {} attempt{}: {error}",
+                        b.name,
+                        b.attempts,
+                        if b.attempts == 1 { "" } else { "s" }
+                    );
+                }
+                NodeStatus::Skipped { blocked_on } => {
+                    println!(
+                        "==> {} skipped (blocked on {})",
+                        b.name,
+                        blocked_on.join(", ")
+                    );
+                }
+            }
+            for fault in &b.faults {
+                println!("    fault: {fault}");
             }
         }
         println!(
             "==> Installed {} packages ({} reused), {:.1}s serial / {:.1}s critical path",
-            report.builds.len(),
+            report.committed_count(),
             report.reused_count(),
             report.serial_seconds,
             report.critical_path_seconds
         );
+        if !report.is_complete() {
+            println!(
+                "==> {} failed, {} skipped; {} retries, {:.1}s backoff, {:.1}s wasted",
+                report.failed_count(),
+                report.skipped_count(),
+                report.retries,
+                report.backoff_seconds,
+                report.wasted_seconds
+            );
+            // The partial commit is already persisted; surface the failure
+            // through the exit code.
+            state.save().map_err(|e| e.to_string())?;
+            return Err(format!(
+                "install incomplete: {} of {} packages failed or were skipped",
+                report.failed_count() + report.skipped_count(),
+                report.builds.len()
+            ));
+        }
     }
     state.save().map_err(|e| e.to_string())
 }

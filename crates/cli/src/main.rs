@@ -3,6 +3,10 @@
 //! ```text
 //! spack-rs audit [--json]      statically lint every package recipe
 //! spack-rs install <spec>      concretize, build (simulated), register
+//!   --retries N --keep-going --chaos <seed>:<rate> --mirrors N
+//!                              fault-tolerant installs: retry with
+//!                              virtual-time backoff, isolate failures,
+//!                              inject deterministic chaos, fail over
 //! spack-rs spec <spec>         show the concretized DAG (Fig. 7 view)
 //! spack-rs find [spec]         query installed specs
 //! spack-rs uninstall <hash>    remove an install (refuses if needed)

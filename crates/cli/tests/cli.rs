@@ -210,6 +210,42 @@ fn gc_after_uninstall_sweeps_orphans() {
 }
 
 #[test]
+fn chaos_installs_are_deterministic_and_recoverable() {
+    // Two fresh homes, same chaos seed: byte-identical output (exit code
+    // may be nonzero when the install is incomplete — that's the point).
+    let chaos = [
+        "install",
+        "--keep-going",
+        "--retries",
+        "1",
+        "--chaos",
+        "7:0.35",
+        "mpileaks",
+    ];
+    let h1 = home("chaos1");
+    let h2 = home("chaos2");
+    let o1 = run(&h1, &chaos);
+    let o2 = run(&h2, &chaos);
+    assert_eq!(
+        stdout(&o1),
+        stdout(&o2),
+        "chaos output must be reproducible"
+    );
+    assert_eq!(o1.status.code(), o2.status.code());
+
+    // A clean rerun picks up whatever the chaos run committed and
+    // finishes the DAG.
+    let o = run(&h1, &["install", "mpileaks"]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let o = run(&h1, &["find", "mpileaks"]);
+    assert!(
+        stdout(&o).contains("==> 1 installed packages"),
+        "{}",
+        stdout(&o)
+    );
+}
+
+#[test]
 fn create_checksum_mirror_module_refresh() {
     let h = home("extra");
     // `create` infers name/version and emits a pkg! skeleton.

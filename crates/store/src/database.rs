@@ -92,10 +92,35 @@ impl Database {
     /// caller-controlled (the build pipeline registers sub-DAGs
     /// incrementally and marks only the user's request explicit).
     pub fn install_dag_as(&mut self, dag: &ConcreteDag, explicit_root: bool) -> InstallPlan {
+        self.install_subdag(dag, dag.root(), explicit_root)
+    }
+
+    /// Register only the sub-DAG of `dag` rooted at `root` (the node and
+    /// its transitive dependencies), reusing already-present nodes. The
+    /// sub-root is marked explicit only when `explicit` is set — partial
+    /// commits from a keep-going install register implicitly, so `gc`
+    /// still treats them as collectable unless a later explicit install
+    /// claims them.
+    pub fn install_subdag(
+        &mut self,
+        dag: &ConcreteDag,
+        root: NodeId,
+        explicit: bool,
+    ) -> InstallPlan {
         let hashes = DagHashes::compute(dag);
-        let plan = self.plan(dag);
-        for id in dag.topo_order() {
+        // Downward closure of `root` over dependency edges.
+        let mut in_closure = vec![false; dag.len()];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !in_closure[id] {
+                in_closure[id] = true;
+                stack.extend(dag.node(id).deps.iter().copied());
+            }
+        }
+        let mut plan = InstallPlan::default();
+        for id in dag.topo_order().into_iter().filter(|&id| in_closure[id]) {
             let h = hashes.node_hash(id).to_string();
+            let name = dag.node(id).name.clone();
             if !self.records.contains_key(&h) {
                 let sub = dag.subdag(id);
                 let prefix = self.scheme.prefix_for(&self.root, dag, id, &hashes);
@@ -106,13 +131,17 @@ impl Database {
                         specfile: serial::to_specfile(&sub),
                         dag: sub,
                         prefix,
-                        explicit: explicit_root && id == dag.root(),
+                        explicit: explicit && id == root,
                         build_log: None,
                         dependents: Vec::new(),
                     },
                 );
-            } else if explicit_root && id == dag.root() {
-                self.records.get_mut(&h).unwrap().explicit = true;
+                plan.to_build.push((name, h.clone()));
+            } else {
+                if explicit && id == root {
+                    self.records.get_mut(&h).unwrap().explicit = true;
+                }
+                plan.reused.push((name, h.clone()));
             }
             // Wire dependent edges for ref-counting.
             for &dep in &dag.node(id).deps {
@@ -426,6 +455,33 @@ mod tests {
         assert!(!names.contains(&"dyninst".to_string()));
         assert_eq!(db.len(), 9 - 1 - removed.len());
         assert!(db.query(&Spec::parse("mpileaks^mpich").unwrap()).len() == 1);
+    }
+
+    #[test]
+    fn install_subdag_registers_only_the_closure_and_stays_implicit() {
+        let mut db = Database::new("/spack/opt");
+        let dag = mpileaks_with("mpich");
+        let hashes = DagHashes::compute(&dag);
+        // Commit only the dyninst subtree (dyninst, libdwarf, libelf), as
+        // a keep-going install would after mpileaks/callpath/mpich failed.
+        let dy = dag.by_name("dyninst").unwrap();
+        let plan = db.install_subdag(&dag, dy, false);
+        assert_eq!(plan.to_build.len(), 3);
+        assert_eq!(db.len(), 3);
+        assert!(db.get(hashes.node_hash(dy)).is_some());
+        assert!(db.get(hashes.node_hash(dag.root())).is_none());
+        assert!(db.iter().all(|r| !r.explicit), "partial commits implicit");
+        // Implicit-only records are garbage until something claims them.
+        assert_eq!(db.gc().len(), 3);
+
+        // Re-commit, then finish the install: the full DAG reuses the
+        // subtree and the requested root alone goes explicit.
+        db.install_subdag(&dag, dy, false);
+        let plan = db.install_dag_as(&dag, true);
+        assert_eq!(plan.reused.len(), 3);
+        assert_eq!(plan.to_build.len(), 3);
+        assert!(db.get(hashes.node_hash(dag.root())).unwrap().explicit);
+        assert!(db.gc().is_empty(), "explicit root now keeps the closure");
     }
 
     #[test]

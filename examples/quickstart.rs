@@ -44,7 +44,7 @@ fn main() {
     println!("\n== installing (simulated builds) ==");
     let report = session.install("mpileaks").expect("installs");
     for b in &report.builds {
-        match &b.outcome {
+        match b.outcome() {
             Some(o) => println!(
                 "  {:12} built in {:6.1}s  ({} wrapper invocations)",
                 b.name,
@@ -67,7 +67,7 @@ fn main() {
         report.built_count(),
         report.reused_count()
     );
-    for b in report.builds.iter().filter(|b| b.reused) {
+    for b in report.builds.iter().filter(|b| b.reused()) {
         println!("  reused {:12} [{}]", b.name, &b.hash[..8]);
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-09d890ef1d12d470.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-09d890ef1d12d470: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-437ec9149d762c6c.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-437ec9149d762c6c: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

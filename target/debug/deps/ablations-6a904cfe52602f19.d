@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-6a904cfe52602f19.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-6a904cfe52602f19: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

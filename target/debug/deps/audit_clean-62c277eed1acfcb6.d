@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_clean-62c277eed1acfcb6.d: tests/audit_clean.rs
+
+/root/repo/target/debug/deps/audit_clean-62c277eed1acfcb6: tests/audit_clean.rs
+
+tests/audit_clean.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_filecount-17ff85b1a704b64d.d: crates/bench/src/bin/baseline_filecount.rs
+
+/root/repo/target/debug/deps/baseline_filecount-17ff85b1a704b64d: crates/bench/src/bin/baseline_filecount.rs
+
+crates/bench/src/bin/baseline_filecount.rs:

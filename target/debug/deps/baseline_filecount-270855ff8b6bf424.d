@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_filecount-270855ff8b6bf424.d: crates/bench/src/bin/baseline_filecount.rs
+
+/root/repo/target/debug/deps/baseline_filecount-270855ff8b6bf424: crates/bench/src/bin/baseline_filecount.rs
+
+crates/bench/src/bin/baseline_filecount.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/builtin_clean-90122c5073612f45.d: crates/audit/tests/builtin_clean.rs
+
+/root/repo/target/debug/deps/builtin_clean-90122c5073612f45: crates/audit/tests/builtin_clean.rs
+
+crates/audit/tests/builtin_clean.rs:

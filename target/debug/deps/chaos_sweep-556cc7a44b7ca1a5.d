@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_sweep-556cc7a44b7ca1a5.d: crates/bench/src/bin/chaos_sweep.rs
+
+/root/repo/target/debug/deps/chaos_sweep-556cc7a44b7ca1a5: crates/bench/src/bin/chaos_sweep.rs
+
+crates/bench/src/bin/chaos_sweep.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-2d5249e1a6368943.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-2d5249e1a6368943: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_spack-rs=/root/repo/target/debug/spack-rs

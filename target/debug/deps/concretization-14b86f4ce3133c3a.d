@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concretization-14b86f4ce3133c3a.d: crates/bench/benches/concretization.rs
+
+/root/repo/target/debug/deps/concretization-14b86f4ce3133c3a: crates/bench/benches/concretization.rs
+
+crates/bench/benches/concretization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concretize_all-448fe2fd5f7708e6.d: crates/repo-builtin/tests/concretize_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcretize_all-448fe2fd5f7708e6.rmeta: crates/repo-builtin/tests/concretize_all.rs Cargo.toml
+
+crates/repo-builtin/tests/concretize_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

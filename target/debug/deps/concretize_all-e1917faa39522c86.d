@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concretize_all-e1917faa39522c86.d: crates/repo-builtin/tests/concretize_all.rs
+
+/root/repo/target/debug/deps/concretize_all-e1917faa39522c86: crates/repo-builtin/tests/concretize_all.rs
+
+crates/repo-builtin/tests/concretize_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_11_build-810a0fc29bb08857.d: crates/bench/src/bin/fig10_11_build.rs
+
+/root/repo/target/debug/deps/fig10_11_build-810a0fc29bb08857: crates/bench/src/bin/fig10_11_build.rs
+
+crates/bench/src/bin/fig10_11_build.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_11_build-f4706788651f9142.d: crates/bench/src/bin/fig10_11_build.rs
+
+/root/repo/target/debug/deps/fig10_11_build-f4706788651f9142: crates/bench/src/bin/fig10_11_build.rs
+
+crates/bench/src/bin/fig10_11_build.rs:

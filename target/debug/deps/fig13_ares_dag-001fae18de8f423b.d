@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_ares_dag-001fae18de8f423b.d: crates/bench/src/bin/fig13_ares_dag.rs
+
+/root/repo/target/debug/deps/fig13_ares_dag-001fae18de8f423b: crates/bench/src/bin/fig13_ares_dag.rs
+
+crates/bench/src/bin/fig13_ares_dag.rs:

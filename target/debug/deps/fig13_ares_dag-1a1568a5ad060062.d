@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_ares_dag-1a1568a5ad060062.d: crates/bench/src/bin/fig13_ares_dag.rs
+
+/root/repo/target/debug/deps/fig13_ares_dag-1a1568a5ad060062: crates/bench/src/bin/fig13_ares_dag.rs
+
+crates/bench/src/bin/fig13_ares_dag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_concretization-92188b41f16cf740.d: crates/bench/src/bin/fig8_concretization.rs
+
+/root/repo/target/debug/deps/fig8_concretization-92188b41f16cf740: crates/bench/src/bin/fig8_concretization.rs
+
+crates/bench/src/bin/fig8_concretization.rs:

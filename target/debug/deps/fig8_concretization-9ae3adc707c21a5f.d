@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_concretization-9ae3adc707c21a5f.d: crates/bench/src/bin/fig8_concretization.rs
+
+/root/repo/target/debug/deps/fig8_concretization-9ae3adc707c21a5f: crates/bench/src/bin/fig8_concretization.rs
+
+crates/bench/src/bin/fig8_concretization.rs:

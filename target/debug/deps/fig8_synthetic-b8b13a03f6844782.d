@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_synthetic-b8b13a03f6844782.d: crates/bench/src/bin/fig8_synthetic.rs
+
+/root/repo/target/debug/deps/fig8_synthetic-b8b13a03f6844782: crates/bench/src/bin/fig8_synthetic.rs
+
+crates/bench/src/bin/fig8_synthetic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_synthetic-d901dac871ea96c7.d: crates/bench/src/bin/fig8_synthetic.rs
+
+/root/repo/target/debug/deps/fig8_synthetic-d901dac871ea96c7: crates/bench/src/bin/fig8_synthetic.rs
+
+crates/bench/src/bin/fig8_synthetic.rs:

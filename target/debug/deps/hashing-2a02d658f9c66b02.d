@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hashing-2a02d658f9c66b02.d: crates/bench/benches/hashing.rs
+
+/root/repo/target/debug/deps/hashing-2a02d658f9c66b02: crates/bench/benches/hashing.rs
+
+crates/bench/benches/hashing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hashing-92e89b791ced1bc4.d: crates/bench/benches/hashing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhashing-92e89b791ced1bc4.rmeta: crates/bench/benches/hashing.rs Cargo.toml
+
+crates/bench/benches/hashing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-200386f7d156c199.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-200386f7d156c199: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_specs-e91dd37bb132bf35.d: tests/proptest_specs.rs
+
+/root/repo/target/debug/deps/proptest_specs-e91dd37bb132bf35: tests/proptest_specs.rs
+
+tests/proptest_specs.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/spack_audit-5d5632973c76898a.d: crates/audit/src/lib.rs crates/audit/src/cycles.rs crates/audit/src/passes.rs crates/audit/src/report.rs
+
+/root/repo/target/debug/deps/spack_audit-5d5632973c76898a: crates/audit/src/lib.rs crates/audit/src/cycles.rs crates/audit/src/passes.rs crates/audit/src/report.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/cycles.rs:
+crates/audit/src/passes.rs:
+crates/audit/src/report.rs:

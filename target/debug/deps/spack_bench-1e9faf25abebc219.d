@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_bench-1e9faf25abebc219.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_bench-1e9faf25abebc219.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_bench-1e9faf25abebc219.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

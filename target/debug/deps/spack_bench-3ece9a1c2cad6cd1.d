@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spack_bench-3ece9a1c2cad6cd1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_bench-3ece9a1c2cad6cd1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

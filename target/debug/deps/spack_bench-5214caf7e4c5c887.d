@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spack_bench-5214caf7e4c5c887.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/spack_bench-5214caf7e4c5c887: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

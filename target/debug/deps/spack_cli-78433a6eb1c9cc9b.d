@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_cli-78433a6eb1c9cc9b.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_cli-78433a6eb1c9cc9b.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_cli-78433a6eb1c9cc9b.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spack_cli-deb72781afcb1e2f.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/spack_cli-deb72781afcb1e2f: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

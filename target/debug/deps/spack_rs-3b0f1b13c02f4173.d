@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_rs-3b0f1b13c02f4173.d: src/lib.rs
+
+/root/repo/target/debug/deps/libspack_rs-3b0f1b13c02f4173.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libspack_rs-3b0f1b13c02f4173.rmeta: src/lib.rs
+
+src/lib.rs:

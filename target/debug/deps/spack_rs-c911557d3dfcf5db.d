@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spack_rs-c911557d3dfcf5db.d: src/lib.rs
+
+/root/repo/target/debug/deps/spack_rs-c911557d3dfcf5db: src/lib.rs
+
+src/lib.rs:

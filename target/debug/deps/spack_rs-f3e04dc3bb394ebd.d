@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_rs-f3e04dc3bb394ebd.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+/root/repo/target/debug/deps/spack_rs-f3e04dc3bb394ebd: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/state.rs:

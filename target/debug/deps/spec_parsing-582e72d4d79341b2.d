@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spec_parsing-582e72d4d79341b2.d: crates/bench/benches/spec_parsing.rs
+
+/root/repo/target/debug/deps/spec_parsing-582e72d4d79341b2: crates/bench/benches/spec_parsing.rs
+
+crates/bench/benches/spec_parsing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_naming-71011f3f5b38f2b9.d: crates/bench/src/bin/table1_naming.rs
+
+/root/repo/target/debug/deps/table1_naming-71011f3f5b38f2b9: crates/bench/src/bin/table1_naming.rs
+
+crates/bench/src/bin/table1_naming.rs:

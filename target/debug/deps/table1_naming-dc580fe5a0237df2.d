@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_naming-dc580fe5a0237df2.d: crates/bench/src/bin/table1_naming.rs
+
+/root/repo/target/debug/deps/table1_naming-dc580fe5a0237df2: crates/bench/src/bin/table1_naming.rs
+
+crates/bench/src/bin/table1_naming.rs:

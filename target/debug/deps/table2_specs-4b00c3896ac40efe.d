@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_specs-4b00c3896ac40efe.d: crates/bench/src/bin/table2_specs.rs
+
+/root/repo/target/debug/deps/table2_specs-4b00c3896ac40efe: crates/bench/src/bin/table2_specs.rs
+
+crates/bench/src/bin/table2_specs.rs:

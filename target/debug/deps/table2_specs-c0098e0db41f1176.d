@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_specs-c0098e0db41f1176.d: crates/bench/src/bin/table2_specs.rs
+
+/root/repo/target/debug/deps/table2_specs-c0098e0db41f1176: crates/bench/src/bin/table2_specs.rs
+
+crates/bench/src/bin/table2_specs.rs:

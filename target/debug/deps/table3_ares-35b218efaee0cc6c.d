@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_ares-35b218efaee0cc6c.d: crates/bench/src/bin/table3_ares.rs
+
+/root/repo/target/debug/deps/table3_ares-35b218efaee0cc6c: crates/bench/src/bin/table3_ares.rs
+
+crates/bench/src/bin/table3_ares.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_ares-3f1765148278e9e1.d: crates/bench/src/bin/table3_ares.rs
+
+/root/repo/target/debug/deps/table3_ares-3f1765148278e9e1: crates/bench/src/bin/table3_ares.rs
+
+crates/bench/src/bin/table3_ares.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_ares-ec23b2aad1a80079.d: crates/bench/src/bin/table3_ares.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_ares-ec23b2aad1a80079.rmeta: crates/bench/src/bin/table3_ares.rs Cargo.toml
+
+crates/bench/src/bin/table3_ares.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

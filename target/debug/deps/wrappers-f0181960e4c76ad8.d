@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wrappers-f0181960e4c76ad8.d: crates/bench/benches/wrappers.rs
+
+/root/repo/target/debug/deps/wrappers-f0181960e4c76ad8: crates/bench/benches/wrappers.rs
+
+crates/bench/benches/wrappers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ares_stack-4823182b0fc9ed19.d: examples/ares_stack.rs
+
+/root/repo/target/debug/examples/ares_stack-4823182b0fc9ed19: examples/ares_stack.rs
+
+examples/ares_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/audit_repo-198971a42063cfe3.d: examples/audit_repo.rs
+
+/root/repo/target/debug/examples/audit_repo-198971a42063cfe3: examples/audit_repo.rs
+
+examples/audit_repo.rs:

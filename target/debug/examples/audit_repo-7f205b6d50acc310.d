@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/audit_repo-7f205b6d50acc310.d: examples/audit_repo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaudit_repo-7f205b6d50acc310.rmeta: examples/audit_repo.rs Cargo.toml
+
+examples/audit_repo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

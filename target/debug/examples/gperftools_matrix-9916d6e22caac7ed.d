@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gperftools_matrix-9916d6e22caac7ed.d: examples/gperftools_matrix.rs
+
+/root/repo/target/debug/examples/gperftools_matrix-9916d6e22caac7ed: examples/gperftools_matrix.rs
+
+examples/gperftools_matrix.rs:

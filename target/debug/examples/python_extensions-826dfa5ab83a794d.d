@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/python_extensions-826dfa5ab83a794d.d: examples/python_extensions.rs
+
+/root/repo/target/debug/examples/python_extensions-826dfa5ab83a794d: examples/python_extensions.rs
+
+examples/python_extensions.rs:

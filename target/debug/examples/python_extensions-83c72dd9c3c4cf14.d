@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/python_extensions-83c72dd9c3c4cf14.d: examples/python_extensions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpython_extensions-83c72dd9c3c4cf14.rmeta: examples/python_extensions.rs Cargo.toml
+
+examples/python_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-708acd0c75e35d65.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-708acd0c75e35d65: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-727279e645e86c98.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-727279e645e86c98.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/site_policies-adc624f6a12b81de.d: examples/site_policies.rs
+
+/root/repo/target/debug/examples/site_policies-adc624f6a12b81de: examples/site_policies.rs
+
+examples/site_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/subdag_sharing-57b93ae1de42bc61.d: examples/subdag_sharing.rs
+
+/root/repo/target/debug/examples/subdag_sharing-57b93ae1de42bc61: examples/subdag_sharing.rs
+
+examples/subdag_sharing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_sweep-e6c27c01697fc6a7.d: crates/bench/src/bin/chaos_sweep.rs
+
+/root/repo/target/release/deps/chaos_sweep-e6c27c01697fc6a7: crates/bench/src/bin/chaos_sweep.rs
+
+crates/bench/src/bin/chaos_sweep.rs:

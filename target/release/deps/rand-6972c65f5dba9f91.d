@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-6972c65f5dba9f91.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6972c65f5dba9f91.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6972c65f5dba9f91.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

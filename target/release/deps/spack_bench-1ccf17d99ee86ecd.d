@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spack_bench-1ccf17d99ee86ecd.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libspack_bench-1ccf17d99ee86ecd.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libspack_bench-1ccf17d99ee86ecd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spack_cli-a57cffd4c2679bca.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libspack_cli-a57cffd4c2679bca.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libspack_cli-a57cffd4c2679bca.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spack_rs-4d159f3fcf3e12dd.d: src/lib.rs
+
+/root/repo/target/release/deps/libspack_rs-4d159f3fcf3e12dd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libspack_rs-4d159f3fcf3e12dd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-51bda4b3d3fc2516.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-51bda4b3d3fc2516: examples/quickstart.rs
+
+examples/quickstart.rs:

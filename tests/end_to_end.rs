@@ -86,10 +86,93 @@ fn naming_schemes_agree_with_database_prefixes() {
 #[test]
 fn corrupted_downloads_abort_install() {
     let mut session = Session::new();
-    session.options_mut().mirror = spack_rs::buildenv::Mirror::corrupting();
+    session.options_mut().source =
+        spack_rs::buildenv::MirrorChain::single(spack_rs::buildenv::Mirror::corrupting());
     let err = session.install("zlib").unwrap_err();
     assert!(err.to_string().contains("md5 mismatch"), "{err}");
     assert_eq!(session.database().len(), 0);
+}
+
+/// A fetch source that permanently drops one package's downloads and
+/// serves everything else from a pristine mirror.
+#[derive(Debug)]
+struct Blackhole {
+    package: &'static str,
+    inner: spack_rs::buildenv::Mirror,
+}
+
+impl spack_rs::buildenv::FetchSource for Blackhole {
+    fn label(&self) -> &str {
+        "blackhole"
+    }
+
+    fn fetch_version(
+        &self,
+        pkg: &spack_rs::package::PackageDef,
+        version: &spack_rs::spec::Version,
+        attempt: u32,
+    ) -> Result<spack_rs::buildenv::Archive, spack_rs::buildenv::fetch::FetchError> {
+        if pkg.name == self.package {
+            return Err(spack_rs::buildenv::fetch::FetchError::Transient {
+                package: pkg.name.clone(),
+                version: version.to_string(),
+                mirror: "blackhole".to_string(),
+                attempt,
+            });
+        }
+        self.inner.fetch(pkg, version)
+    }
+}
+
+#[test]
+fn keep_going_commits_partial_stack_and_rerun_finishes() {
+    use spack_rs::buildenv::{Mirror, MirrorChain, NodeStatus};
+
+    let mut session = Session::new();
+    session.options_mut().keep_going = true;
+    session.options_mut().source = MirrorChain::single(Blackhole {
+        package: "libdwarf",
+        inner: Mirror::new(),
+    });
+
+    // libdwarf is unfetchable: libelf and the MPI stack still build, but
+    // dyninst -> callpath -> mpileaks are all blocked on it.
+    let report = session.install("mpileaks ^mpich").unwrap();
+    assert_eq!(report.failed_count(), 1);
+    assert!(report.skipped_count() >= 3);
+    let by_name = |n: &str| report.builds.iter().find(|b| b.name == n).unwrap();
+    assert!(matches!(by_name("libelf").status, NodeStatus::Built(_)));
+    assert!(matches!(
+        by_name("libdwarf").status,
+        NodeStatus::Failed { .. }
+    ));
+    match &by_name("dyninst").status {
+        NodeStatus::Skipped { blocked_on } => {
+            assert_eq!(blocked_on, &["libdwarf".to_string()])
+        }
+        other => panic!("dyninst should be skipped, got {other:?}"),
+    }
+    {
+        let db = session.database();
+        assert_eq!(db.len(), report.built_count());
+        assert!(db.iter().all(|r| !r.explicit), "partial commits implicit");
+        assert!(db.query(&Spec::parse("mpileaks").unwrap()).is_empty());
+    }
+
+    // Rerun against a clean mirror: committed nodes are reused, only the
+    // failed/skipped remainder builds, and the request goes explicit.
+    *session.options_mut() = spack_rs::buildenv::InstallOptions::default();
+    let rerun = session.install("mpileaks ^mpich").unwrap();
+    assert!(rerun.is_complete());
+    assert_eq!(rerun.reused_count(), report.built_count());
+    assert_eq!(
+        rerun.built_count(),
+        report.failed_count() + report.skipped_count()
+    );
+    let db = session.database();
+    let root = db.query(&Spec::parse("mpileaks").unwrap());
+    assert_eq!(root.len(), 1);
+    assert!(root[0].explicit);
 }
 
 #[test]
