@@ -1,24 +1,135 @@
 #!/usr/bin/env bash
 # CI gate for spack-rs. Run locally before pushing; the GitHub workflow
-# in .github/workflows/ci.yml runs the same steps.
+# in .github/workflows/ci.yml runs the same subcommands as separate
+# matrix jobs.
+#
+#   ./ci.sh lint     cargo fmt + clippy
+#   ./ci.sh test     release build + full workspace test suite + audit
+#   ./ci.sh golden   regenerate every results/*.txt and diff, then the
+#                    parallel-install determinism stress
+#   ./ci.sh all      everything above (the default)
+#
+# Every step prints its elapsed time, and a failing golden names the
+# bench binary that produced it plus the command to regenerate.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# run <label> <cmd...> — echo, time, and fail with the label on error.
 run() {
-    echo "==> $*"
-    "$@"
+    local label=$1
+    shift
+    echo "==> ${label}: $*"
+    local start=$SECONDS
+    if ! "$@"; then
+        echo "!!! ${label} failed after $((SECONDS - start))s" >&2
+        return 1
+    fi
+    echo "    ${label}: $((SECONDS - start))s"
 }
 
-run cargo build --release
-run cargo test -q --workspace
-run cargo clippy --workspace --all-targets -- -D warnings
-run cargo fmt --check
-# The repository must stay audit-clean: exit code is the error count.
-run cargo run -q -p spack-cli --bin spack-rs -- audit
-# Chaos determinism gate: the fault-injected sweep must reproduce the
-# checked-in golden file byte for byte on any machine.
-echo "==> chaos_sweep determinism gate"
-cargo run -q --release -p spack-bench --bin chaos_sweep > target/chaos_sweep.ci.txt
-run diff -u results/chaos_sweep.txt target/chaos_sweep.ci.txt
+# Benches whose measured wall-clock columns are stripped via --golden so
+# the checked-in file is byte-stable on any machine.
+golden_flag() {
+    case "$1" in
+    ablations | fig8_concretization | fig8_synthetic) echo "--golden" ;;
+    *) echo "" ;;
+    esac
+}
 
-echo "==> CI green"
+lint() {
+    run "fmt" cargo fmt --check
+    run "clippy" cargo clippy --workspace --all-targets -- -D warnings
+}
+
+test_suite() {
+    run "build" cargo build --release
+    run "test" cargo test -q --workspace
+    # The repository must stay audit-clean: exit code is the error count.
+    run "audit" cargo run -q -p spack-cli --bin spack-rs -- audit
+}
+
+# Regenerate every golden in results/ from its bench binary and diff it
+# byte for byte. A mismatch names the failing bench and the regeneration
+# command, so the source of the drift is never a mystery.
+golden_check() {
+    run "golden-build" cargo build -q --release -p spack-bench
+    local failed=0
+    for golden in results/*.txt; do
+        local bench flag start
+        bench=$(basename "$golden" .txt)
+        flag=$(golden_flag "$bench")
+        start=$SECONDS
+        # shellcheck disable=SC2086  # $flag is intentionally word-split
+        if ! cargo run -q --release -p spack-bench --bin "$bench" -- $flag \
+            >"target/${bench}.ci.txt"; then
+            echo "!!! golden-check: bench \`${bench}\` crashed" >&2
+            failed=1
+            continue
+        fi
+        if ! diff -u "$golden" "target/${bench}.ci.txt"; then
+            echo "!!! golden-check: \`${bench}\` drifted from ${golden}." >&2
+            echo "    regenerate: cargo run --release -p spack-bench --bin ${bench} -- ${flag} > ${golden}" >&2
+            failed=1
+        else
+            echo "    golden ${bench}: $((SECONDS - start))s"
+        fi
+    done
+    return "$failed"
+}
+
+# Determinism stress: the parallel frontier scheduler must produce a
+# byte-identical install transcript (a) across two fresh runs at the
+# same jobs level under chaos, and (b) across every jobs level.
+sched_stress() {
+    run "stress-build" cargo build -q --release -p spack-cli
+    local bin=target/release/spack-rs
+    local args=(install --keep-going --retries 2 --mirrors 2 --chaos 42:0.2 ares)
+    local homes=() out
+    for tag in j8a j8b j1 j2 j4; do
+        homes+=("$(mktemp -d "${TMPDIR:-/tmp}/spack-ci-${tag}.XXXXXX")")
+    done
+    trap 'rm -rf "${homes[@]}"' RETURN
+    local jobs=(8 8 1 2 4)
+    for i in "${!homes[@]}"; do
+        out="${homes[$i]}/transcript.txt"
+        # Chaos leaves the install incomplete by design: exit 1 is fine,
+        # anything else is a crash.
+        SPACK_RS_HOME="${homes[$i]}" "$bin" install --jobs "${jobs[$i]}" \
+            "${args[@]:1}" >"$out" || [ $? -eq 1 ]
+    done
+    if ! diff -u "${homes[0]}/transcript.txt" "${homes[1]}/transcript.txt"; then
+        echo "!!! sched-stress: two --jobs 8 chaos runs diverged" >&2
+        return 1
+    fi
+    for i in 2 3 4; do
+        if ! diff -u "${homes[0]}/transcript.txt" "${homes[$i]}/transcript.txt"; then
+            echo "!!! sched-stress: --jobs ${jobs[$i]} diverged from --jobs 8" >&2
+            return 1
+        fi
+    done
+    echo "    sched-stress: byte-identical across runs and jobs {1,2,4,8}"
+}
+
+golden() {
+    golden_check
+    run "sched-stress" sched_stress
+}
+
+all() {
+    lint
+    test_suite
+    golden
+}
+
+case "${1:-all}" in
+lint) lint ;;
+test) test_suite ;;
+golden) golden ;;
+all) all ;;
+*)
+    echo "usage: $0 [lint|test|golden|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> CI green (${1:-all})"

@@ -7,6 +7,10 @@
 //! 4. parallel (ready-queue) vs. serial installs.
 //!
 //! Run: `cargo run --release -p spack-bench --bin ablations`
+//! With `--golden`, measured wall-clock figures (backtracking ms,
+//! index-vs-scan microseconds) are stripped; the structural results —
+//! ok/CONFLICT verdicts, attempt counts, candidate counts, and all
+//! virtual-time figures — are byte-stable for the CI golden gate.
 
 use std::time::Instant;
 
@@ -19,6 +23,7 @@ use spack_spec::Spec;
 use spack_store::Database;
 
 fn main() {
+    let golden = std::env::args().any(|a| a == "--golden");
     let repos = bench_repos();
     let config = bench_config();
 
@@ -69,12 +74,16 @@ fn main() {
         let back =
             BacktrackingConcretizer::new(&repos_site, &config_site).concretize_with_stats(&request);
         let dt = t.elapsed().as_secs_f64() * 1e3;
+        let timing = if golden {
+            String::new()
+        } else {
+            format!(", {dt:.2} ms")
+        };
         println!(
-            "  {text:24} greedy: {:9} backtracking: {:9} ({} attempts, {:.2} ms)",
+            "  {text:24} greedy: {:9} backtracking: {:9} ({} attempts{timing})",
             if greedy.is_ok() { "ok" } else { "CONFLICT" },
             if back.is_ok() { "ok" } else { "CONFLICT" },
             back.as_ref().map(|(_, s)| s.attempts).unwrap_or(0),
-            dt
         );
     }
 
@@ -106,12 +115,16 @@ fn main() {
     }
     let with_scan = t.elapsed().as_secs_f64();
     assert_eq!(found_idx, found_scan);
-    println!(
-        "  {found_idx} candidates; index: {:.2} us/query, scan: {:.2} us/query ({:.0}x)",
-        with_index / trials as f64 * 1e6,
-        with_scan / trials as f64 * 1e6,
-        with_scan / with_index
-    );
+    if golden {
+        println!("  {found_idx} candidates; index and scan agree");
+    } else {
+        println!(
+            "  {found_idx} candidates; index: {:.2} us/query, scan: {:.2} us/query ({:.0}x)",
+            with_index / trials as f64 * 1e6,
+            with_scan / trials as f64 * 1e6,
+            with_scan / with_index
+        );
+    }
 
     // ---- 3. sub-DAG reuse vs rebuild-everything ---------------------------
     println!("\n== ablation 3: hash-based reuse (Fig. 9) vs rebuild-everything ==");
@@ -157,5 +170,12 @@ fn main() {
         report.serial_seconds,
         report.critical_path_seconds,
         report.serial_seconds / report.critical_path_seconds
+    );
+    println!(
+        "  frontier scheduler at {} workers: {:.0}s makespan \
+         ({:.1}x of the ideal; see sched_scaling for the full curve)",
+        report.jobs,
+        report.makespan_seconds,
+        report.makespan_seconds / report.critical_path_seconds
     );
 }

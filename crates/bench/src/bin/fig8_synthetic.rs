@@ -10,6 +10,9 @@
 //! trend the paper observes at 50 nodes.
 //!
 //! Run: `cargo run --release -p spack-bench --bin fig8_synthetic`
+//! With `--golden`, timing is skipped and only the seeded graph
+//! structure (requested → actual closure size) is printed, so the
+//! output is byte-stable for the CI golden gate.
 
 use std::time::Instant;
 
@@ -52,14 +55,20 @@ fn synthetic_repo(n: usize, seed: u64) -> RepoStack {
 }
 
 fn main() {
+    let golden = std::env::args().any(|a| a == "--golden");
     let mut config = Config::new();
     config.register_compiler("gcc", "4.9.3", &[]);
     config
         .push_scope_text("site", "arch = linux-x86_64\ncompiler = gcc\n")
         .unwrap();
 
-    println!("# Fig. 8 (synthetic): concretization time vs DAG size");
-    println!("# columns: nodes_requested nodes_actual ms (avg of 5)");
+    if golden {
+        println!("# Fig. 8 (synthetic, golden): closure size per seeded graph");
+        println!("# columns: nodes_requested nodes_actual");
+    } else {
+        println!("# Fig. 8 (synthetic): concretization time vs DAG size");
+        println!("# columns: nodes_requested nodes_actual ms (avg of 5)");
+    }
     let mut series = Vec::new();
     for &n in &[10usize, 20, 40, 80, 160, 320] {
         let repos = synthetic_repo(n, 0x5eed + n as u64);
@@ -70,6 +79,10 @@ fn main() {
         let dag = concretizer
             .concretize(&request)
             .expect("synthetic concretizes");
+        if golden {
+            println!("{n:5} {:5}", dag.len());
+            continue;
+        }
         let start = Instant::now();
         for _ in 0..5 {
             concretizer.concretize(&request).unwrap();
@@ -77,6 +90,9 @@ fn main() {
         let ms = start.elapsed().as_secs_f64() / 5.0 * 1e3;
         println!("{n:5} {:5} {ms:10.3}", dag.len());
         series.push((dag.len() as f64, ms));
+    }
+    if golden {
+        return;
     }
     // Fit: is growth superlinear? Compare cost ratios to size ratios.
     let (s0, t0) = series[1];

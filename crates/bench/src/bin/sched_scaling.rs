@@ -1,0 +1,78 @@
+//! Scheduler scaling: simulated makespan vs. worker count over the ARES
+//! DAG.
+//!
+//! Installs the full ares development stack once per `jobs` level on the
+//! parallel frontier scheduler and reports the deterministic list-
+//! scheduling makespan for that many build slots, its speedup over the
+//! serial walk, and slot efficiency. The critical path is printed as the
+//! lower bound no slot count can beat; `jobs = 1` reproduces the serial
+//! time exactly.
+//!
+//! Every figure is derived from per-node *virtual* costs — the wall
+//! clock never enters — so the table is byte-identical on any machine
+//! and at any actual thread interleaving, which `ci.sh` exploits as a
+//! golden regression gate against `results/sched_scaling.txt`.
+//!
+//! Run: `cargo run -p spack-bench --bin sched_scaling`
+
+use parking_lot::Mutex;
+use spack_bench::{bench_config, bench_repos};
+use spack_buildenv::{install_dag, InstallOptions};
+use spack_concretize::Concretizer;
+use spack_spec::Spec;
+use spack_store::Database;
+
+const JOBS: &[usize] = &[1, 2, 4, 8];
+
+fn main() {
+    let repos = bench_repos();
+    let config = bench_config();
+    let dag = Concretizer::new(&repos, &config)
+        .concretize(&Spec::parse("ares@develop~lite").unwrap())
+        .expect("ares concretizes");
+
+    println!(
+        "Frontier scheduler scaling over the ares DAG ({} nodes)",
+        dag.len()
+    );
+    println!("  list-scheduling makespan on N build slots, virtual time\n");
+    println!(
+        "{:>6} {:>12} {:>10} {:>12}",
+        "jobs", "makespan", "speedup", "efficiency"
+    );
+
+    let mut serial = 0.0_f64;
+    let mut critical = 0.0_f64;
+    for &jobs in JOBS {
+        let opts = InstallOptions {
+            jobs,
+            ..Default::default()
+        };
+        let db = Mutex::new(Database::new("/spack/opt"));
+        let report = install_dag(&dag, &repos, &db, &opts).expect("clean install succeeds");
+        assert_eq!(report.built_count(), dag.len(), "fresh store builds all");
+        assert!(
+            report.makespan_seconds >= report.critical_path_seconds - 1e-9,
+            "makespan below the critical-path bound"
+        );
+        serial = report.serial_seconds;
+        critical = report.critical_path_seconds;
+        let speedup = report.serial_seconds / report.makespan_seconds;
+        println!(
+            "{:>6} {:>11.1}s {:>9.2}x {:>11.1}%",
+            jobs,
+            report.makespan_seconds,
+            speedup,
+            100.0 * speedup / jobs as f64
+        );
+    }
+
+    println!(
+        "\n{:>6} {:>11.1}s  (serial walk, jobs = 1 by definition)",
+        "1", serial
+    );
+    println!(
+        "{:>6} {:>11.1}s  (critical path: lower bound at any jobs)",
+        "inf", critical
+    );
+}

@@ -13,18 +13,33 @@
 //! independent subtrees still build, dependents are recorded as
 //! [`NodeStatus::Skipped`], and every successful sub-DAG is committed.
 //!
-//! Timing is virtual, so the report is bit-identical regardless of
-//! `jobs`: the `jobs` knob models wall-clock parallelism, which the
-//! report exposes as the DAG's serial vs. critical-path seconds instead.
+//! Installs run on a **parallel frontier scheduler** (DESIGN.md §9): a
+//! ready-queue of nodes whose dependencies have all committed, drained by
+//! `jobs` real worker threads (scoped threads from the vendored `rayon`
+//! shim, coordinated with the vendored `parking_lot` mutex + condvar).
+//! Completing a node unlocks its dependents; failing one either cancels
+//! the frontier (fail-fast) or poisons only its dependents (`keep_going`).
+//!
+//! The *report* stays deterministic no matter how the workers interleave:
+//! records are emitted in topo order, all accounting is aggregated
+//! commutatively from per-node values, fault decisions are pure functions
+//! of their coordinates, and timing is virtual — `serial`, `critical
+//! path`, and the `jobs`-slot makespan are computed from per-node costs
+//! by deterministic simulation, never from the wall clock. The measured
+//! wall-clock duration is reported in [`InstallReport::wall_seconds`]
+//! but deliberately kept out of [`InstallReport::render`], so two runs
+//! with identical inputs render byte-identically at any `jobs` level.
 
 use crate::buildsys::{run_build, BuildOutcome, BuildSettings};
 use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::fetch::{FetchError, MirrorChain};
 use crate::platform::PlatformRegistry;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use spack_package::RepoStack;
 use spack_spec::{ConcreteDag, DagHashes, NodeId};
 use spack_store::{Database, NamingScheme};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Deterministic virtual-time exponential backoff between attempts.
@@ -88,8 +103,9 @@ impl RetryPolicy {
 /// Options for [`install_dag`].
 #[derive(Debug, Clone)]
 pub struct InstallOptions {
-    /// Maximum concurrent build slots. Affects only (hypothetical)
-    /// wall-clock; virtual-time results are jobs-independent by design.
+    /// Worker threads draining the ready queue (min 1). Shapes wall-clock
+    /// and the simulated [`InstallReport::makespan_seconds`]; every other
+    /// report field is jobs-independent by design.
     pub jobs: usize,
     /// Mirror failover chain to fetch archives through.
     pub source: MirrorChain,
@@ -264,6 +280,18 @@ pub struct InstallReport {
     /// Simulated seconds on the DAG's critical path: the wall-clock floor
     /// with unlimited parallel build slots.
     pub critical_path_seconds: f64,
+    /// Simulated seconds the install takes on `jobs` build slots under
+    /// topo-priority list scheduling over the same per-node costs.
+    /// Deterministic (it is computed by simulation, not measured), always
+    /// within `[critical_path_seconds, serial_seconds]`, and the only
+    /// report field that depends on `jobs` — which is why it is excluded
+    /// from [`InstallReport::render`].
+    pub makespan_seconds: f64,
+    /// Build slots the makespan was simulated for (= `options.jobs`, min 1).
+    pub jobs: usize,
+    /// Measured wall-clock seconds of this install. The one
+    /// nondeterministic field; excluded from [`InstallReport::render`].
+    pub wall_seconds: f64,
     /// Extra attempts consumed beyond each node's first.
     pub retries: u32,
     /// Total virtual seconds charged to backoff waits.
@@ -569,143 +597,400 @@ fn render_log(
     log
 }
 
-/// Install a concrete DAG: build every missing node bottom-up, then
-/// commit and attach build logs.
+/// One finalized node, as the workers hand it back to the report.
+struct Finished {
+    record: BuildRecord,
+    /// Simulated cost charged to this node (0 for reused/skipped).
+    cost: f64,
+    /// Virtual seconds that produced nothing committed for this node.
+    wasted: f64,
+    /// Build log awaiting the batch commit (fail-fast mode only;
+    /// keep-going attaches logs at the per-node commit).
+    log: Option<String>,
+    /// Failed or skipped: poisons dependents under `keep_going`.
+    dead: bool,
+}
+
+/// Shared state of the frontier scheduler, guarded by one mutex. Workers
+/// hold the lock only to claim ready nodes and to finalize completed
+/// ones — every fetch/patch/build runs lock-free.
+struct Frontier {
+    /// Topo positions of nodes whose dependencies have all finalized,
+    /// lowest position first (a min-heap via `Reverse`).
+    ready: BinaryHeap<Reverse<usize>>,
+    /// Per node: dependencies not yet finalized.
+    waiting: Vec<usize>,
+    /// Per node: failed or skipped (poisons dependents).
+    dead: Vec<bool>,
+    /// Per node: the finalized result.
+    done: Vec<Option<Finished>>,
+    /// Nodes not yet finalized; 0 means the frontier is drained.
+    outstanding: usize,
+    /// Fail-fast: every failure observed, with its topo position. The
+    /// scheduler reports the one the serial loop would have hit first.
+    failures: Vec<(usize, InstallError)>,
+    /// Fail-fast: stop dispatching; workers drain and exit.
+    cancelled: bool,
+}
+
+/// Deterministic list-scheduling simulation: run the DAG's per-node
+/// virtual costs on `jobs` slots, dispatching the lowest topo position
+/// first whenever a slot frees up. Returns the simulated makespan —
+/// always within `[critical path, serial]`, and equal to those bounds at
+/// `jobs = ∞` and `jobs = 1` respectively.
+fn simulate_makespan(
+    dag: &ConcreteDag,
+    order: &[NodeId],
+    topo_pos: &[usize],
+    dependents: &[Vec<NodeId>],
+    costs: &[f64],
+    jobs: usize,
+) -> f64 {
+    /// f64 with a total order, so finish events sort in a BinaryHeap.
+    #[derive(PartialEq)]
+    struct Time(f64);
+    impl Eq for Time {}
+    impl PartialOrd for Time {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Time {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+
+    let jobs = jobs.max(1);
+    let mut waiting: Vec<usize> = (0..dag.len()).map(|id| dag.node(id).deps.len()).collect();
+    let mut ready: BinaryHeap<Reverse<usize>> = (0..dag.len())
+        .filter(|&id| waiting[id] == 0)
+        .map(|id| Reverse(topo_pos[id]))
+        .collect();
+    // Running builds, earliest finish first (ties broken by topo position
+    // so the simulation is deterministic even with equal costs).
+    let mut running: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+    let mut now = 0.0_f64;
+    let mut free = jobs;
+    let mut remaining = dag.len();
+    while remaining > 0 {
+        while free > 0 {
+            let Some(Reverse(pos)) = ready.pop() else {
+                break;
+            };
+            free -= 1;
+            running.push(Reverse((Time(now + costs[order[pos]]), pos)));
+        }
+        let Reverse((Time(t), pos)) = running.pop().expect("acyclic DAG never starves");
+        now = t;
+        free += 1;
+        remaining -= 1;
+        for &d in &dependents[order[pos]] {
+            waiting[d] -= 1;
+            if waiting[d] == 0 {
+                ready.push(Reverse(topo_pos[d]));
+            }
+        }
+    }
+    now
+}
+
+/// Install a concrete DAG on the parallel frontier scheduler: `jobs`
+/// worker threads drain a ready-queue of nodes whose dependencies have
+/// committed, building missing nodes concurrently; completing a node
+/// unlocks its dependents.
 ///
-/// Fail-fast mode (the default): any node failure aborts with `Err` and
-/// leaves the database exactly as found. With `keep_going`, failures are
-/// isolated — independent subtrees still build, dependents are recorded
-/// as [`NodeStatus::Skipped`], every successful sub-DAG is committed
-/// (implicit, since the requested root did not complete), and the report
-/// carries per-node outcomes. The database lock is held only for the
-/// per-node reuse probe and the final commit, never across fetch/build.
+/// Fail-fast mode (the default): the first node failure cancels the
+/// frontier — in-flight builds drain, nothing is dispatched afterwards,
+/// the database is left exactly as found, and the error returned is the
+/// one the serial loop would have hit first (deterministic under any
+/// interleaving). With `keep_going`, failures are isolated — independent
+/// subtrees still build, dependents are recorded as
+/// [`NodeStatus::Skipped`], and every successful node is committed at
+/// completion time under a narrow per-hash database lock (implicit, so
+/// `gc` semantics survive a partial install). The report is byte-identical
+/// across `jobs` values and interleavings; see the module docs for the
+/// determinism contract.
 pub fn install_dag(
     dag: &ConcreteDag,
     repos: &RepoStack,
     db: &Mutex<Database>,
     options: &InstallOptions,
 ) -> Result<InstallReport, InstallError> {
+    let wall_start = std::time::Instant::now();
     let hashes = DagHashes::compute(dag);
     let platforms = PlatformRegistry::with_defaults();
-    let root_dir = db.lock().root().to_string();
+    let jobs = options.jobs.max(1);
 
-    let mut builds = Vec::with_capacity(dag.len());
-    let mut logs: Vec<(String, String)> = Vec::new();
-    // Per-node simulated cost (0 for reused/skipped nodes), by NodeId.
-    let mut costs = vec![0.0_f64; dag.len()];
-    // Nodes that failed or were skipped; poisons dependents.
-    let mut dead = vec![false; dag.len()];
-    let mut retries = 0u32;
-    let mut backoff_seconds = 0.0_f64;
-    let mut wasted_seconds = 0.0_f64;
-
-    for id in dag.topo_order() {
-        let node = dag.node(id);
-        let hash = hashes.node_hash(id).to_string();
-
-        // keep-going isolation: a dead dependency blocks its dependents.
-        let blocked_on: Vec<String> = node
-            .deps
-            .iter()
-            .filter(|&&d| dead[d])
-            .map(|&d| dag.node(d).name.clone())
-            .collect();
-        if !blocked_on.is_empty() {
-            dead[id] = true;
-            builds.push(BuildRecord {
-                name: node.name.clone(),
-                hash,
-                status: NodeStatus::Skipped { blocked_on },
-                patches: Vec::new(),
-                attempts: 0,
-                backoff_seconds: 0.0,
-                faults: Vec::new(),
-            });
-            continue;
-        }
-
-        // Reuse probe: the only lock taken during the build loop.
-        if db.lock().get(&hash).is_some() {
-            builds.push(BuildRecord {
-                name: node.name.clone(),
-                hash,
-                status: NodeStatus::Reused,
-                patches: Vec::new(),
-                attempts: 0,
-                backoff_seconds: 0.0,
-                faults: Vec::new(),
-            });
-            continue;
-        }
-
-        match build_node(dag, id, repos, &platforms, &root_dir, &hashes, options) {
-            Ok(done) => {
-                costs[id] = done.outcome.total() + done.backoff + done.wasted;
-                retries += done.attempts.saturating_sub(1);
-                backoff_seconds += done.backoff;
-                wasted_seconds += done.backoff + done.wasted;
-                logs.push((hash.clone(), done.log));
-                builds.push(BuildRecord {
-                    name: node.name.clone(),
-                    hash,
-                    status: NodeStatus::Built(done.outcome),
-                    patches: done.patches,
-                    attempts: done.attempts,
-                    backoff_seconds: done.backoff,
-                    faults: done.faults,
-                });
-            }
-            Err(failure) => {
-                if !options.keep_going {
-                    // Fail-fast: nothing was committed, database as found.
-                    return Err(failure.error);
-                }
-                costs[id] = failure.backoff + failure.wasted;
-                retries += failure.attempts.saturating_sub(1);
-                backoff_seconds += failure.backoff;
-                wasted_seconds += failure.backoff + failure.wasted;
-                dead[id] = true;
-                builds.push(BuildRecord {
-                    name: node.name.clone(),
-                    hash,
-                    status: NodeStatus::Failed {
-                        error: failure.error.to_string(),
-                    },
-                    patches: Vec::new(),
-                    attempts: failure.attempts,
-                    backoff_seconds: failure.backoff,
-                    faults: failure.faults,
-                });
-            }
+    let order = dag.topo_order();
+    let mut topo_pos = vec![0usize; dag.len()];
+    for (pos, &id) in order.iter().enumerate() {
+        topo_pos[id] = pos;
+    }
+    let mut dependents: Vec<Vec<NodeId>> = vec![Vec::new(); dag.len()];
+    for id in 0..dag.len() {
+        for &dep in &dag.node(id).deps {
+            dependents[dep].push(id);
         }
     }
 
-    // Commit phase: one lock for registration plus log attachment.
+    // One narrow lock up front: the store root plus the reuse probe for
+    // every node. Probing against the *initial* database state matches
+    // the serial semantics exactly (nothing this run commits can satisfy
+    // its own nodes), so the probe is interleaving-independent.
+    let (root_dir, reuse) = {
+        let db = db.lock();
+        let reuse: Vec<bool> = (0..dag.len())
+            .map(|id| db.get(hashes.node_hash(id)).is_some())
+            .collect();
+        (db.root().to_string(), reuse)
+    };
+
+    let state = Mutex::new(Frontier {
+        ready: (0..dag.len())
+            .filter(|&id| dag.node(id).deps.is_empty())
+            .map(|id| Reverse(topo_pos[id]))
+            .collect(),
+        waiting: (0..dag.len()).map(|id| dag.node(id).deps.len()).collect(),
+        dead: vec![false; dag.len()],
+        done: (0..dag.len()).map(|_| None).collect(),
+        outstanding: dag.len(),
+        failures: Vec::new(),
+        cancelled: false,
+    });
+    let frontier_cv = Condvar::new();
+
+    // Mark a node finished and unlock any dependents that become ready.
+    // Called with the frontier lock held.
+    let finalize = |st: &mut Frontier, id: NodeId, fin: Finished| {
+        st.dead[id] = fin.dead;
+        st.done[id] = Some(fin);
+        st.outstanding -= 1;
+        for &d in &dependents[id] {
+            st.waiting[d] -= 1;
+            if st.waiting[d] == 0 {
+                st.ready.push(Reverse(topo_pos[d]));
+            }
+        }
+    };
+
+    let idle_record = |name: &str, hash: String, status: NodeStatus| BuildRecord {
+        name: name.to_string(),
+        hash,
+        status,
+        patches: Vec::new(),
+        attempts: 0,
+        backoff_seconds: 0.0,
+        faults: Vec::new(),
+    };
+
+    let worker = || {
+        loop {
+            // Claim phase: take the lowest ready topo position. Nodes
+            // blocked by a dead dependency are finalized as skipped
+            // without ever leaving the lock (they do no work).
+            let id = {
+                let mut st = state.lock();
+                loop {
+                    if st.cancelled || st.outstanding == 0 {
+                        frontier_cv.notify_all();
+                        return;
+                    }
+                    let Some(Reverse(pos)) = st.ready.pop() else {
+                        frontier_cv.wait(&mut st);
+                        continue;
+                    };
+                    let id = order[pos];
+                    let node = dag.node(id);
+                    // All deps are finalized here, so `blocked_on` is the
+                    // same list the serial loop would compute.
+                    let blocked_on: Vec<String> = node
+                        .deps
+                        .iter()
+                        .filter(|&&d| st.dead[d])
+                        .map(|&d| dag.node(d).name.clone())
+                        .collect();
+                    if blocked_on.is_empty() {
+                        break id;
+                    }
+                    let record = idle_record(
+                        &node.name,
+                        hashes.node_hash(id).to_string(),
+                        NodeStatus::Skipped { blocked_on },
+                    );
+                    finalize(
+                        &mut st,
+                        id,
+                        Finished {
+                            record,
+                            cost: 0.0,
+                            wasted: 0.0,
+                            log: None,
+                            dead: true,
+                        },
+                    );
+                    frontier_cv.notify_all();
+                }
+            };
+
+            let node = dag.node(id);
+            let hash = hashes.node_hash(id).to_string();
+
+            // Work phase: no scheduler lock held.
+            let fin = if reuse[id] {
+                Finished {
+                    record: idle_record(&node.name, hash, NodeStatus::Reused),
+                    cost: 0.0,
+                    wasted: 0.0,
+                    log: None,
+                    dead: false,
+                }
+            } else {
+                match build_node(dag, id, repos, &platforms, &root_dir, &hashes, options) {
+                    Ok(done) => {
+                        let cost = done.outcome.total() + done.backoff + done.wasted;
+                        let mut status = NodeStatus::Built(done.outcome);
+                        let mut log = Some(done.log);
+                        let mut dead = false;
+                        if options.keep_going {
+                            // Per-hash commit at completion time: the lock
+                            // covers one record insert plus its log. If
+                            // another session committed this exact hash
+                            // first, our build lost the race — reuse theirs.
+                            let mut db = db.lock();
+                            if db.commit_node(dag, id, &hashes) {
+                                if let Err(e) = db.attach_build_log(&hash, log.take().unwrap()) {
+                                    status = NodeStatus::Failed {
+                                        error: InstallError::Internal(format!(
+                                            "attaching build log for {hash}: {e}"
+                                        ))
+                                        .to_string(),
+                                    };
+                                    dead = true;
+                                }
+                            } else {
+                                status = NodeStatus::Reused;
+                                log = None;
+                            }
+                        }
+                        Finished {
+                            record: BuildRecord {
+                                name: node.name.clone(),
+                                hash,
+                                status,
+                                patches: done.patches,
+                                attempts: done.attempts,
+                                backoff_seconds: done.backoff,
+                                faults: done.faults,
+                            },
+                            cost,
+                            wasted: done.backoff + done.wasted,
+                            log,
+                            dead,
+                        }
+                    }
+                    Err(failure) => {
+                        if !options.keep_going {
+                            // Cancel the frontier; record the failure with
+                            // its topo position so the winner is the same
+                            // one the serial loop would have returned.
+                            let mut st = state.lock();
+                            st.failures.push((topo_pos[id], failure.error));
+                            st.cancelled = true;
+                            frontier_cv.notify_all();
+                            return;
+                        }
+                        Finished {
+                            record: BuildRecord {
+                                name: node.name.clone(),
+                                hash,
+                                status: NodeStatus::Failed {
+                                    error: failure.error.to_string(),
+                                },
+                                patches: Vec::new(),
+                                attempts: failure.attempts,
+                                backoff_seconds: failure.backoff,
+                                faults: failure.faults,
+                            },
+                            cost: failure.backoff + failure.wasted,
+                            wasted: failure.backoff + failure.wasted,
+                            log: None,
+                            dead: true,
+                        }
+                    }
+                }
+            };
+
+            let mut st = state.lock();
+            finalize(&mut st, id, fin);
+            frontier_cv.notify_all();
+        }
+    };
+
+    // The worker pool: `jobs` real scoped threads (vendored rayon shim).
+    rayon::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|_| worker());
+        }
+    });
+
+    let mut state = state.into_inner();
+    if !state.failures.is_empty() {
+        // Fail-fast: nothing was committed, database as found. Several
+        // in-flight nodes may have failed concurrently; surface the one
+        // earliest in topo order — exactly the serial loop's error.
+        let min = state
+            .failures
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (pos, _))| *pos)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        return Err(state.failures.swap_remove(min).1);
+    }
+
+    // Report assembly, in topo order: deterministic record order and
+    // deterministic (commutative-by-construction) accounting sums.
+    let mut builds = Vec::with_capacity(dag.len());
+    let mut logs: Vec<(String, String)> = Vec::new();
+    let mut costs = vec![0.0_f64; dag.len()];
+    let mut retries = 0u32;
+    let mut backoff_seconds = 0.0_f64;
+    let mut wasted_seconds = 0.0_f64;
+    for &id in &order {
+        let fin = state.done[id].take().expect("every node finalized");
+        costs[id] = fin.cost;
+        retries += fin.record.attempts.saturating_sub(1);
+        backoff_seconds += fin.record.backoff_seconds;
+        wasted_seconds += fin.wasted;
+        if let Some(log) = fin.log {
+            logs.push((fin.record.hash.clone(), log));
+        }
+        builds.push(fin.record);
+    }
+    let complete = !state.dead.iter().any(|&d| d);
+
+    // Commit phase. Keep-going already committed per node; a complete
+    // install additionally claims the requested root as explicit.
+    // Fail-fast commits everything here, in one batch.
     {
         let mut db = db.lock();
-        if dead.iter().any(|&d| d) {
-            // Partial commit: every successful sub-DAG, all implicit —
-            // the *requested* root did not complete, so nothing here was
-            // explicitly asked for and `gc` semantics survive.
-            for id in dag.topo_order() {
-                if !dead[id] {
-                    db.install_subdag(dag, id, false);
-                }
-            }
-        } else {
+        if !options.keep_going {
             db.install_dag_as(dag, true);
-        }
-        for (hash, log) in logs {
-            db.attach_build_log(&hash, log).map_err(|e| {
-                InstallError::Internal(format!("attaching build log for {hash}: {e}"))
-            })?;
+            for (hash, log) in logs {
+                db.attach_build_log(&hash, log).map_err(|e| {
+                    InstallError::Internal(format!("attaching build log for {hash}: {e}"))
+                })?;
+            }
+        } else if complete {
+            db.install_dag_as(dag, true);
         }
     }
 
     let serial_seconds = costs.iter().sum();
     // finish[id] = cost[id] + max(finish[dep]); topo order is bottom-up.
     let mut finish = vec![0.0_f64; dag.len()];
-    for id in dag.topo_order() {
+    for &id in &order {
         let slowest_dep =
             dag.node(id).deps.iter().fold(
                 0.0_f64,
@@ -720,11 +1005,15 @@ pub fn install_dag(
         finish[id] = costs[id] + slowest_dep;
     }
     let critical_path_seconds = finish[dag.root()];
+    let makespan_seconds = simulate_makespan(dag, &order, &topo_pos, &dependents, &costs, jobs);
 
     Ok(InstallReport {
         builds,
         serial_seconds,
         critical_path_seconds,
+        makespan_seconds,
+        jobs,
+        wall_seconds: wall_start.elapsed().as_secs_f64(),
         retries,
         backoff_seconds,
         wasted_seconds,
@@ -1099,5 +1388,116 @@ mod tests {
         assert!(report.wasted_seconds > report.backoff_seconds);
         assert!((report.serial_seconds - report.wasted_seconds).abs() < 1e-9);
         assert_eq!(db.lock().len(), 0);
+    }
+
+    #[test]
+    fn makespan_interpolates_between_serial_and_critical_path() {
+        let repos = diamond_repo();
+        let dag = diamond_dag();
+        let run = |jobs: usize| {
+            let db = Mutex::new(Database::new("/spack/opt"));
+            let opts = InstallOptions {
+                jobs,
+                ..Default::default()
+            };
+            install_dag(&dag, &repos, &db, &opts).unwrap()
+        };
+        let one = run(1);
+        let two = run(2);
+        let eight = run(8);
+        // One slot degenerates to the serial walk.
+        assert!((one.makespan_seconds - one.serial_seconds).abs() < 1e-9);
+        // The diamond's only parallelism is its two arms: two slots
+        // already achieve the critical path, more slots sit idle.
+        assert!((two.makespan_seconds - two.critical_path_seconds).abs() < 1e-9);
+        assert!((eight.makespan_seconds - two.makespan_seconds).abs() < 1e-9);
+        // More workers never hurt, and the bounds always hold.
+        assert!(two.makespan_seconds <= one.makespan_seconds + 1e-9);
+        for r in [&one, &two, &eight] {
+            assert!(r.makespan_seconds >= r.critical_path_seconds - 1e-9);
+            assert!(r.makespan_seconds <= r.serial_seconds + 1e-9);
+        }
+    }
+
+    #[test]
+    fn render_is_independent_of_jobs_and_wall_clock() {
+        let repos = diamond_repo();
+        let dag = diamond_dag();
+        let render = |jobs: usize| {
+            let db = Mutex::new(Database::new("/spack/opt"));
+            let opts = InstallOptions {
+                jobs,
+                ..Default::default()
+            };
+            let report = install_dag(&dag, &repos, &db, &opts).unwrap();
+            assert_eq!(report.jobs, jobs.max(1));
+            assert!(report.wall_seconds >= 0.0);
+            report.render()
+        };
+        let serial = render(1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(render(jobs), serial, "render drifted at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn fail_fast_under_concurrency_reports_first_topo_failure() {
+        // Both diamond arms are unfetchable; whichever worker loses the
+        // race, the reported error must be the serial loop's: the arm
+        // earlier in topo order (left).
+        #[derive(Debug)]
+        struct BlackholePair {
+            inner: Mirror,
+        }
+        impl FetchSource for BlackholePair {
+            fn label(&self) -> &str {
+                "blackhole-pair"
+            }
+            fn fetch_version(
+                &self,
+                pkg: &PackageDef,
+                version: &Version,
+                attempt: u32,
+            ) -> Result<Archive, FetchError> {
+                if pkg.name == "left" || pkg.name == "right" {
+                    return Err(FetchError::Transient {
+                        package: pkg.name.clone(),
+                        version: version.to_string(),
+                        mirror: "blackhole-pair".to_string(),
+                        attempt,
+                    });
+                }
+                self.inner.fetch(pkg, version)
+            }
+        }
+        let repos = diamond_repo();
+        let dag = diamond_dag();
+        let topo_names: Vec<&str> = dag
+            .topo_order()
+            .iter()
+            .map(|&id| dag.node(id).name.as_str())
+            .collect();
+        let first_arm = *topo_names
+            .iter()
+            .find(|n| **n == "left" || **n == "right")
+            .unwrap();
+        for _ in 0..16 {
+            let db = Mutex::new(Database::new("/spack/opt"));
+            let opts = InstallOptions {
+                source: MirrorChain::single(BlackholePair {
+                    inner: Mirror::new(),
+                }),
+                jobs: 8,
+                ..Default::default()
+            };
+            let err = install_dag(&dag, &repos, &db, &opts).unwrap_err();
+            match &err {
+                InstallError::Fetch(FetchError::Transient { package, .. }) => {
+                    assert_eq!(package, first_arm, "fail-fast picked a later failure");
+                }
+                other => panic!("unexpected error {other}"),
+            }
+            assert_eq!(db.lock().len(), 0, "fail-fast commits nothing");
+        }
     }
 }

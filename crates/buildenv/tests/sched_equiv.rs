@@ -1,0 +1,241 @@
+//! Scheduler equivalence suite (ISSUE 4): the parallel frontier
+//! scheduler must produce a byte-identical [`InstallReport::render`] for
+//! every `jobs` level and every thread interleaving — with and without
+//! chaos — and per-hash commits must stay correct under contention.
+
+use parking_lot::Mutex;
+use spack_buildenv::{
+    install_dag, FaultKind, FaultPlan, FaultyMirror, InstallOptions, InstallReport, Mirror,
+    MirrorChain, NodeStatus, RetryPolicy,
+};
+use spack_package::{PackageBuilder, RepoStack, Repository};
+use spack_spec::dag::node;
+use spack_spec::{ConcreteDag, DagBuilder, DagHashes, Version};
+use spack_store::Database;
+
+/// A layered synthetic DAG: `width` nodes per layer, each depending on
+/// every node of the layer below, plus a single root on top. Wide layers
+/// give the frontier real concurrency to mis-order if it is going to.
+fn layered_dag(layers: usize, width: usize) -> (ConcreteDag, RepoStack) {
+    let mut names = Vec::new();
+    let mut b = DagBuilder::new();
+    let mut below = Vec::new();
+    for layer in 0..layers {
+        let mut current = Vec::new();
+        for i in 0..width {
+            let name = format!("pkg-l{layer}-n{i}");
+            let id = b
+                .add_node(node(&name, "1.0", ("gcc", "4.9.3"), "linux-x86_64"))
+                .unwrap();
+            for &dep in &below {
+                b.add_edge(id, dep);
+            }
+            current.push(id);
+            names.push(name);
+        }
+        below = current;
+    }
+    let root = b
+        .add_node(node("stack-root", "1.0", ("gcc", "4.9.3"), "linux-x86_64"))
+        .unwrap();
+    for &dep in &below {
+        b.add_edge(root, dep);
+    }
+    names.push("stack-root".to_string());
+
+    let mut repo = Repository::new("equiv");
+    for name in &names {
+        let v = Version::new("1.0").unwrap();
+        repo.register(
+            PackageBuilder::new(name)
+                .version("1.0", &Mirror::checksum_of(name, &v))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    }
+    (b.build(root).unwrap(), RepoStack::with_builtin(repo))
+}
+
+fn install_at(dag: &ConcreteDag, repos: &RepoStack, jobs: usize, chaos: bool) -> InstallReport {
+    let db = Mutex::new(Database::new("/spack/opt"));
+    let mut opts = InstallOptions {
+        jobs,
+        ..Default::default()
+    };
+    if chaos {
+        let plan = FaultPlan::uniform(42, 0.25);
+        opts.source = MirrorChain::from_sources(vec![
+            std::sync::Arc::new(FaultyMirror::new(Mirror::named("m0"), plan)),
+            std::sync::Arc::new(FaultyMirror::new(Mirror::named("m1"), plan)),
+        ]);
+        opts.faults = Some(plan);
+        opts.retry = RetryPolicy::with_retries(2);
+        opts.keep_going = true;
+    }
+    install_dag(dag, repos, &db, &opts).unwrap()
+}
+
+#[test]
+fn render_is_byte_identical_across_jobs_without_chaos() {
+    let (dag, repos) = layered_dag(4, 5);
+    let baseline = install_at(&dag, &repos, 1, false);
+    assert_eq!(baseline.jobs, 1);
+    for jobs in [2, 4, 8] {
+        let report = install_at(&dag, &repos, jobs, false);
+        assert_eq!(report.jobs, jobs);
+        assert_eq!(
+            report.render(),
+            baseline.render(),
+            "render drifted at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn render_is_byte_identical_across_jobs_under_chaos() {
+    let (dag, repos) = layered_dag(4, 5);
+    let baseline = install_at(&dag, &repos, 1, true);
+    for jobs in [2, 4, 8] {
+        assert_eq!(
+            install_at(&dag, &repos, jobs, true).render(),
+            baseline.render(),
+            "chaos render drifted at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_chaos_runs_do_not_flap() {
+    // Same seed, same jobs, many runs: the report may never depend on
+    // which worker got there first.
+    let (dag, repos) = layered_dag(3, 4);
+    let first = install_at(&dag, &repos, 8, true).render();
+    for run in 1..8 {
+        assert_eq!(
+            install_at(&dag, &repos, 8, true).render(),
+            first,
+            "run {run} diverged"
+        );
+    }
+}
+
+#[test]
+fn makespan_shrinks_with_jobs_but_respects_critical_path() {
+    let (dag, repos) = layered_dag(4, 6);
+    let one = install_at(&dag, &repos, 1, false);
+    let four = install_at(&dag, &repos, 4, false);
+    assert!((one.makespan_seconds - one.serial_seconds).abs() < 1e-9);
+    assert!(
+        four.makespan_seconds < one.makespan_seconds,
+        "4 workers must beat 1 on a 6-wide DAG"
+    );
+    assert!(four.makespan_seconds >= four.critical_path_seconds - 1e-9);
+}
+
+#[test]
+fn two_sessions_racing_the_same_hash_yield_one_built_one_reused() {
+    // Two concurrent install sessions share one database and install the
+    // same single-node DAG under keep-going: per-hash commits serialize
+    // on the store lock, so exactly one session registers the build and
+    // the other reuses it — in every interleaving.
+    let mut b = DagBuilder::new();
+    let root = b
+        .add_node(node("contended", "1.0", ("gcc", "4.9.3"), "linux-x86_64"))
+        .unwrap();
+    let dag = b.build(root).unwrap();
+    let mut repo = Repository::new("race");
+    let v = Version::new("1.0").unwrap();
+    repo.register(
+        PackageBuilder::new("contended")
+            .version("1.0", &Mirror::checksum_of("contended", &v))
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let repos = RepoStack::with_builtin(repo);
+
+    for round in 0..16 {
+        let db = Mutex::new(Database::new("/spack/opt"));
+        let opts = InstallOptions {
+            keep_going: true,
+            jobs: 2,
+            ..Default::default()
+        };
+        let (a, z) = std::thread::scope(|s| {
+            let ta = s.spawn(|| install_dag(&dag, &repos, &db, &opts).unwrap());
+            let tz = s.spawn(|| install_dag(&dag, &repos, &db, &opts).unwrap());
+            (ta.join().unwrap(), tz.join().unwrap())
+        });
+        let statuses = [&a.builds[0].status, &z.builds[0].status];
+        let built = statuses
+            .iter()
+            .filter(|s| matches!(s, NodeStatus::Built(_)))
+            .count();
+        let reused = statuses
+            .iter()
+            .filter(|s| matches!(s, NodeStatus::Reused))
+            .count();
+        assert_eq!((built, reused), (1, 1), "round {round}: {statuses:?}");
+
+        let db = db.lock();
+        assert_eq!(db.len(), 1, "exactly one record despite the race");
+        let hashes = DagHashes::compute(&dag);
+        let rec = db.get(hashes.node_hash(dag.root())).unwrap();
+        assert!(rec.build_log.is_some(), "the winner's log is attached");
+    }
+}
+
+#[test]
+fn fault_decisions_are_identical_from_every_thread() {
+    // The chaos plan is a pure function of its coordinates: eight
+    // threads hammering the same coordinates must read the same fates,
+    // in any order.
+    let plan = FaultPlan::uniform(7, 0.5);
+    let coords: Vec<(FaultKind, String, u32, String)> = (0..64)
+        .flat_map(|i| {
+            [
+                (
+                    FaultKind::TransientFetch,
+                    format!("pkg{}", i % 13),
+                    i % 4 + 1,
+                    format!("m{}", i % 3),
+                ),
+                (
+                    FaultKind::BuildFailure,
+                    format!("pkg{}", i % 13),
+                    i % 4 + 1,
+                    "build".to_string(),
+                ),
+            ]
+        })
+        .collect();
+    let fates = |order_hint: usize| -> Vec<bool> {
+        let mut idx: Vec<usize> = (0..coords.len()).collect();
+        // Visit in a different order per thread; collect by position.
+        idx.rotate_left(order_hint % coords.len());
+        let mut out = vec![false; coords.len()];
+        for &i in &idx {
+            let (kind, pkg, attempt, scope) = &coords[i];
+            out[i] = plan.decide(*kind, pkg, "1.0", *attempt, scope);
+        }
+        out
+    };
+    let baseline = fates(0);
+    assert!(
+        baseline.iter().any(|&f| f) && baseline.iter().any(|&f| !f),
+        "the 0.5 plan should mix fates"
+    );
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let baseline = &baseline;
+                let fates = &fates;
+                s.spawn(move || assert_eq!(&fates(t * 17 + 1), baseline))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}

@@ -20,8 +20,11 @@ spack-rs — Rust reproduction of the Spack package manager (SC'15)
 commands:
   audit [--json]         statically lint every package recipe in the
                          repository; exit code is the number of errors
-  install [--no-wrappers] [--nfs-stage] [-j N] [--retries N]
+  install [--no-wrappers] [--nfs-stage] [-j|--jobs N] [--retries N]
           [--keep-going] [--chaos <seed>:<rate>] [--mirrors N] <spec>...
+                         --jobs N      build with N worker threads draining
+                                       the dependency frontier; the report
+                                       is byte-identical for any N
                          --retries N   retry failed nodes N extra times
                                        with exponential virtual-time backoff
                          --keep-going  isolate failures: build independent
@@ -88,12 +91,12 @@ pub fn install(args: &[String]) -> Result<(), String> {
             "--no-wrappers" => opts.settings.use_wrappers = false,
             "--nfs-stage" => opts.settings.stage_fs = FsProfile::Nfs,
             "--keep-going" => opts.keep_going = true,
-            "-j" => {
+            "-j" | "--jobs" => {
                 let n = iter
                     .next()
                     .and_then(|s| s.parse::<usize>().ok())
-                    .ok_or("-j needs a number")?;
-                opts.jobs = n;
+                    .ok_or("--jobs needs a number")?;
+                opts.jobs = n.max(1);
             }
             "--retries" => {
                 let n = iter

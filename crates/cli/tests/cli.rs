@@ -246,6 +246,45 @@ fn chaos_installs_are_deterministic_and_recoverable() {
 }
 
 #[test]
+fn install_output_is_identical_across_jobs_under_chaos() {
+    // The frontier scheduler's determinism contract, end to end: the
+    // CLI's install transcript may not depend on how many workers drained
+    // the frontier, chaos or not.
+    let chaos_at = |jobs: &str, tag: &str| {
+        let h = home(tag);
+        let o = run(
+            &h,
+            &[
+                "install",
+                "--jobs",
+                jobs,
+                "--keep-going",
+                "--retries",
+                "2",
+                "--mirrors",
+                "2",
+                "--chaos",
+                "42:0.2",
+                "mpileaks",
+            ],
+        );
+        (stdout(&o), o.status.code())
+    };
+    let (base_out, base_code) = chaos_at("1", "jobs1");
+    for (jobs, tag) in [("2", "jobs2"), ("4", "jobs4"), ("8", "jobs8")] {
+        let (out, code) = chaos_at(jobs, tag);
+        assert_eq!(out, base_out, "--jobs {jobs} changed the transcript");
+        assert_eq!(code, base_code, "--jobs {jobs} changed the exit code");
+    }
+
+    // And without chaos, at full width.
+    let h = home("jobs-clean");
+    let o = run(&h, &["install", "--jobs", "8", "mpileaks"]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    assert!(stdout(&o).contains("critical path"), "{}", stdout(&o));
+}
+
+#[test]
 fn create_checksum_mirror_module_refresh() {
     let h = home("extra");
     // `create` infers name/version and emits a pkg! skeleton.

@@ -147,12 +147,59 @@ impl Database {
             for &dep in &dag.node(id).deps {
                 let dep_hash = hashes.node_hash(dep).to_string();
                 let rec = self.records.get_mut(&dep_hash).expect("topo order");
-                if !rec.dependents.contains(&h) {
-                    rec.dependents.push(h.clone());
+                if let Err(pos) = rec.dependents.binary_search(&h) {
+                    rec.dependents.insert(pos, h.clone());
                 }
             }
         }
         plan
+    }
+
+    /// Commit exactly one node of `dag` — the per-hash commit the parallel
+    /// install scheduler uses, so the database lock is held only for a
+    /// single-record insert, never for a sub-DAG walk. Every dependency of
+    /// the node must already be present (the frontier scheduler guarantees
+    /// it: a node is dispatched only after all its dependencies committed).
+    ///
+    /// Returns `true` when the record was newly inserted and `false` when
+    /// the hash was already present — the contention signal two concurrent
+    /// installs racing to commit the same configuration use to decide
+    /// which of them reports `Built` and which `Reused`.
+    pub fn commit_node(&mut self, dag: &ConcreteDag, id: NodeId, hashes: &DagHashes) -> bool {
+        let h = hashes.node_hash(id).to_string();
+        if self.records.contains_key(&h) {
+            return false;
+        }
+        for &dep in &dag.node(id).deps {
+            debug_assert!(
+                self.records.contains_key(hashes.node_hash(dep)),
+                "commit_node called before dependency {} committed",
+                dag.node(dep).name
+            );
+        }
+        let sub = dag.subdag(id);
+        let prefix = self.scheme.prefix_for(&self.root, dag, id, hashes);
+        self.records.insert(
+            h.clone(),
+            InstallRecord {
+                hash: h.clone(),
+                specfile: serial::to_specfile(&sub),
+                dag: sub,
+                prefix,
+                explicit: false,
+                build_log: None,
+                dependents: Vec::new(),
+            },
+        );
+        for &dep in &dag.node(id).deps {
+            let dep_hash = hashes.node_hash(dep).to_string();
+            if let Some(rec) = self.records.get_mut(&dep_hash) {
+                if let Err(pos) = rec.dependents.binary_search(&h) {
+                    rec.dependents.insert(pos, h.clone());
+                }
+            }
+        }
+        true
     }
 
     /// Look up a record by full or short hash prefix.
@@ -482,6 +529,33 @@ mod tests {
         assert_eq!(plan.to_build.len(), 3);
         assert!(db.get(hashes.node_hash(dag.root())).unwrap().explicit);
         assert!(db.gc().is_empty(), "explicit root now keeps the closure");
+    }
+
+    #[test]
+    fn commit_node_inserts_once_and_wires_dependents() {
+        let mut db = Database::new("/spack/opt");
+        let dag = mpileaks_with("mpich");
+        let hashes = DagHashes::compute(&dag);
+        // Bottom-up, one node at a time — the scheduler's commit order.
+        for id in dag.topo_order() {
+            assert!(db.commit_node(&dag, id, &hashes), "first commit inserts");
+            assert!(!db.commit_node(&dag, id, &hashes), "second is a no-op");
+        }
+        assert_eq!(db.len(), 6);
+        // Per-node commits are always implicit; dependent edges are wired
+        // exactly as a whole-DAG install would wire them (sorted).
+        assert!(db.iter().all(|r| !r.explicit));
+        let libelf = db
+            .get(hashes.node_hash(dag.by_name("libelf").unwrap()))
+            .unwrap();
+        assert_eq!(libelf.dependents.len(), 2, "dyninst and libdwarf");
+        let mut sorted = libelf.dependents.clone();
+        sorted.sort();
+        assert_eq!(libelf.dependents, sorted, "dependents deterministic");
+        // A later explicit whole-DAG install claims the same records.
+        let plan = db.install_dag_as(&dag, true);
+        assert_eq!(plan.reused.len(), 6);
+        assert!(db.get(hashes.node_hash(dag.root())).unwrap().explicit);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! The build container has no network access and no vendored registry, so
 //! the workspace ships this minimal API-compatible subset instead of the
 //! real crate: a `Mutex` whose `lock()` returns the guard directly
-//! (poisoning is swallowed, as parking_lot does by design).
+//! (poisoning is swallowed, as parking_lot does by design) and a
+//! `Condvar` whose `wait()` borrows the guard instead of consuming it.
 
 use std::sync::TryLockError;
 
@@ -54,6 +55,42 @@ impl<T> From<T> for Mutex<T> {
     }
 }
 
+/// A condition variable with parking_lot's borrow-the-guard `wait()`.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing the lock while waiting. Unlike
+    /// `std::sync::Condvar::wait`, the guard is borrowed, not consumed —
+    /// on return the same guard is locked again.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // std's wait takes the guard by value and hands it back; bridge to
+        // the borrowing API by moving it out and writing it back in.
+        // Sound: `wait` is only called with the lock held (the &mut proves
+        // it), and the relocked guard is always restored before returning.
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let relocked = self.0.wait(taken).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(guard, relocked);
+        }
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every waiting thread.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +109,24 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes_waiter_and_restores_the_guard() {
+        let state = Mutex::new(false);
+        let cv = Condvar::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut done = state.lock();
+                while !*done {
+                    cv.wait(&mut done);
+                }
+                // The guard still protects the same data after waking.
+                assert!(*done);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            *state.lock() = true;
+            cv.notify_all();
+        });
     }
 }

@@ -4,6 +4,38 @@
 //! here hands back the plain sequential iterator. Callers keep their
 //! data-parallel shape (`.par_iter().map(...).collect()`) and lose only
 //! the thread pool — results are identical, just computed on one core.
+//!
+//! [`scope`], by contrast, is *real*: it is a thin wrapper over
+//! `std::thread::scope`, so `scope(|s| s.spawn(...))` runs genuinely
+//! concurrent OS threads that may borrow from the enclosing stack. The
+//! install pipeline's frontier scheduler uses it for its worker pool.
+
+/// A fork-join scope whose spawned closures run on real OS threads and
+/// may borrow anything that outlives the [`scope`] call.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task on a new scoped thread. Mirrors rayon's signature:
+    /// the task receives the scope so it can spawn further tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Run `f` with a scope handle; every thread spawned through the handle
+/// is joined before `scope` returns (a panic in any task propagates).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
 
 /// `use rayon::prelude::*` — the parallel-iterator entry points.
 pub mod prelude {
@@ -39,5 +71,28 @@ mod tests {
         let xs = vec![1, 2, 3];
         let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn scope_runs_spawns_on_real_threads_and_joins_them() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        let main_thread = std::thread::current().id();
+        let mut saw_other_thread = false;
+        crate::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|s| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    // Nested spawn through the scope handle works too.
+                    s.spawn(|_| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+            saw_other_thread = std::thread::current().id() == main_thread;
+        });
+        // All 8 tasks joined before scope returned.
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+        assert!(saw_other_thread, "closure itself runs on the caller");
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-f27ef159db941bcd.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-f27ef159db941bcd: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

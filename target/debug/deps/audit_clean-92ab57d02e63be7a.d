@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_clean-92ab57d02e63be7a.d: tests/audit_clean.rs
+
+/root/repo/target/debug/deps/audit_clean-92ab57d02e63be7a: tests/audit_clean.rs
+
+tests/audit_clean.rs:

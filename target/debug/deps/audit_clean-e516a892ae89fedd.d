@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/audit_clean-e516a892ae89fedd.d: tests/audit_clean.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit_clean-e516a892ae89fedd.rmeta: tests/audit_clean.rs Cargo.toml
+
+tests/audit_clean.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

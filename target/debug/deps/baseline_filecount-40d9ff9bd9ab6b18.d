@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_filecount-40d9ff9bd9ab6b18.d: crates/bench/src/bin/baseline_filecount.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_filecount-40d9ff9bd9ab6b18.rmeta: crates/bench/src/bin/baseline_filecount.rs Cargo.toml
+
+crates/bench/src/bin/baseline_filecount.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

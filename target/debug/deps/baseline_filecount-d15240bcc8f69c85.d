@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_filecount-d15240bcc8f69c85.d: crates/bench/src/bin/baseline_filecount.rs
+
+/root/repo/target/debug/deps/baseline_filecount-d15240bcc8f69c85: crates/bench/src/bin/baseline_filecount.rs
+
+crates/bench/src/bin/baseline_filecount.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/builtin_clean-1d9595534607ef9b.d: crates/audit/tests/builtin_clean.rs
+
+/root/repo/target/debug/deps/builtin_clean-1d9595534607ef9b: crates/audit/tests/builtin_clean.rs
+
+crates/audit/tests/builtin_clean.rs:

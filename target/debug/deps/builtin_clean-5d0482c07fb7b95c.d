@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/builtin_clean-5d0482c07fb7b95c.d: crates/audit/tests/builtin_clean.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuiltin_clean-5d0482c07fb7b95c.rmeta: crates/audit/tests/builtin_clean.rs Cargo.toml
+
+crates/audit/tests/builtin_clean.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_sweep-4b4f8ccc1e34065a.d: crates/bench/src/bin/chaos_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_sweep-4b4f8ccc1e34065a.rmeta: crates/bench/src/bin/chaos_sweep.rs Cargo.toml
+
+crates/bench/src/bin/chaos_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

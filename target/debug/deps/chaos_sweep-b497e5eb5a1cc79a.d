@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_sweep-b497e5eb5a1cc79a.d: crates/bench/src/bin/chaos_sweep.rs
+
+/root/repo/target/debug/deps/chaos_sweep-b497e5eb5a1cc79a: crates/bench/src/bin/chaos_sweep.rs
+
+crates/bench/src/bin/chaos_sweep.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-efc5812b99449e6e.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-efc5812b99449e6e: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_spack-rs=/root/repo/target/debug/spack-rs

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concretization-1a54dd9ffc322193.d: crates/bench/benches/concretization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcretization-1a54dd9ffc322193.rmeta: crates/bench/benches/concretization.rs Cargo.toml
+
+crates/bench/benches/concretization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

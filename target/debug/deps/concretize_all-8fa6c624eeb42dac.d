@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concretize_all-8fa6c624eeb42dac.d: crates/repo-builtin/tests/concretize_all.rs
+
+/root/repo/target/debug/deps/concretize_all-8fa6c624eeb42dac: crates/repo-builtin/tests/concretize_all.rs
+
+crates/repo-builtin/tests/concretize_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concretize_all-cbe2691570209a05.d: crates/repo-builtin/tests/concretize_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcretize_all-cbe2691570209a05.rmeta: crates/repo-builtin/tests/concretize_all.rs Cargo.toml
+
+crates/repo-builtin/tests/concretize_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

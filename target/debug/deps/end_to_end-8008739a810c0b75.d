@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8008739a810c0b75.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8008739a810c0b75: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_11_build-40f33aa99b1f1905.d: crates/bench/src/bin/fig10_11_build.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_11_build-40f33aa99b1f1905.rmeta: crates/bench/src/bin/fig10_11_build.rs Cargo.toml
+
+crates/bench/src/bin/fig10_11_build.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

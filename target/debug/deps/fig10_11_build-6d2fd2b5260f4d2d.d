@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_11_build-6d2fd2b5260f4d2d.d: crates/bench/src/bin/fig10_11_build.rs
+
+/root/repo/target/debug/deps/fig10_11_build-6d2fd2b5260f4d2d: crates/bench/src/bin/fig10_11_build.rs
+
+crates/bench/src/bin/fig10_11_build.rs:

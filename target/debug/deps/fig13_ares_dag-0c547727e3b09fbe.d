@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_ares_dag-0c547727e3b09fbe.d: crates/bench/src/bin/fig13_ares_dag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_ares_dag-0c547727e3b09fbe.rmeta: crates/bench/src/bin/fig13_ares_dag.rs Cargo.toml
+
+crates/bench/src/bin/fig13_ares_dag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_ares_dag-c09e2736e890b464.d: crates/bench/src/bin/fig13_ares_dag.rs
+
+/root/repo/target/debug/deps/fig13_ares_dag-c09e2736e890b464: crates/bench/src/bin/fig13_ares_dag.rs
+
+crates/bench/src/bin/fig13_ares_dag.rs:

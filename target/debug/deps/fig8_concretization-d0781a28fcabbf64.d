@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_concretization-d0781a28fcabbf64.d: crates/bench/src/bin/fig8_concretization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_concretization-d0781a28fcabbf64.rmeta: crates/bench/src/bin/fig8_concretization.rs Cargo.toml
+
+crates/bench/src/bin/fig8_concretization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

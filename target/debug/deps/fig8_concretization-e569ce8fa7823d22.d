@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_concretization-e569ce8fa7823d22.d: crates/bench/src/bin/fig8_concretization.rs
+
+/root/repo/target/debug/deps/fig8_concretization-e569ce8fa7823d22: crates/bench/src/bin/fig8_concretization.rs
+
+crates/bench/src/bin/fig8_concretization.rs:

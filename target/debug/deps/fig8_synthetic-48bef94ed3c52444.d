@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_synthetic-48bef94ed3c52444.d: crates/bench/src/bin/fig8_synthetic.rs
+
+/root/repo/target/debug/deps/fig8_synthetic-48bef94ed3c52444: crates/bench/src/bin/fig8_synthetic.rs
+
+crates/bench/src/bin/fig8_synthetic.rs:

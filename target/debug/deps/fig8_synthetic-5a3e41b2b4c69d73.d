@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_synthetic-5a3e41b2b4c69d73.d: crates/bench/src/bin/fig8_synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_synthetic-5a3e41b2b4c69d73.rmeta: crates/bench/src/bin/fig8_synthetic.rs Cargo.toml
+
+crates/bench/src/bin/fig8_synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_synthetic-6d45fc9f361b8679.d: crates/bench/src/bin/fig8_synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_synthetic-6d45fc9f361b8679.rmeta: crates/bench/src/bin/fig8_synthetic.rs Cargo.toml
+
+crates/bench/src/bin/fig8_synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

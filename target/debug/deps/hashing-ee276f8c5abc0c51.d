@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hashing-ee276f8c5abc0c51.d: crates/bench/benches/hashing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhashing-ee276f8c5abc0c51.rmeta: crates/bench/benches/hashing.rs Cargo.toml
+
+crates/bench/benches/hashing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

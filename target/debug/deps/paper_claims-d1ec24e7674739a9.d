@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-d1ec24e7674739a9.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-d1ec24e7674739a9: tests/paper_claims.rs
+
+tests/paper_claims.rs:

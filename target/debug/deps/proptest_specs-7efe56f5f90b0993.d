@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_specs-7efe56f5f90b0993.d: tests/proptest_specs.rs
+
+/root/repo/target/debug/deps/proptest_specs-7efe56f5f90b0993: tests/proptest_specs.rs
+
+tests/proptest_specs.rs:

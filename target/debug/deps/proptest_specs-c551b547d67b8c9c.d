@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_specs-c551b547d67b8c9c.d: tests/proptest_specs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_specs-c551b547d67b8c9c.rmeta: tests/proptest_specs.rs Cargo.toml
+
+tests/proptest_specs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_equiv-19656b0fe21c1467.d: crates/buildenv/tests/sched_equiv.rs
+
+/root/repo/target/debug/deps/sched_equiv-19656b0fe21c1467: crates/buildenv/tests/sched_equiv.rs
+
+crates/buildenv/tests/sched_equiv.rs:

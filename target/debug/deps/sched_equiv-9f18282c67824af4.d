@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_equiv-9f18282c67824af4.d: crates/buildenv/tests/sched_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_equiv-9f18282c67824af4.rmeta: crates/buildenv/tests/sched_equiv.rs Cargo.toml
+
+crates/buildenv/tests/sched_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_scaling-4723b1c50c59a25e.d: crates/bench/src/bin/sched_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_scaling-4723b1c50c59a25e.rmeta: crates/bench/src/bin/sched_scaling.rs Cargo.toml
+
+crates/bench/src/bin/sched_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_scaling-cc2733fbe2fd99ff.d: crates/bench/src/bin/sched_scaling.rs
+
+/root/repo/target/debug/deps/sched_scaling-cc2733fbe2fd99ff: crates/bench/src/bin/sched_scaling.rs
+
+crates/bench/src/bin/sched_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_scaling-dc0b7d189c1a8138.d: crates/bench/src/bin/sched_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_scaling-dc0b7d189c1a8138.rmeta: crates/bench/src/bin/sched_scaling.rs Cargo.toml
+
+crates/bench/src/bin/sched_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

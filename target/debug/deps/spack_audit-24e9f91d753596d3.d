@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/spack_audit-24e9f91d753596d3.d: crates/audit/src/lib.rs crates/audit/src/cycles.rs crates/audit/src/passes.rs crates/audit/src/report.rs
+
+/root/repo/target/debug/deps/spack_audit-24e9f91d753596d3: crates/audit/src/lib.rs crates/audit/src/cycles.rs crates/audit/src/passes.rs crates/audit/src/report.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/cycles.rs:
+crates/audit/src/passes.rs:
+crates/audit/src/report.rs:

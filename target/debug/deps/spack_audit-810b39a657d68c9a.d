@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spack_audit-810b39a657d68c9a.d: crates/audit/src/lib.rs crates/audit/src/cycles.rs crates/audit/src/passes.rs crates/audit/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_audit-810b39a657d68c9a.rmeta: crates/audit/src/lib.rs crates/audit/src/cycles.rs crates/audit/src/passes.rs crates/audit/src/report.rs Cargo.toml
+
+crates/audit/src/lib.rs:
+crates/audit/src/cycles.rs:
+crates/audit/src/passes.rs:
+crates/audit/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

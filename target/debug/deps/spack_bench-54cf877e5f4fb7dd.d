@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spack_bench-54cf877e5f4fb7dd.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_bench-54cf877e5f4fb7dd.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

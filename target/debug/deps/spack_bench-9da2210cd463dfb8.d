@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spack_bench-9da2210cd463dfb8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/spack_bench-9da2210cd463dfb8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_bench-ad5ec82532174cc0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_bench-ad5ec82532174cc0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_bench-ad5ec82532174cc0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/spack_buildenv-523acc4fedbd66a8.d: crates/buildenv/src/lib.rs crates/buildenv/src/buildsys.rs crates/buildenv/src/compilers.rs crates/buildenv/src/faults.rs crates/buildenv/src/fetch.rs crates/buildenv/src/pipeline.rs crates/buildenv/src/platform.rs crates/buildenv/src/simfs.rs crates/buildenv/src/wrapper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_buildenv-523acc4fedbd66a8.rmeta: crates/buildenv/src/lib.rs crates/buildenv/src/buildsys.rs crates/buildenv/src/compilers.rs crates/buildenv/src/faults.rs crates/buildenv/src/fetch.rs crates/buildenv/src/pipeline.rs crates/buildenv/src/platform.rs crates/buildenv/src/simfs.rs crates/buildenv/src/wrapper.rs Cargo.toml
+
+crates/buildenv/src/lib.rs:
+crates/buildenv/src/buildsys.rs:
+crates/buildenv/src/compilers.rs:
+crates/buildenv/src/faults.rs:
+crates/buildenv/src/fetch.rs:
+crates/buildenv/src/pipeline.rs:
+crates/buildenv/src/platform.rs:
+crates/buildenv/src/simfs.rs:
+crates/buildenv/src/wrapper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

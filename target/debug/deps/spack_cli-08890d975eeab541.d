@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spack_cli-08890d975eeab541.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_cli-08890d975eeab541.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

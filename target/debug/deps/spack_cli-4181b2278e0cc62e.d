@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_cli-4181b2278e0cc62e.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_cli-4181b2278e0cc62e.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libspack_cli-4181b2278e0cc62e.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

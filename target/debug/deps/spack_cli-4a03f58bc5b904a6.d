@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spack_cli-4a03f58bc5b904a6.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/spack_cli-4a03f58bc5b904a6: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/spack_repo_builtin-18f71c427123aed4.d: crates/repo-builtin/src/lib.rs crates/repo-builtin/src/helpers.rs crates/repo-builtin/src/apps.rs crates/repo-builtin/src/ares.rs crates/repo-builtin/src/blas.rs crates/repo-builtin/src/buildtools.rs crates/repo-builtin/src/compression.rs crates/repo-builtin/src/corelibs.rs crates/repo-builtin/src/io.rs crates/repo-builtin/src/lang.rs crates/repo-builtin/src/mathlibs.rs crates/repo-builtin/src/mpi.rs crates/repo-builtin/src/mpileaks.rs crates/repo-builtin/src/netlibs.rs crates/repo-builtin/src/perf.rs crates/repo-builtin/src/python.rs crates/repo-builtin/src/systools.rs crates/repo-builtin/src/tools.rs crates/repo-builtin/src/viz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_repo_builtin-18f71c427123aed4.rmeta: crates/repo-builtin/src/lib.rs crates/repo-builtin/src/helpers.rs crates/repo-builtin/src/apps.rs crates/repo-builtin/src/ares.rs crates/repo-builtin/src/blas.rs crates/repo-builtin/src/buildtools.rs crates/repo-builtin/src/compression.rs crates/repo-builtin/src/corelibs.rs crates/repo-builtin/src/io.rs crates/repo-builtin/src/lang.rs crates/repo-builtin/src/mathlibs.rs crates/repo-builtin/src/mpi.rs crates/repo-builtin/src/mpileaks.rs crates/repo-builtin/src/netlibs.rs crates/repo-builtin/src/perf.rs crates/repo-builtin/src/python.rs crates/repo-builtin/src/systools.rs crates/repo-builtin/src/tools.rs crates/repo-builtin/src/viz.rs Cargo.toml
+
+crates/repo-builtin/src/lib.rs:
+crates/repo-builtin/src/helpers.rs:
+crates/repo-builtin/src/apps.rs:
+crates/repo-builtin/src/ares.rs:
+crates/repo-builtin/src/blas.rs:
+crates/repo-builtin/src/buildtools.rs:
+crates/repo-builtin/src/compression.rs:
+crates/repo-builtin/src/corelibs.rs:
+crates/repo-builtin/src/io.rs:
+crates/repo-builtin/src/lang.rs:
+crates/repo-builtin/src/mathlibs.rs:
+crates/repo-builtin/src/mpi.rs:
+crates/repo-builtin/src/mpileaks.rs:
+crates/repo-builtin/src/netlibs.rs:
+crates/repo-builtin/src/perf.rs:
+crates/repo-builtin/src/python.rs:
+crates/repo-builtin/src/systools.rs:
+crates/repo-builtin/src/tools.rs:
+crates/repo-builtin/src/viz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

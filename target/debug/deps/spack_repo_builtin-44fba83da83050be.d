@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/spack_repo_builtin-44fba83da83050be.d: crates/repo-builtin/src/lib.rs crates/repo-builtin/src/helpers.rs crates/repo-builtin/src/apps.rs crates/repo-builtin/src/ares.rs crates/repo-builtin/src/blas.rs crates/repo-builtin/src/buildtools.rs crates/repo-builtin/src/compression.rs crates/repo-builtin/src/corelibs.rs crates/repo-builtin/src/io.rs crates/repo-builtin/src/lang.rs crates/repo-builtin/src/mathlibs.rs crates/repo-builtin/src/mpi.rs crates/repo-builtin/src/mpileaks.rs crates/repo-builtin/src/netlibs.rs crates/repo-builtin/src/perf.rs crates/repo-builtin/src/python.rs crates/repo-builtin/src/systools.rs crates/repo-builtin/src/tools.rs crates/repo-builtin/src/viz.rs
+
+/root/repo/target/debug/deps/spack_repo_builtin-44fba83da83050be: crates/repo-builtin/src/lib.rs crates/repo-builtin/src/helpers.rs crates/repo-builtin/src/apps.rs crates/repo-builtin/src/ares.rs crates/repo-builtin/src/blas.rs crates/repo-builtin/src/buildtools.rs crates/repo-builtin/src/compression.rs crates/repo-builtin/src/corelibs.rs crates/repo-builtin/src/io.rs crates/repo-builtin/src/lang.rs crates/repo-builtin/src/mathlibs.rs crates/repo-builtin/src/mpi.rs crates/repo-builtin/src/mpileaks.rs crates/repo-builtin/src/netlibs.rs crates/repo-builtin/src/perf.rs crates/repo-builtin/src/python.rs crates/repo-builtin/src/systools.rs crates/repo-builtin/src/tools.rs crates/repo-builtin/src/viz.rs
+
+crates/repo-builtin/src/lib.rs:
+crates/repo-builtin/src/helpers.rs:
+crates/repo-builtin/src/apps.rs:
+crates/repo-builtin/src/ares.rs:
+crates/repo-builtin/src/blas.rs:
+crates/repo-builtin/src/buildtools.rs:
+crates/repo-builtin/src/compression.rs:
+crates/repo-builtin/src/corelibs.rs:
+crates/repo-builtin/src/io.rs:
+crates/repo-builtin/src/lang.rs:
+crates/repo-builtin/src/mathlibs.rs:
+crates/repo-builtin/src/mpi.rs:
+crates/repo-builtin/src/mpileaks.rs:
+crates/repo-builtin/src/netlibs.rs:
+crates/repo-builtin/src/perf.rs:
+crates/repo-builtin/src/python.rs:
+crates/repo-builtin/src/systools.rs:
+crates/repo-builtin/src/tools.rs:
+crates/repo-builtin/src/viz.rs:

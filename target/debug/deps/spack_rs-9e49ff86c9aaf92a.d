@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spack_rs-9e49ff86c9aaf92a.d: src/lib.rs
+
+/root/repo/target/debug/deps/spack_rs-9e49ff86c9aaf92a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spack_rs-c57e318a5a92c174.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_rs-c57e318a5a92c174.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

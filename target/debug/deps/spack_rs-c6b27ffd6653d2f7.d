@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_rs-c6b27ffd6653d2f7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libspack_rs-c6b27ffd6653d2f7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libspack_rs-c6b27ffd6653d2f7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/spack_rs-dcc8767d07f6df78.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspack_rs-dcc8767d07f6df78.rmeta: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

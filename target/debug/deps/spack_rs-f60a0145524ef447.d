@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spack_rs-f60a0145524ef447.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+/root/repo/target/debug/deps/spack_rs-f60a0145524ef447: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/state.rs:

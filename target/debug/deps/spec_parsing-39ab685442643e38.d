@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spec_parsing-39ab685442643e38.d: crates/bench/benches/spec_parsing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspec_parsing-39ab685442643e38.rmeta: crates/bench/benches/spec_parsing.rs Cargo.toml
+
+crates/bench/benches/spec_parsing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_naming-1414ba1c2ffffb3f.d: crates/bench/src/bin/table1_naming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_naming-1414ba1c2ffffb3f.rmeta: crates/bench/src/bin/table1_naming.rs Cargo.toml
+
+crates/bench/src/bin/table1_naming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

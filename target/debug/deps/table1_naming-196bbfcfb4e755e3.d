@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_naming-196bbfcfb4e755e3.d: crates/bench/src/bin/table1_naming.rs
+
+/root/repo/target/debug/deps/table1_naming-196bbfcfb4e755e3: crates/bench/src/bin/table1_naming.rs
+
+crates/bench/src/bin/table1_naming.rs:

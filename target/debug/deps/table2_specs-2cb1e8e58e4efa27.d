@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_specs-2cb1e8e58e4efa27.d: crates/bench/src/bin/table2_specs.rs
+
+/root/repo/target/debug/deps/table2_specs-2cb1e8e58e4efa27: crates/bench/src/bin/table2_specs.rs
+
+crates/bench/src/bin/table2_specs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_specs-db1be77cd2f881c1.d: crates/bench/src/bin/table2_specs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_specs-db1be77cd2f881c1.rmeta: crates/bench/src/bin/table2_specs.rs Cargo.toml
+
+crates/bench/src/bin/table2_specs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

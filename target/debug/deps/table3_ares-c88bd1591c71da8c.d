@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_ares-c88bd1591c71da8c.d: crates/bench/src/bin/table3_ares.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_ares-c88bd1591c71da8c.rmeta: crates/bench/src/bin/table3_ares.rs Cargo.toml
+
+crates/bench/src/bin/table3_ares.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_ares-f55f71822a66d008.d: crates/bench/src/bin/table3_ares.rs
+
+/root/repo/target/debug/deps/table3_ares-f55f71822a66d008: crates/bench/src/bin/table3_ares.rs
+
+crates/bench/src/bin/table3_ares.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wrappers-5bae413fe94d3ed6.d: crates/bench/benches/wrappers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwrappers-5bae413fe94d3ed6.rmeta: crates/bench/benches/wrappers.rs Cargo.toml
+
+crates/bench/benches/wrappers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ares_stack-0def7812775693c0.d: examples/ares_stack.rs
+
+/root/repo/target/debug/examples/ares_stack-0def7812775693c0: examples/ares_stack.rs
+
+examples/ares_stack.rs:

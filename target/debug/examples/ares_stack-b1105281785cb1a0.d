@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ares_stack-b1105281785cb1a0.d: examples/ares_stack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libares_stack-b1105281785cb1a0.rmeta: examples/ares_stack.rs Cargo.toml
+
+examples/ares_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

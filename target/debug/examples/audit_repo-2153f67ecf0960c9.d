@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/audit_repo-2153f67ecf0960c9.d: examples/audit_repo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaudit_repo-2153f67ecf0960c9.rmeta: examples/audit_repo.rs Cargo.toml
+
+examples/audit_repo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

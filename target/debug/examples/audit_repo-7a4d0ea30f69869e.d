@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/audit_repo-7a4d0ea30f69869e.d: examples/audit_repo.rs
+
+/root/repo/target/debug/examples/audit_repo-7a4d0ea30f69869e: examples/audit_repo.rs
+
+examples/audit_repo.rs:

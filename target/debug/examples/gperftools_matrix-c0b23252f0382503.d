@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gperftools_matrix-c0b23252f0382503.d: examples/gperftools_matrix.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgperftools_matrix-c0b23252f0382503.rmeta: examples/gperftools_matrix.rs Cargo.toml
+
+examples/gperftools_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

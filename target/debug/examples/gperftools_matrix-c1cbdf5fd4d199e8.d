@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gperftools_matrix-c1cbdf5fd4d199e8.d: examples/gperftools_matrix.rs
+
+/root/repo/target/debug/examples/gperftools_matrix-c1cbdf5fd4d199e8: examples/gperftools_matrix.rs
+
+examples/gperftools_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/python_extensions-481dc8c4648dba11.d: examples/python_extensions.rs
+
+/root/repo/target/debug/examples/python_extensions-481dc8c4648dba11: examples/python_extensions.rs
+
+examples/python_extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/python_extensions-8993d764de1ec3e0.d: examples/python_extensions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpython_extensions-8993d764de1ec3e0.rmeta: examples/python_extensions.rs Cargo.toml
+
+examples/python_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

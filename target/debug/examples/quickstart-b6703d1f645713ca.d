@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b6703d1f645713ca.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b6703d1f645713ca: examples/quickstart.rs
+
+examples/quickstart.rs:

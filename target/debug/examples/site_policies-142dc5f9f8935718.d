@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/site_policies-142dc5f9f8935718.d: examples/site_policies.rs
+
+/root/repo/target/debug/examples/site_policies-142dc5f9f8935718: examples/site_policies.rs
+
+examples/site_policies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/site_policies-5c44aaf3b849196d.d: examples/site_policies.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsite_policies-5c44aaf3b849196d.rmeta: examples/site_policies.rs Cargo.toml
+
+examples/site_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

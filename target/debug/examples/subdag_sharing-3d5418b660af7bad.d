@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/subdag_sharing-3d5418b660af7bad.d: examples/subdag_sharing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsubdag_sharing-3d5418b660af7bad.rmeta: examples/subdag_sharing.rs Cargo.toml
+
+examples/subdag_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

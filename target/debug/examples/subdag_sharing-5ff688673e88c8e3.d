@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/subdag_sharing-5ff688673e88c8e3.d: examples/subdag_sharing.rs
+
+/root/repo/target/debug/examples/subdag_sharing-5ff688673e88c8e3: examples/subdag_sharing.rs
+
+examples/subdag_sharing.rs:

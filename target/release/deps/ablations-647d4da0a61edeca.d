@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-647d4da0a61edeca.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-647d4da0a61edeca: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_filecount-068ad3c9e2c13abd.d: crates/bench/src/bin/baseline_filecount.rs
+
+/root/repo/target/release/deps/baseline_filecount-068ad3c9e2c13abd: crates/bench/src/bin/baseline_filecount.rs
+
+crates/bench/src/bin/baseline_filecount.rs:

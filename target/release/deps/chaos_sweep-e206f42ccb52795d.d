@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_sweep-e206f42ccb52795d.d: crates/bench/src/bin/chaos_sweep.rs
+
+/root/repo/target/release/deps/chaos_sweep-e206f42ccb52795d: crates/bench/src/bin/chaos_sweep.rs
+
+crates/bench/src/bin/chaos_sweep.rs:

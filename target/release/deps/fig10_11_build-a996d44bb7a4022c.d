@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_11_build-a996d44bb7a4022c.d: crates/bench/src/bin/fig10_11_build.rs
+
+/root/repo/target/release/deps/fig10_11_build-a996d44bb7a4022c: crates/bench/src/bin/fig10_11_build.rs
+
+crates/bench/src/bin/fig10_11_build.rs:

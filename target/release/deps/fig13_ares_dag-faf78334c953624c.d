@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_ares_dag-faf78334c953624c.d: crates/bench/src/bin/fig13_ares_dag.rs
+
+/root/repo/target/release/deps/fig13_ares_dag-faf78334c953624c: crates/bench/src/bin/fig13_ares_dag.rs
+
+crates/bench/src/bin/fig13_ares_dag.rs:

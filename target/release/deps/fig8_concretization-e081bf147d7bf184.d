@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_concretization-e081bf147d7bf184.d: crates/bench/src/bin/fig8_concretization.rs
+
+/root/repo/target/release/deps/fig8_concretization-e081bf147d7bf184: crates/bench/src/bin/fig8_concretization.rs
+
+crates/bench/src/bin/fig8_concretization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_synthetic-37df0824e69baf85.d: crates/bench/src/bin/fig8_synthetic.rs
+
+/root/repo/target/release/deps/fig8_synthetic-37df0824e69baf85: crates/bench/src/bin/fig8_synthetic.rs
+
+crates/bench/src/bin/fig8_synthetic.rs:

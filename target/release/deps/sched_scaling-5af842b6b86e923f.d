@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched_scaling-5af842b6b86e923f.d: crates/bench/src/bin/sched_scaling.rs
+
+/root/repo/target/release/deps/sched_scaling-5af842b6b86e923f: crates/bench/src/bin/sched_scaling.rs
+
+crates/bench/src/bin/sched_scaling.rs:

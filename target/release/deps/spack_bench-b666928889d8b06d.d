@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spack_bench-b666928889d8b06d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libspack_bench-b666928889d8b06d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libspack_bench-b666928889d8b06d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/spack_buildenv-732ac1055dfb12a1.d: crates/buildenv/src/lib.rs crates/buildenv/src/buildsys.rs crates/buildenv/src/compilers.rs crates/buildenv/src/faults.rs crates/buildenv/src/fetch.rs crates/buildenv/src/pipeline.rs crates/buildenv/src/platform.rs crates/buildenv/src/simfs.rs crates/buildenv/src/wrapper.rs
+
+/root/repo/target/release/deps/libspack_buildenv-732ac1055dfb12a1.rlib: crates/buildenv/src/lib.rs crates/buildenv/src/buildsys.rs crates/buildenv/src/compilers.rs crates/buildenv/src/faults.rs crates/buildenv/src/fetch.rs crates/buildenv/src/pipeline.rs crates/buildenv/src/platform.rs crates/buildenv/src/simfs.rs crates/buildenv/src/wrapper.rs
+
+/root/repo/target/release/deps/libspack_buildenv-732ac1055dfb12a1.rmeta: crates/buildenv/src/lib.rs crates/buildenv/src/buildsys.rs crates/buildenv/src/compilers.rs crates/buildenv/src/faults.rs crates/buildenv/src/fetch.rs crates/buildenv/src/pipeline.rs crates/buildenv/src/platform.rs crates/buildenv/src/simfs.rs crates/buildenv/src/wrapper.rs
+
+crates/buildenv/src/lib.rs:
+crates/buildenv/src/buildsys.rs:
+crates/buildenv/src/compilers.rs:
+crates/buildenv/src/faults.rs:
+crates/buildenv/src/fetch.rs:
+crates/buildenv/src/pipeline.rs:
+crates/buildenv/src/platform.rs:
+crates/buildenv/src/simfs.rs:
+crates/buildenv/src/wrapper.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spack_cli-425d9296374ef198.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libspack_cli-425d9296374ef198.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libspack_cli-425d9296374ef198.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

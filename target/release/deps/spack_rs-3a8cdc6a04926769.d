@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spack_rs-3a8cdc6a04926769.d: src/lib.rs
+
+/root/repo/target/release/deps/libspack_rs-3a8cdc6a04926769.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libspack_rs-3a8cdc6a04926769.rmeta: src/lib.rs
+
+src/lib.rs:

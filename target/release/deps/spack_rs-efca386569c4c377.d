@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spack_rs-efca386569c4c377.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+/root/repo/target/release/deps/spack_rs-efca386569c4c377: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/state.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_naming-61c7f3a96b7b3e17.d: crates/bench/src/bin/table1_naming.rs
+
+/root/repo/target/release/deps/table1_naming-61c7f3a96b7b3e17: crates/bench/src/bin/table1_naming.rs
+
+crates/bench/src/bin/table1_naming.rs:

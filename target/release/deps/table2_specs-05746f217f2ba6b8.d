@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_specs-05746f217f2ba6b8.d: crates/bench/src/bin/table2_specs.rs
+
+/root/repo/target/release/deps/table2_specs-05746f217f2ba6b8: crates/bench/src/bin/table2_specs.rs
+
+crates/bench/src/bin/table2_specs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_ares-3aa0f0271e87a480.d: crates/bench/src/bin/table3_ares.rs
+
+/root/repo/target/release/deps/table3_ares-3aa0f0271e87a480: crates/bench/src/bin/table3_ares.rs
+
+crates/bench/src/bin/table3_ares.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ares_stack-97ebca3087fb49b5.d: examples/ares_stack.rs
+
+/root/repo/target/release/examples/ares_stack-97ebca3087fb49b5: examples/ares_stack.rs
+
+examples/ares_stack.rs:

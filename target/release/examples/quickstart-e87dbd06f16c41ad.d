@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e87dbd06f16c41ad.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e87dbd06f16c41ad: examples/quickstart.rs
+
+examples/quickstart.rs:
